@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Reproduces Fig. 10: downstream classification accuracy of SD, LR and
+ * LeCA at CR in {4, 6, 8} on (a) the proxy pipeline and (b) the
+ * ImageNet-scale pipeline, plus (c) the accuracy-loss-vs-compression
+ * tradeoff across all methods (CS, MS, AGT, JPEG included).
+ *
+ * Paper reference numbers (ImageNet, Fig. 10(b)): LeCA accuracy loss
+ * 0.97 % / 0.98 % / 2.01 % at CR 4/6/8; Fig. 10(c): at CR 4 MS loses
+ * 5.3 %, CS loses 18 %, LeCA < 1 %.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hh"
+#include "compression/agt.hh"
+#include "compression/compressive_sensing.hh"
+#include "compression/jpeg.hh"
+#include "compression/microshift.hh"
+#include "compression/simple_methods.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace leca;
+using namespace leca::bench;
+
+struct CrPoint
+{
+    double cr;
+    int sd_kh, sd_kw;   // SD kernel for this CR
+    double lr_bits;     // LR bit depth for this CR (8 / CR)
+    int leca_nch;       // paper-optimal Nch|Qbit (Fig. 4(b))
+    double leca_qbits;
+};
+
+const CrPoint kPoints[] = {
+    {4.0, 2, 2, 2.0, 8, 3.0},
+    {6.0, 2, 3, 1.5, 4, 4.0},
+    {8.0, 2, 4, 1.0, 4, 3.0},
+};
+
+void
+runScale(Scale scale, const char *title)
+{
+    printBanner(std::cout, title);
+    Harness harness = makeHarness(scale);
+    std::cout << "frozen backbone baseline accuracy: "
+              << Table::pct(100.0 * harness.backboneAccuracy) << "\n\n";
+
+    Table table({"CR", "method", "config", "accuracy", "loss vs baseline"});
+    for (const auto &point : kPoints) {
+        {
+            SpatialDownsample sd(point.sd_kh, point.sd_kw);
+            const double acc = baselineAccuracy(harness, sd);
+            table.addRow({Table::num(point.cr, 0), "SD",
+                          std::to_string(point.sd_kh) + "x" +
+                              std::to_string(point.sd_kw) + " avg",
+                          Table::pct(100 * acc),
+                          Table::pct(100 * (harness.backboneAccuracy - acc))});
+        }
+        {
+            LowResQuantizer lr(QBits{point.lr_bits});
+            const double acc = baselineAccuracy(harness, lr);
+            table.addRow({Table::num(point.cr, 0), "LR",
+                          Table::num(point.lr_bits, 1) + "-bit",
+                          Table::pct(100 * acc),
+                          Table::pct(100 * (harness.backboneAccuracy - acc))});
+        }
+        {
+            auto pipeline = makePipeline(
+                harness, benchConfig(point.leca_nch, point.leca_qbits));
+            const double acc =
+                trainLeca(*pipeline, harness, EncoderModality::Soft,
+                          standardTrainOptions(scale));
+            table.addRow({Table::num(point.cr, 0), "LeCA",
+                          std::to_string(point.leca_nch) + "|" +
+                              Table::num(point.leca_qbits, 1),
+                          Table::pct(100 * acc),
+                          Table::pct(100 * (harness.backboneAccuracy - acc))});
+        }
+    }
+    table.print(std::cout);
+}
+
+void
+runTradeoffCurve()
+{
+    printBanner(std::cout,
+                "Fig. 10(c): accuracy loss vs compression (proxy, all "
+                "methods)");
+    Harness harness = makeHarness(Scale::Proxy);
+    const double base = harness.backboneAccuracy;
+
+    Table table({"method", "CR", "accuracy", "loss"});
+    auto add = [&](const std::string &name, double cr, double acc) {
+        table.addRow({name, Table::num(cr, 2), Table::pct(100 * acc),
+                      Table::pct(100 * (base - acc))});
+    };
+
+    // Task-agnostic baselines.
+    for (const auto &point : kPoints) {
+        SpatialDownsample sd(point.sd_kh, point.sd_kw);
+        add("SD", point.cr, baselineAccuracy(harness, sd));
+    }
+    for (double bits : {3.0, 2.0, 1.5, 1.0}) {
+        LowResQuantizer lr{QBits(bits)};
+        add("LR", lr.compressionRatio(), baselineAccuracy(harness, lr));
+    }
+    {
+        CompressiveSensing cs(4);
+        add("CS", cs.compressionRatio(), baselineAccuracy(harness, cs));
+    }
+    {
+        Microshift ms(2);
+        add("MS", ms.compressionRatio(), baselineAccuracy(harness, ms));
+    }
+    {
+        AccumGradientThreshold agt;
+        agt.calibrate(harness.val.images, 4.0);
+        const double acc = baselineAccuracy(harness, agt);
+        add("AGT", agt.compressionRatio(), acc);
+    }
+    {
+        // Sec. 6.4 compares JPEG at ~5.07x compression; pick the
+        // quality whose achieved ratio is closest to that.
+        int best_quality = 50;
+        double best_gap = 1e9;
+        for (int quality = 95; quality >= 10; quality -= 5) {
+            JpegCodec probe(quality);
+            probe.process(harness.val.images);
+            const double gap =
+                std::abs(probe.compressionRatio() - 5.07);
+            if (gap < best_gap) {
+                best_gap = gap;
+                best_quality = quality;
+            }
+        }
+        JpegCodec jpeg(best_quality);
+        const double acc = baselineAccuracy(harness, jpeg);
+        add("JPEG(q=" + std::to_string(best_quality) + ")",
+            jpeg.compressionRatio(), acc);
+    }
+    // LeCA across its CR range (paper-optimal design points).
+    struct LecaPoint { double cr; int nch; double qbits; };
+    for (const auto &lp : {LecaPoint{4, 8, 3.0}, LecaPoint{6, 4, 4.0},
+                           LecaPoint{8, 4, 3.0}, LecaPoint{12, 4, 2.0}}) {
+        auto pipeline = makePipeline(harness, benchConfig(lp.nch, lp.qbits));
+        const double acc = trainLeca(*pipeline, harness,
+                                     EncoderModality::Soft,
+                                     standardTrainOptions(Scale::Proxy));
+        add("LeCA", lp.cr, acc);
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    runScale(Scale::Proxy,
+             "Fig. 10(a): proxy pipeline (SyntheticVision-24 / proxy "
+             "backbone, stands in for TinyImageNet / ResNet-18)");
+    runScale(Scale::Full,
+             "Fig. 10(b): full pipeline (SyntheticVision-48 / full "
+             "backbone, stands in for ImageNet / ResNet-50)");
+    runTradeoffCurve();
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Fig. 2(c): the 37-paper CIS survey showing the share of
+ * sensor power, row readout time, and area attributable to the ADC and
+ * output buffer. Paper aggregates: 69 % of power, 34 % of readout
+ * time, >60 % of area.
+ */
+
+#include <iostream>
+
+#include "energy/survey.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace leca;
+    printBanner(std::cout,
+                "Fig. 2(c): CIS survey — ADC + output buffer overheads");
+
+    CisSurvey survey;
+    Table table({"design", "year", "power share", "readout-time share",
+                 "area share"});
+    for (const auto &entry : survey.entries()) {
+        table.addRow({entry.key, std::to_string(entry.year),
+                      Table::pct(100 * entry.adcBufferPowerShare, 0),
+                      Table::pct(100 * entry.readoutTimeShare, 0),
+                      Table::pct(100 * entry.adcBufferAreaShare, 0)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nsurveyed designs: " << survey.size() << "\n";
+    std::cout << "mean ADC+buffer power share:  "
+              << Table::pct(100 * survey.meanPowerShare(), 1)
+              << "  (paper: 69%)\n";
+    std::cout << "mean readout-time share:      "
+              << Table::pct(100 * survey.meanReadoutTimeShare(), 1)
+              << "  (paper: 34%)\n";
+    std::cout << "mean area share:              "
+              << Table::pct(100 * survey.meanAreaShare(), 1)
+              << "  (paper: >60%)\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the hot substrate operations:
+ * matmul, im2col convolution, the SCM MAC chain, a full-frame chip
+ * encode, and CS block reconstruction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analog/chain.hh"
+#include "compression/compressive_sensing.hh"
+#include "hw/sensor_chip.hh"
+#include "hw/weights.hh"
+#include "tensor/ops.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace leca;
+
+Tensor
+randomTensor(std::vector<int> shape, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(std::move(shape));
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.uniform(-1, 1));
+    return t;
+}
+
+void
+BM_Matmul256(benchmark::State &state)
+{
+    const Tensor a = randomTensor({256, 256}, 1);
+    const Tensor b = randomTensor({256, 256}, 2);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2LL * 256 * 256 * 256);
+}
+BENCHMARK(BM_Matmul256);
+
+void
+BM_Conv2d(benchmark::State &state)
+{
+    const Tensor x = randomTensor({1, 16, 32, 32}, 3);
+    const Tensor w = randomTensor({32, 16, 3, 3}, 4);
+    const Tensor b = randomTensor({32}, 5);
+    for (auto _ : state) {
+        Tensor y = conv2d(x, w, b, 1, 1);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Conv2d);
+
+void
+BM_Im2col(benchmark::State &state)
+{
+    const Tensor img = randomTensor({16, 64, 64}, 6);
+    for (auto _ : state) {
+        Tensor cols = im2col(img, 3, 3, 1, 1);
+        benchmark::DoNotOptimize(cols.data());
+    }
+}
+BENCHMARK(BM_Im2col);
+
+void
+BM_ScmMacChain16(benchmark::State &state)
+{
+    CircuitConfig cfg;
+    AnalogChain chain = AnalogChain::nominal(cfg);
+    chain.adc.configure(QBits(3.0), 0.3);
+    Rng rng(7);
+    std::vector<double> pixels(16);
+    std::vector<ScmWeight> weights(16);
+    for (int i = 0; i < 16; ++i) {
+        pixels[static_cast<std::size_t>(i)] = rng.uniform(0.4, 1.4);
+        weights[static_cast<std::size_t>(i)] =
+            ScmWeight{rng.uniformInt(0, 15), rng.uniform() < 0.5};
+    }
+    for (auto _ : state) {
+        const int code = chain.encode(pixels, weights, true, nullptr);
+        benchmark::DoNotOptimize(code);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ScmMacChain16);
+
+void
+BM_ChipFrameEncode64(benchmark::State &state)
+{
+    ChipConfig cfg;
+    cfg.rgbHeight = 64;
+    cfg.rgbWidth = 64;
+    cfg.monteCarlo = false;
+    LecaSensorChip chip(cfg);
+    Tensor w = randomTensor({4, 3, 2, 2}, 8);
+    chip.loadKernels(flattenKernels(w, 1.0f));
+    const Tensor scene = randomTensor({3, 64, 64}, 9);
+    Tensor clipped = scene;
+    for (std::size_t i = 0; i < clipped.numel(); ++i)
+        clipped[i] = 0.5f + 0.4f * clipped[i];
+    Rng rng(1);
+    for (auto _ : state) {
+        Tensor codes = chip.encodeFrame(clipped, PeMode::Ideal, rng,
+                                        false);
+        benchmark::DoNotOptimize(codes.data());
+    }
+}
+BENCHMARK(BM_ChipFrameEncode64);
+
+void
+BM_CsBlockReconstruction(benchmark::State &state)
+{
+    CompressiveSensing cs(4);
+    Rng rng(10);
+    float block[64];
+    for (auto &v : block)
+        v = static_cast<float>(rng.uniform());
+    const auto y = cs.measureBlock(block);
+    float recon[64];
+    for (auto _ : state) {
+        cs.reconstructBlock(y, recon);
+        benchmark::DoNotOptimize(recon);
+    }
+}
+BENCHMARK(BM_CsBlockReconstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Table 1: qualitative comparison of image compression
+ * method classes, generated from the implemented methods' metadata.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "compression/agt.hh"
+#include "compression/compressive_sensing.hh"
+#include "compression/jpeg.hh"
+#include "compression/learned_codec.hh"
+#include "compression/microshift.hh"
+#include "compression/simple_methods.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace leca;
+
+std::string
+domainName(EncodingDomain domain)
+{
+    switch (domain) {
+      case EncodingDomain::Analog:
+        return "Analog";
+      case EncodingDomain::Digital:
+        return "Digital";
+      case EncodingDomain::Mixed:
+        return "Mixed";
+    }
+    return "?";
+}
+
+std::string
+objectiveName(Objective objective)
+{
+    return objective == Objective::TaskSpecific ? "Task Specific"
+                                                : "Task Agnostic";
+}
+
+void
+addMethodRow(Table &table, const std::string &category,
+             CompressionMethod &method)
+{
+    table.addRow({category, method.name(), domainName(method.domain()),
+                  objectiveName(method.objective()),
+                  method.qualityMetric(), method.hardwareOverhead()});
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace leca;
+    printBanner(std::cout, "Table 1: Comparison of Image Compression "
+                           "Methods");
+
+    Table table({"category", "method", "encoding domain",
+                 "objective function", "quality metric",
+                 "hardware overhead"});
+
+    JpegCodec jpeg(50);
+    addMethodRow(table, "Standard [70,77,78]", jpeg);
+    LearnedCodec learned(12);
+    addMethodRow(table, "Learned [1,13,59,89]", learned);
+    Microshift ms(2);
+    addMethodRow(table, "Heuristic Acquisition [38,83,87]", ms);
+    AccumGradientThreshold agt;
+    addMethodRow(table, "Heuristic Acquisition [38,83,87]", agt);
+    CompressiveSensing cs(4);
+    addMethodRow(table, "Compressive Sensing [63]", cs);
+
+    // LeCA's row comes from the core configuration rather than the
+    // baseline interface: analog encoding, task-specific objective,
+    // evaluated by downstream accuracy, low overhead (Sec. 6.3: <5 %).
+    table.addRow({"Ours - LeCA", "LeCA", "Analog", "Task Specific",
+                  "Accuracy", "Low"});
+    table.print(std::cout);
+
+    std::cout << "\nLeCA is the only analog, task-specific, "
+                 "accuracy-evaluated entry — matching the paper's "
+                 "Table 1.\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "adc.hh"
+
+namespace leca {
+
+VariableResolutionAdc::VariableResolutionAdc(const CircuitConfig &config)
+    : _config(config)
+{
+}
+
+VariableResolutionAdc::VariableResolutionAdc(const CircuitConfig &config,
+                                             Rng &mc_rng)
+    : _config(config),
+      _offset(mc_rng.gaussian(0.0, config.adcOffsetSigma))
+{
+}
+
+void
+VariableResolutionAdc::configure(QBits qbits, double full_scale)
+{
+    _qbits = qbits;
+    _fullScale = full_scale;
+}
+
+int
+VariableResolutionAdc::convert(double v_diff, Rng *noise_rng) const
+{
+    double v = v_diff;
+    if (!_calibrated)
+        v += _offset;
+    if (noise_rng)
+        v += noise_rng->gaussian(0.0, _config.adcNoiseSigma);
+    return quantizeCode(static_cast<float>(v),
+                        static_cast<float>(-_fullScale),
+                        static_cast<float>(_fullScale), levels());
+}
+
+double
+VariableResolutionAdc::dequantize(int code) const
+{
+    return dequantizeCode(code, static_cast<float>(-_fullScale),
+                          static_cast<float>(_fullScale), levels());
+}
+
+} // namespace leca

@@ -1,0 +1,51 @@
+#include "buffers.hh"
+
+namespace leca {
+
+SourceFollower::SourceFollower(const BufferParams &params, Rng &mc_rng)
+    : _params(params),
+      _gainDelta(mc_rng.gaussian(0.0, params.gainMismatchSigma)),
+      _offsetDelta(mc_rng.gaussian(0.0, params.offsetMismatchSigma))
+{
+}
+
+SourceFollower::SourceFollower(const BufferParams &params) : _params(params)
+{
+}
+
+double
+SourceFollower::transfer(double vin) const
+{
+    const double d = vin - _params.center;
+    return (_params.gain + _gainDelta) * vin + _params.offset
+           + _offsetDelta + _params.cubic * d * d * d;
+}
+
+double
+SourceFollower::transferNoisy(double vin, Rng &noise_rng) const
+{
+    return transfer(vin) + noise_rng.gaussian(0.0, _params.noiseSigma);
+}
+
+double
+SourceFollower::linearModel(double vin) const
+{
+    return _params.gain * vin + _params.offset;
+}
+
+double
+SourceFollower::derivative(double vin) const
+{
+    const double d = vin - _params.center;
+    return _params.gain + _gainDelta + 3.0 * _params.cubic * d * d;
+}
+
+Lut1d
+tabulateTransfer(const SourceFollower &buffer, double lo, double hi,
+                 int samples)
+{
+    return Lut1d(lo, hi, samples,
+                 [&buffer](double v) { return buffer.transfer(v); });
+}
+
+} // namespace leca

@@ -1,0 +1,65 @@
+#include "chain.hh"
+
+#include "util/logging.hh"
+
+namespace leca {
+
+AnalogChain
+AnalogChain::nominal(const CircuitConfig &config)
+{
+    return AnalogChain{SourceFollower(config.psf), ScMultiplier(config),
+                       SourceFollower(config.fvf),
+                       VariableResolutionAdc(config), config};
+}
+
+AnalogChain
+AnalogChain::sample(const CircuitConfig &config, Rng &mc_rng)
+{
+    return AnalogChain{SourceFollower(config.psf, mc_rng),
+                       ScMultiplier(config, mc_rng),
+                       SourceFollower(config.fvf, mc_rng),
+                       VariableResolutionAdc(config, mc_rng), config};
+}
+
+double
+AnalogChain::analogOutput(const std::vector<double> &v_pixels,
+                          const std::vector<ScmWeight> &weights, bool ideal,
+                          Rng *noise_rng) const
+{
+    LECA_ASSERT(v_pixels.size() == weights.size(), "chain input mismatch");
+    std::vector<double> v_in(v_pixels.size());
+    for (std::size_t i = 0; i < v_pixels.size(); ++i) {
+        if (ideal) {
+            v_in[i] = psf.linearModel(v_pixels[i]);
+        } else if (noise_rng) {
+            v_in[i] = psf.transferNoisy(v_pixels[i], *noise_rng);
+        } else {
+            v_in[i] = psf.transfer(v_pixels[i]);
+        }
+    }
+    const DiffBuffer buffer =
+        scm.runSequence(v_in, weights, ideal, ideal ? nullptr : noise_rng);
+    double plus = buffer.vPlus, minus = buffer.vMinus;
+    if (ideal) {
+        plus = fvf.linearModel(plus);
+        minus = fvf.linearModel(minus);
+    } else if (noise_rng) {
+        plus = fvf.transferNoisy(plus, *noise_rng);
+        minus = fvf.transferNoisy(minus, *noise_rng);
+    } else {
+        plus = fvf.transfer(plus);
+        minus = fvf.transfer(minus);
+    }
+    return plus - minus;
+}
+
+int
+AnalogChain::encode(const std::vector<double> &v_pixels,
+                    const std::vector<ScmWeight> &weights, bool ideal,
+                    Rng *noise_rng) const
+{
+    const double diff = analogOutput(v_pixels, weights, ideal, noise_rng);
+    return adc.convert(diff, ideal ? nullptr : noise_rng);
+}
+
+} // namespace leca

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A complete analog signal chain instance — PSF buffer, switched-
+ * capacitor multiplier, FVF buffer, and variable-resolution ADC — as it
+ * exists inside one PE column (Fig. 7). Sampling a chain from a
+ * Monte-Carlo stream models one fabricated die.
+ */
+
+#ifndef LECA_ANALOG_CHAIN_HH
+#define LECA_ANALOG_CHAIN_HH
+
+#include "analog/adc.hh"
+#include "analog/buffers.hh"
+#include "analog/circuit_config.hh"
+#include "analog/scm.hh"
+
+namespace leca {
+
+/** One PE's analog devices. */
+struct AnalogChain
+{
+    SourceFollower psf;
+    ScMultiplier scm;
+    SourceFollower fvf;
+    VariableResolutionAdc adc;
+    CircuitConfig config;
+
+    /** Nominal chain: the analytical model used by hard training. */
+    static AnalogChain nominal(const CircuitConfig &config);
+
+    /** Chain with Monte-Carlo sampled mismatch on every stage. */
+    static AnalogChain sample(const CircuitConfig &config, Rng &mc_rng);
+
+    /**
+     * Run a complete encode of one MAC sequence: PSF-buffer each input,
+     * run the SCM sequence on the differential o-buffers, FVF-buffer
+     * both rails, and convert with the ADC.
+     *
+     * @param ideal      use nominal analytic models without noise
+     * @param noise_rng  per-sample noise source (ignored when ideal)
+     * @return ADC output code
+     */
+    int encode(const std::vector<double> &v_pixels,
+               const std::vector<ScmWeight> &weights, bool ideal,
+               Rng *noise_rng) const;
+
+    /** Differential o-buffer voltage before ADC (for Fig. 8 analysis). */
+    double analogOutput(const std::vector<double> &v_pixels,
+                        const std::vector<ScmWeight> &weights, bool ideal,
+                        Rng *noise_rng) const;
+};
+
+} // namespace leca
+
+#endif // LECA_ANALOG_CHAIN_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Electrical constants of the LeCA analog processing element
+ * (Sec. 4.3): the switched-capacitor multiplier geometry, common-mode
+ * voltage, buffer transfer-function parameters, and the magnitude of
+ * every modelled non-ideality. Nominal values reproduce the paper where
+ * stated (C_sample,tot = C_out = 135 fF, +/-4-bit weights, V_CM);
+ * non-ideality magnitudes are chosen so the full signal chain deviates
+ * from the ideal analytical model by <= 1 LSB at 4-bit resolution,
+ * matching Fig. 8(b).
+ */
+
+#ifndef LECA_ANALOG_CIRCUIT_CONFIG_HH
+#define LECA_ANALOG_CIRCUIT_CONFIG_HH
+
+namespace leca {
+
+/** First-order behavioural parameters of a source-follower buffer. */
+struct BufferParams
+{
+    double gain = 1.0;        //!< linear gain (slightly < 1)
+    double offset = 0.0;      //!< output offset (V)
+    double cubic = 0.0;       //!< cubic nonlinearity coefficient
+    double center = 0.9;      //!< nonlinearity expansion point (V)
+    double gainMismatchSigma = 0.0;   //!< per-instance gain sigma
+    double offsetMismatchSigma = 0.0; //!< per-instance offset sigma (V)
+    double noiseSigma = 0.0;  //!< per-sample thermal noise sigma (V)
+};
+
+/** Complete analog PE configuration. */
+struct CircuitConfig
+{
+    // Switched-capacitor multiplier (Sec. 4.3).
+    double vCm = 0.9;            //!< common-mode voltage (V)
+    double cSampleTotFf = 135.0; //!< total sampling capacitance (fF)
+    double cOutFf = 135.0;       //!< o-buffer capacitance (ratio = 1)
+    int weightMagBits = 4;       //!< magnitude bits of the cap DAC
+    double chargeTransferEta = 0.988; //!< incomplete-transfer fraction
+    double injectionOffsetV = 0.0008; //!< charge-injection per step (V)
+    double capMismatchSigma = 0.004;  //!< relative unit-cap mismatch
+    double scmNoiseSigma = 0.0015;    //!< kT/C + clock noise per step (V)
+
+    // PMOS source follower driving the SCM input (Fig. 7).
+    BufferParams psf{0.985, -0.012, 0.03, 0.9, 0.003, 0.002, 0.003};
+
+    // Flipped voltage follower driving the SAR ADC.
+    BufferParams fvf{0.990, -0.008, 0.02, 0.9, 0.002, 0.0015, 0.003};
+
+    // ADC (Sec. 4.3, variable resolution 1.5..8 bit).
+    double adcOffsetSigma = 0.0020;  //!< comparator offset sigma (V)
+    double adcNoiseSigma = 0.0020;   //!< conversion noise sigma (V)
+
+    /** Number of cap-DAC steps (codes 0..steps). */
+    int dacSteps() const { return (1 << weightMagBits) - 1; }
+
+    /** Capacitance of one DAC step (fF). */
+    double unitCapFf() const { return cSampleTotFf / dacSteps(); }
+};
+
+} // namespace leca
+
+#endif // LECA_ANALOG_CIRCUIT_CONFIG_HH

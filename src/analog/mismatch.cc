@@ -1,0 +1,120 @@
+#include "mismatch.hh"
+
+#include <cmath>
+
+#include "analog/buffers.hh"
+#include "analog/scm.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+namespace {
+
+/** Aggregate mean/sigma of many buffer instances over a voltage grid. */
+StageModel
+extractStage(const BufferParams &params, double lo, double hi, int grid,
+             int samples, double per_sample_noise, Rng &mc_rng)
+{
+    std::vector<SourceFollower> instances;
+    instances.reserve(static_cast<std::size_t>(samples));
+    for (int s = 0; s < samples; ++s)
+        instances.emplace_back(params, mc_rng);
+
+    std::vector<double> means(static_cast<std::size_t>(grid));
+    std::vector<double> sigmas(static_cast<std::size_t>(grid));
+    for (int g = 0; g < grid; ++g) {
+        const double v = lo + (hi - lo) * g / (grid - 1);
+        double sum = 0.0, sq = 0.0;
+        for (const auto &inst : instances) {
+            const double y = inst.transfer(v);
+            sum += y;
+            sq += y * y;
+        }
+        const double m = sum / samples;
+        const double var = std::max(0.0, sq / samples - m * m);
+        means[static_cast<std::size_t>(g)] = m;
+        // Mismatch spread combines with per-sample thermal noise.
+        sigmas[static_cast<std::size_t>(g)] = std::sqrt(
+            var + per_sample_noise * per_sample_noise);
+    }
+    return StageModel{Lut1d(lo, hi, std::move(means)),
+                      Lut1d(lo, hi, std::move(sigmas))};
+}
+
+} // namespace
+
+AnalogNoiseModel
+extractNoiseModel(const CircuitConfig &config, int samples, Rng &mc_rng)
+{
+    LECA_ASSERT(samples >= 2, "need at least 2 Monte-Carlo samples");
+    AnalogNoiseModel model;
+
+    // Buffer stages over their realistic operating ranges.
+    model.psf = extractStage(config.psf, 0.3, 1.5, 64, samples,
+                             config.psf.noiseSigma, mc_rng);
+    model.fvf = extractStage(config.fvf, 0.3, 1.5, 64, samples,
+                             config.fvf.noiseSigma, mc_rng);
+
+    // SCM per-code step error vs the ideal analytic model, averaged
+    // over a grid of (v_prev, v_in) operating points.
+    const int steps = config.dacSteps();
+    model.scm.epsMean.assign(static_cast<std::size_t>(steps) + 1, 0.0);
+    model.scm.epsSigma.assign(static_cast<std::size_t>(steps) + 1, 0.0);
+
+    std::vector<ScMultiplier> scms;
+    scms.reserve(static_cast<std::size_t>(samples));
+    for (int s = 0; s < samples; ++s)
+        scms.emplace_back(config, mc_rng);
+
+    const int op_grid = 8;
+    for (int code = 1; code <= steps; ++code) {
+        double sum = 0.0, sq = 0.0;
+        int count = 0;
+        for (int a = 0; a < op_grid; ++a) {
+            const double v_prev = 0.5 + 0.8 * a / (op_grid - 1);
+            for (int b = 0; b < op_grid; ++b) {
+                const double v_in = 0.4 + 1.0 * b / (op_grid - 1);
+                const double ideal = ScMultiplier::idealStep(
+                    config, v_prev, v_in,
+                    config.unitCapFf() * code);
+                for (const auto &scm : scms) {
+                    const double err =
+                        ideal - scm.step(v_prev, v_in, code, nullptr);
+                    sum += err;
+                    sq += err * err;
+                    ++count;
+                }
+            }
+        }
+        const double m = sum / count;
+        const double var = std::max(0.0, sq / count - m * m);
+        model.scm.epsMean[static_cast<std::size_t>(code)] = m;
+        model.scm.epsSigma[static_cast<std::size_t>(code)] = std::sqrt(
+            var + config.scmNoiseSigma * config.scmNoiseSigma);
+    }
+
+    // Fine-grained eps(V_in, code) surface averaged over the
+    // population and over v_prev operating points.
+    model.scm.epsSurface = Lut2d(
+        0.4, 1.4, 21, 1.0, static_cast<double>(steps), steps,
+        [&](double v_in, double code_real) {
+            const int code = static_cast<int>(std::lround(code_real));
+            double sum = 0.0;
+            int count = 0;
+            for (int a = 0; a < op_grid; ++a) {
+                const double v_prev = 0.5 + 0.8 * a / (op_grid - 1);
+                const double ideal = ScMultiplier::idealStep(
+                    config, v_prev, v_in, config.unitCapFf() * code);
+                for (const auto &scm : scms) {
+                    sum += ideal - scm.step(v_prev, v_in, code, nullptr);
+                    ++count;
+                }
+            }
+            return sum / count;
+        });
+
+    model.adcOffsetSigma = config.adcOffsetSigma;
+    return model;
+}
+
+} // namespace leca

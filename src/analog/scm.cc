@@ -1,0 +1,89 @@
+#include "scm.hh"
+
+#include "util/logging.hh"
+
+namespace leca {
+
+ScMultiplier::ScMultiplier(const CircuitConfig &config) : _config(config)
+{
+    _capDeltas.assign(static_cast<std::size_t>(config.dacSteps()), 0.0);
+}
+
+ScMultiplier::ScMultiplier(const CircuitConfig &config, Rng &mc_rng)
+    : _config(config)
+{
+    _capDeltas.resize(static_cast<std::size_t>(config.dacSteps()));
+    for (double &d : _capDeltas)
+        d = mc_rng.gaussian(0.0, config.capMismatchSigma);
+}
+
+double
+ScMultiplier::idealCapFf(int magnitude) const
+{
+    LECA_ASSERT(magnitude >= 0 && magnitude <= _config.dacSteps(),
+                "cap code ", magnitude, " out of range");
+    return _config.unitCapFf() * magnitude;
+}
+
+double
+ScMultiplier::capFf(int magnitude) const
+{
+    LECA_ASSERT(magnitude >= 0 && magnitude <= _config.dacSteps(),
+                "cap code ", magnitude, " out of range");
+    // Thermometer-coded DAC: unit caps 0..magnitude-1 are connected.
+    double cap = 0.0;
+    for (int u = 0; u < magnitude; ++u)
+        cap += _config.unitCapFf()
+               * (1.0 + _capDeltas[static_cast<std::size_t>(u)]);
+    return cap;
+}
+
+double
+ScMultiplier::idealStep(const CircuitConfig &config, double v_prev,
+                        double v_in, double cs_ff)
+{
+    if (cs_ff <= 0.0)
+        return v_prev;
+    return (cs_ff * (2.0 * config.vCm - v_in) + config.cOutFf * v_prev)
+           / (config.cOutFf + cs_ff);
+}
+
+double
+ScMultiplier::step(double v_prev, double v_in, int magnitude,
+                   Rng *noise_rng) const
+{
+    if (magnitude == 0)
+        return v_prev;
+    // Incomplete transfer reduces the effective sampling capacitance.
+    const double cs_eff = capFf(magnitude) * _config.chargeTransferEta;
+    double v = idealStep(_config, v_prev, v_in, cs_eff);
+    v += _config.injectionOffsetV;
+    if (noise_rng)
+        v += noise_rng->gaussian(0.0, _config.scmNoiseSigma);
+    return v;
+}
+
+DiffBuffer
+ScMultiplier::runSequence(const std::vector<double> &v_in,
+                          const std::vector<ScmWeight> &weights, bool ideal,
+                          Rng *noise_rng) const
+{
+    LECA_ASSERT(v_in.size() == weights.size(),
+                "MAC sequence length mismatch");
+    DiffBuffer buffer(_config.vCm);
+    for (std::size_t i = 0; i < v_in.size(); ++i) {
+        const ScmWeight &w = weights[i];
+        if (w.magnitude == 0)
+            continue;
+        double &target = w.negative ? buffer.vMinus : buffer.vPlus;
+        if (ideal) {
+            target = idealStep(_config, target, v_in[i],
+                               idealCapFf(w.magnitude));
+        } else {
+            target = step(target, v_in[i], w.magnitude, noise_rng);
+        }
+    }
+    return buffer;
+}
+
+} // namespace leca

@@ -1,0 +1,92 @@
+#include "agt.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/quantize.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+AccumGradientThreshold::AccumGradientThreshold(float threshold)
+    : _threshold(threshold)
+{
+}
+
+int
+AccumGradientThreshold::processRow(const float *src, float *dst,
+                                   int width) const
+{
+    // First pixel is always kept (8-bit quantized).
+    std::vector<int> kept;
+    kept.push_back(0);
+    float last_kept = quantizeUniform(src[0], 0.0f, 1.0f, 256);
+    float acc = 0.0f;
+    for (int x = 1; x < width; ++x) {
+        acc += std::abs(src[x] - src[x - 1]);
+        if (acc >= _threshold || x == width - 1) {
+            kept.push_back(x);
+            acc = 0.0f;
+        }
+    }
+    // Linear interpolation between kept samples.
+    float prev_v = last_kept;
+    int prev_x = 0;
+    dst[0] = prev_v;
+    for (std::size_t k = 1; k < kept.size(); ++k) {
+        const int x = kept[k];
+        const float v = quantizeUniform(src[x], 0.0f, 1.0f, 256);
+        for (int i = prev_x + 1; i <= x; ++i) {
+            const float t = static_cast<float>(i - prev_x)
+                            / static_cast<float>(x - prev_x);
+            dst[i] = prev_v + t * (v - prev_v);
+        }
+        prev_v = v;
+        prev_x = x;
+    }
+    return static_cast<int>(kept.size());
+}
+
+Tensor
+AccumGradientThreshold::process(const Tensor &batch)
+{
+    LECA_ASSERT(batch.dim() == 4, "AGT expects [N,C,H,W]");
+    const int n = batch.size(0), c = batch.size(1);
+    const int h = batch.size(2), w = batch.size(3);
+    Tensor out(batch.shape());
+    std::int64_t kept = 0, total = 0;
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch)
+            for (int y = 0; y < h; ++y) {
+                const float *src =
+                    batch.data()
+                    + ((static_cast<std::size_t>(i) * c + ch) * h + y) * w;
+                float *dst =
+                    out.data()
+                    + ((static_cast<std::size_t>(i) * c + ch) * h + y) * w;
+                kept += processRow(src, dst, w);
+                total += w;
+            }
+    _lastKept = static_cast<double>(kept) / static_cast<double>(total);
+    _lastRatio = 1.0 / std::max(1e-9, _lastKept);
+    return out;
+}
+
+void
+AccumGradientThreshold::calibrate(const Tensor &calibration,
+                                  double target_ratio)
+{
+    float lo = 0.0f, hi = 2.0f;
+    for (int iter = 0; iter < 18; ++iter) {
+        _threshold = 0.5f * (lo + hi);
+        process(calibration);
+        if (_lastRatio < target_ratio) {
+            lo = _threshold; // too many samples kept -> raise threshold
+        } else {
+            hi = _threshold;
+        }
+    }
+}
+
+} // namespace leca

@@ -1,0 +1,186 @@
+#include "compressive_sensing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/quantize.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+CompressiveSensing::CompressiveSensing(int ratio, std::uint64_t seed,
+                                       int ista_iters)
+    : _ratio(ratio), _m(64 / ratio), _istaIters(ista_iters)
+{
+    LECA_ASSERT(64 % ratio == 0, "CS ratio must divide 64");
+    Rng rng(seed);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(_m));
+    _phi.resize(static_cast<std::size_t>(_m) * 64);
+    for (auto &v : _phi)
+        v = rng.uniform() < 0.5 ? -scale : scale;
+
+    // Sensing matrix in the DCT coefficient domain: A = Phi * B where
+    // x = B s is the inverse 2-D DCT (B orthonormal).
+    std::vector<float> basis(64 * 64);
+    for (int p = 0; p < 64; ++p) {
+        const int y = p / 8, x = p % 8;
+        for (int k = 0; k < 64; ++k) {
+            const int u = k / 8, v = k % 8;
+            basis[static_cast<std::size_t>(p) * 64 + k] =
+                static_cast<float>(_dct.basis(u, y) * _dct.basis(v, x));
+        }
+    }
+    _a.assign(static_cast<std::size_t>(_m) * 64, 0.0f);
+    for (int i = 0; i < _m; ++i)
+        for (int k = 0; k < 64; ++k) {
+            float acc = 0.0f;
+            for (int p = 0; p < 64; ++p)
+                acc += _phi[static_cast<std::size_t>(i) * 64 + p]
+                       * basis[static_cast<std::size_t>(p) * 64 + k];
+            _a[static_cast<std::size_t>(i) * 64 + k] = acc;
+        }
+
+    // Step below 1/||A||^2; B is orthonormal so ||A|| = ||Phi|| with
+    // sigma_max(Phi) ~ (sqrt(64) + sqrt(m)) / sqrt(m).
+    const double smax = (8.0 + std::sqrt(static_cast<double>(_m)))
+                        / std::sqrt(static_cast<double>(_m));
+    _step = 0.9 / (smax * smax);
+    _lambda = 0.05;
+}
+
+std::vector<float>
+CompressiveSensing::measureBlock(const float *block) const
+{
+    std::vector<float> y(static_cast<std::size_t>(_m));
+    for (int i = 0; i < _m; ++i) {
+        float acc = 0.0f;
+        for (int p = 0; p < 64; ++p)
+            acc += _phi[static_cast<std::size_t>(i) * 64 + p] * block[p];
+        // 10-bit measurement quantization (CS needs high resolution).
+        y[static_cast<std::size_t>(i)] =
+            quantizeUniform(acc, -4.0f, 4.0f, 1024);
+    }
+    return y;
+}
+
+void
+CompressiveSensing::reconstructBlock(const std::vector<float> &y,
+                                     float *block) const
+{
+    // FISTA with lambda continuation: start with a strong sparsity
+    // prior and relax it, which speeds up the slowly-converging
+    // optimization the paper attributes to CS decoders (Sec. 2.2).
+    std::vector<float> s(64, 0.0f);     // DCT coefficients
+    std::vector<float> s_prev(64, 0.0f);
+    std::vector<float> z(64, 0.0f);     // momentum point
+    std::vector<float> residual(static_cast<std::size_t>(_m));
+    double t_momentum = 1.0;
+    for (int iter = 0; iter < _istaIters; ++iter) {
+        const double lambda_iter =
+            _lambda * (1.0 + 9.0 * (1.0 - static_cast<double>(iter)
+                                              / _istaIters));
+        // residual = y - A z
+        for (int i = 0; i < _m; ++i) {
+            float acc = 0.0f;
+            for (int k = 0; k < 64; ++k)
+                acc += _a[static_cast<std::size_t>(i) * 64 + k]
+                       * z[static_cast<std::size_t>(k)];
+            residual[static_cast<std::size_t>(i)] =
+                y[static_cast<std::size_t>(i)] - acc;
+        }
+        // s = soft(z + step * A^T residual).
+        for (int k = 0; k < 64; ++k) {
+            float grad = 0.0f;
+            for (int i = 0; i < _m; ++i)
+                grad += _a[static_cast<std::size_t>(i) * 64 + k]
+                        * residual[static_cast<std::size_t>(i)];
+            float v = z[static_cast<std::size_t>(k)]
+                      + static_cast<float>(_step) * grad;
+            const float thr =
+                static_cast<float>(_step * lambda_iter);
+            if (v > thr) {
+                v -= thr;
+            } else if (v < -thr) {
+                v += thr;
+            } else {
+                v = 0.0f;
+            }
+            s[static_cast<std::size_t>(k)] = v;
+        }
+        // FISTA momentum update.
+        const double t_next =
+            0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum));
+        const float beta = static_cast<float>(
+            (t_momentum - 1.0) / t_next);
+        for (int k = 0; k < 64; ++k) {
+            z[static_cast<std::size_t>(k)] =
+                s[static_cast<std::size_t>(k)]
+                + beta * (s[static_cast<std::size_t>(k)]
+                          - s_prev[static_cast<std::size_t>(k)]);
+        }
+        s_prev = s;
+        t_momentum = t_next;
+    }
+
+    // Debias: least-squares refit restricted to the recovered support
+    // (removes the soft-threshold shrinkage bias).
+    std::vector<bool> support(64, false);
+    for (int k = 0; k < 64; ++k)
+        support[static_cast<std::size_t>(k)] =
+            std::abs(s[static_cast<std::size_t>(k)]) > 1e-5f;
+    for (int iter = 0; iter < 60; ++iter) {
+        for (int i = 0; i < _m; ++i) {
+            float acc = 0.0f;
+            for (int k = 0; k < 64; ++k)
+                acc += _a[static_cast<std::size_t>(i) * 64 + k]
+                       * s[static_cast<std::size_t>(k)];
+            residual[static_cast<std::size_t>(i)] =
+                y[static_cast<std::size_t>(i)] - acc;
+        }
+        for (int k = 0; k < 64; ++k) {
+            if (!support[static_cast<std::size_t>(k)])
+                continue;
+            float grad = 0.0f;
+            for (int i = 0; i < _m; ++i)
+                grad += _a[static_cast<std::size_t>(i) * 64 + k]
+                        * residual[static_cast<std::size_t>(i)];
+            s[static_cast<std::size_t>(k)] +=
+                static_cast<float>(_step) * grad;
+        }
+    }
+
+    // x = B s via the inverse DCT.
+    _dct.inverse(s.data(), block);
+}
+
+Tensor
+CompressiveSensing::process(const Tensor &batch)
+{
+    LECA_ASSERT(batch.dim() == 4, "CS expects [N,C,H,W]");
+    const int n = batch.size(0), c = batch.size(1);
+    const int h = batch.size(2), w = batch.size(3);
+    LECA_ASSERT(h % 8 == 0 && w % 8 == 0, "CS needs 8x8-divisible frames");
+
+    Tensor out(batch.shape());
+    float block[64];
+    float recon[64];
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch)
+            for (int by = 0; by < h / 8; ++by)
+                for (int bx = 0; bx < w / 8; ++bx) {
+                    for (int y = 0; y < 8; ++y)
+                        for (int x = 0; x < 8; ++x)
+                            block[y * 8 + x] = batch.at(
+                                i, ch, by * 8 + y, bx * 8 + x);
+                    const auto y_meas = measureBlock(block);
+                    reconstructBlock(y_meas, recon);
+                    for (int y = 0; y < 8; ++y)
+                        for (int x = 0; x < 8; ++x)
+                            out.at(i, ch, by * 8 + y, bx * 8 + x) =
+                                std::clamp(recon[y * 8 + x], 0.0f, 1.0f);
+                }
+    return out;
+}
+
+} // namespace leca

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Block-based compressive sensing baseline (Sec. 5.1, after [63]):
+ * each 8x8 block is measured through a random +/-1 matrix; the image
+ * is reconstructed by iterative soft thresholding (ISTA) under a DCT
+ * sparsity prior — the slowly-converging optimization the paper calls
+ * out as CS's weakness for real-time vision (Sec. 2.2).
+ */
+
+#ifndef LECA_COMPRESSION_COMPRESSIVE_SENSING_HH
+#define LECA_COMPRESSION_COMPRESSIVE_SENSING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compression/dct.hh"
+#include "compression/method.hh"
+
+namespace leca {
+
+/** Compressive-sensing codec over non-overlapping 8x8 blocks. */
+class CompressiveSensing : public CompressionMethod
+{
+  public:
+    /**
+     * @param ratio       N/m measurement compression (4 in the paper)
+     * @param seed        random measurement matrix seed
+     * @param ista_iters  reconstruction iterations
+     */
+    explicit CompressiveSensing(int ratio = 4, std::uint64_t seed = 42,
+                                int ista_iters = 120);
+
+    std::string name() const override { return "CS"; }
+    double
+    compressionRatio() const override
+    {
+        return static_cast<double>(_ratio);
+    }
+    Tensor process(const Tensor &batch) override;
+    EncodingDomain domain() const override { return EncodingDomain::Analog; }
+    Objective objective() const override { return Objective::TaskAgnostic; }
+    std::string hardwareOverhead() const override { return "Low"; }
+
+    /** Measurements for one 8x8 block (exposed for tests). */
+    std::vector<float> measureBlock(const float *block) const;
+
+    /** ISTA reconstruction of one block from its measurements. */
+    void reconstructBlock(const std::vector<float> &y, float *block) const;
+
+    int measurementCount() const { return _m; }
+
+  private:
+    int _ratio;
+    int _m;         //!< measurements per 64-sample block
+    int _istaIters;
+    Dct8 _dct;
+    std::vector<float> _phi; //!< m x 64 random +/-1/sqrt(m)
+    std::vector<float> _a;   //!< m x 64 sensing-in-DCT-domain matrix
+    double _step;            //!< ISTA step size
+    double _lambda;          //!< soft threshold
+};
+
+} // namespace leca
+
+#endif // LECA_COMPRESSION_COMPRESSIVE_SENSING_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * 8x8 type-II DCT used by the JPEG codec and as the sparsifying basis
+ * of the compressive-sensing reconstruction.
+ */
+
+#ifndef LECA_COMPRESSION_DCT_HH
+#define LECA_COMPRESSION_DCT_HH
+
+#include <array>
+
+namespace leca {
+
+/** 8x8 block DCT helper (orthonormal type-II). */
+class Dct8
+{
+  public:
+    Dct8();
+
+    /** Forward DCT of a row-major 8x8 block. */
+    void forward(const float *block, float *coeffs) const;
+
+    /** Inverse DCT of a row-major 8x8 coefficient block. */
+    void inverse(const float *coeffs, float *block) const;
+
+    /** Basis matrix entry C[k][n] (transform row k, sample n). */
+    double basis(int k, int n) const { return _c[k][n]; }
+
+  private:
+    std::array<std::array<double, 8>, 8> _c;
+};
+
+} // namespace leca
+
+#endif // LECA_COMPRESSION_DCT_HH

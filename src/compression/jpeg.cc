@@ -1,0 +1,180 @@
+#include "jpeg.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+namespace {
+
+// Annex K luminance / chrominance quantization tables.
+constexpr int kLumaTable[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,
+    12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,
+    14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,
+    24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+};
+constexpr int kChromaTable[64] = {
+    17, 18, 24, 47, 99, 99, 99, 99,
+    18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+};
+
+/** Bit category of a value (JPEG "size" field). */
+int
+category(int v)
+{
+    int a = std::abs(v);
+    int bits = 0;
+    while (a) {
+        ++bits;
+        a >>= 1;
+    }
+    return bits;
+}
+
+void
+rgbToYcbcr(float r, float g, float b, float &y, float &cb, float &cr)
+{
+    y = 0.299f * r + 0.587f * g + 0.114f * b;
+    cb = -0.168736f * r - 0.331264f * g + 0.5f * b + 0.5f;
+    cr = 0.5f * r - 0.418688f * g - 0.081312f * b + 0.5f;
+}
+
+void
+ycbcrToRgb(float y, float cb, float cr, float &r, float &g, float &b)
+{
+    const float cb0 = cb - 0.5f, cr0 = cr - 0.5f;
+    r = y + 1.402f * cr0;
+    g = y - 0.344136f * cb0 - 0.714136f * cr0;
+    b = y + 1.772f * cb0;
+}
+
+} // namespace
+
+JpegCodec::JpegCodec(int quality) : _quality(quality)
+{
+    LECA_ASSERT(quality >= 1 && quality <= 100, "quality in [1,100]");
+}
+
+float
+JpegCodec::quantStep(int u, int v, bool chroma) const
+{
+    // Standard IJG quality scaling.
+    const int s = _quality < 50 ? 5000 / _quality : 200 - 2 * _quality;
+    const int base = chroma ? kChromaTable[u * 8 + v]
+                            : kLumaTable[u * 8 + v];
+    int step = (base * s + 50) / 100;
+    step = std::clamp(step, 1, 255);
+    // Tables assume 8-bit samples; our signal lives in [0,1].
+    return static_cast<float>(step) / 255.0f;
+}
+
+long
+JpegCodec::blockBits(const int *coeffs, int prev_dc)
+{
+    // DC: difference category + average Huffman prefix (~3 bits).
+    long bits = category(coeffs[0] - prev_dc) + 3;
+    // AC: per nonzero coefficient, magnitude bits + ~6-bit run/size
+    // prefix; one EOB symbol.
+    for (int i = 1; i < 64; ++i)
+        if (coeffs[i] != 0)
+            bits += category(coeffs[i]) + 6;
+    bits += 4; // EOB
+    return bits;
+}
+
+Tensor
+JpegCodec::process(const Tensor &batch)
+{
+    LECA_ASSERT(batch.dim() == 4 && batch.size(1) == 3,
+                "JPEG expects [N,3,H,W]");
+    const int n = batch.size(0), h = batch.size(2), w = batch.size(3);
+    LECA_ASSERT(h % 8 == 0 && w % 8 == 0, "JPEG needs 8x8 tiles");
+
+    Tensor out(batch.shape());
+    long total_bits = 0;
+
+    std::vector<float> planes(static_cast<std::size_t>(3) * h * w);
+    std::vector<float> recon_planes(planes.size());
+    float block[64], coeffs[64];
+    int quant[64];
+
+    for (int i = 0; i < n; ++i) {
+        // Colour transform.
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x) {
+                float yy, cb, cr;
+                rgbToYcbcr(batch.at(i, 0, y, x), batch.at(i, 1, y, x),
+                           batch.at(i, 2, y, x), yy, cb, cr);
+                planes[static_cast<std::size_t>(0) * h * w + y * w + x] = yy;
+                planes[static_cast<std::size_t>(1) * h * w + y * w + x] = cb;
+                planes[static_cast<std::size_t>(2) * h * w + y * w + x] = cr;
+            }
+        for (int pl = 0; pl < 3; ++pl) {
+            const bool chroma = pl > 0;
+            int prev_dc = 0;
+            for (int by = 0; by < h / 8; ++by)
+                for (int bx = 0; bx < w / 8; ++bx) {
+                    for (int y = 0; y < 8; ++y)
+                        for (int x = 0; x < 8; ++x)
+                            block[y * 8 + x] =
+                                planes[static_cast<std::size_t>(pl) * h * w
+                                       + (by * 8 + y) * w + bx * 8 + x]
+                                - 0.5f;
+                    _dct.forward(block, coeffs);
+                    for (int u = 0; u < 8; ++u)
+                        for (int v = 0; v < 8; ++v) {
+                            const float q = quantStep(u, v, chroma);
+                            quant[u * 8 + v] = static_cast<int>(
+                                std::lround(coeffs[u * 8 + v] / q));
+                        }
+                    total_bits += blockBits(quant, prev_dc);
+                    prev_dc = quant[0];
+                    for (int u = 0; u < 8; ++u)
+                        for (int v = 0; v < 8; ++v)
+                            coeffs[u * 8 + v] =
+                                static_cast<float>(quant[u * 8 + v])
+                                * quantStep(u, v, chroma);
+                    _dct.inverse(coeffs, block);
+                    for (int y = 0; y < 8; ++y)
+                        for (int x = 0; x < 8; ++x)
+                            recon_planes[static_cast<std::size_t>(pl) * h * w
+                                         + (by * 8 + y) * w + bx * 8 + x] =
+                                block[y * 8 + x] + 0.5f;
+                }
+        }
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x) {
+                float r, g, b;
+                ycbcrToRgb(
+                    recon_planes[static_cast<std::size_t>(0) * h * w
+                                 + y * w + x],
+                    recon_planes[static_cast<std::size_t>(1) * h * w
+                                 + y * w + x],
+                    recon_planes[static_cast<std::size_t>(2) * h * w
+                                 + y * w + x],
+                    r, g, b);
+                out.at(i, 0, y, x) = std::clamp(r, 0.0f, 1.0f);
+                out.at(i, 1, y, x) = std::clamp(g, 0.0f, 1.0f);
+                out.at(i, 2, y, x) = std::clamp(b, 0.0f, 1.0f);
+            }
+    }
+
+    const double raw_bits = static_cast<double>(n) * 3 * h * w * 8;
+    _lastRatio = raw_bits / static_cast<double>(std::max(1L, total_bits));
+    return out;
+}
+
+} // namespace leca

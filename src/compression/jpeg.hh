@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Baseline JPEG-style codec (Sec. 6.4 "Standard compression"):
+ * YCbCr transform, 8x8 DCT, standard quantization tables with quality
+ * scaling, an entropy-size model for the achieved compression ratio,
+ * and full decode for downstream evaluation.
+ */
+
+#ifndef LECA_COMPRESSION_JPEG_HH
+#define LECA_COMPRESSION_JPEG_HH
+
+#include "compression/dct.hh"
+#include "compression/method.hh"
+
+namespace leca {
+
+/** JPEG-style codec; quality in [1, 100]. */
+class JpegCodec : public CompressionMethod
+{
+  public:
+    explicit JpegCodec(int quality = 50);
+
+    std::string name() const override { return "JPEG"; }
+
+    /** Achieved ratio of the last process() call. */
+    double compressionRatio() const override { return _lastRatio; }
+
+    Tensor process(const Tensor &batch) override;
+    EncodingDomain domain() const override
+    {
+        return EncodingDomain::Digital;
+    }
+    Objective objective() const override { return Objective::TaskAgnostic; }
+    std::string hardwareOverhead() const override { return "High"; }
+
+    int quality() const { return _quality; }
+
+    /** Quantization step for coefficient (u,v) of the given plane. */
+    float quantStep(int u, int v, bool chroma) const;
+
+  private:
+    int _quality;
+    double _lastRatio = 1.0;
+    Dct8 _dct;
+
+    /** Entropy-model bit cost of one quantized coefficient block. */
+    static long blockBits(const int *coeffs, int prev_dc);
+};
+
+} // namespace leca
+
+#endif // LECA_COMPRESSION_JPEG_HH

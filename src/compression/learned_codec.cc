@@ -1,0 +1,131 @@
+#include "learned_codec.hh"
+
+#include <algorithm>
+
+#include "data/trainloop.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/conv_transpose.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+#include "nn/quantize.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+LearnedCodec::LearnedCodec(int latent_channels, std::uint64_t seed)
+    : _latentChannels(latent_channels),
+      _encoder(std::make_unique<Sequential>()),
+      _decoder(std::make_unique<Sequential>())
+{
+    LECA_ASSERT(latent_channels >= 1, "need at least one latent channel");
+    Rng rng(seed);
+    // Two-stage strided encoder (total stride 4) — already far more
+    // computation than a CIS column circuit could host.
+    _encoder->emplace<Conv2d>(3, 24, 3, 2, 1, true, rng);
+    _encoder->emplace<Relu>();
+    _encoder->emplace<Conv2d>(24, latent_channels, 3, 2, 1, true, rng);
+    _encoder->emplace<HardClamp>(-4.0f, 4.0f);
+
+    _decoder->emplace<ConvTranspose2d>(latent_channels, 32, 2, 2, true,
+                                       rng);
+    _decoder->emplace<Relu>();
+    _decoder->emplace<Conv2d>(32, 32, 3, 1, 1, true, rng);
+    _decoder->emplace<Relu>();
+    _decoder->emplace<ConvTranspose2d>(32, 24, 2, 2, true, rng);
+    _decoder->emplace<Relu>();
+    _decoder->emplace<Conv2d>(24, 3, 3, 1, 1, true, rng);
+}
+
+LearnedCodec::~LearnedCodec() = default;
+
+double
+LearnedCodec::compressionRatio() const
+{
+    // Input: 4x4x3 pixels at 8 bits per latent element; latent:
+    // latentChannels elements at 8 bits.
+    return 4.0 * 4.0 * 3.0 / static_cast<double>(_latentChannels);
+}
+
+Tensor
+LearnedCodec::encodeQuantized(const Tensor &batch, Mode mode)
+{
+    Tensor latent = _encoder->forward(batch, mode);
+    // 8-bit uniform quantization of the clamped latent.
+    for (std::size_t i = 0; i < latent.numel(); ++i)
+        latent[i] = quantizeUniform(latent[i], -4.0f, 4.0f, 256);
+    return latent;
+}
+
+Tensor
+LearnedCodec::process(const Tensor &batch)
+{
+    LECA_ASSERT(_trained,
+                "LearnedCodec::process before train() — the learned "
+                "baseline must be fitted first");
+    const Tensor latent = encodeQuantized(batch, Mode::Eval);
+    Tensor out = _decoder->forward(latent, Mode::Eval);
+    for (std::size_t i = 0; i < out.numel(); ++i)
+        out[i] = std::clamp(out[i], 0.0f, 1.0f);
+    return out;
+}
+
+void
+LearnedCodec::train(const Dataset &data, int epochs, double learning_rate,
+                    int batch_size)
+{
+    std::vector<Param *> params = _encoder->params();
+    for (Param *p : _decoder->params())
+        params.push_back(p);
+    Adam adam(params, learning_rate);
+    MseLoss loss;
+
+    const int n = data.count();
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        for (int begin = 0; begin < n; begin += batch_size) {
+            const int count = std::min(batch_size, n - begin);
+            const Dataset batch = sliceDataset(data, begin, count);
+            adam.zeroGrad();
+            // The 8-bit latent quantizer is benign enough to train
+            // straight through (256 levels).
+            const Tensor latent =
+                _encoder->forward(batch.images, Mode::Train);
+            const Tensor recon = _decoder->forward(latent, Mode::Train);
+            loss.forward(recon, batch.images);
+            const Tensor d_latent = _decoder->backward(loss.backward());
+            _encoder->backward(d_latent);
+            adam.step();
+        }
+    }
+    _trained = true;
+}
+
+Tensor
+LearnedCodec::processAtLatentLevels(const Tensor &batch, int levels)
+{
+    LECA_ASSERT(_trained, "processAtLatentLevels before train()");
+    Tensor latent = _encoder->forward(batch, Mode::Eval);
+    for (std::size_t i = 0; i < latent.numel(); ++i)
+        latent[i] = quantizeUniform(latent[i], -4.0f, 4.0f, levels);
+    Tensor out = _decoder->forward(latent, Mode::Eval);
+    for (std::size_t i = 0; i < out.numel(); ++i)
+        out[i] = std::clamp(out[i], 0.0f, 1.0f);
+    return out;
+}
+
+double
+LearnedCodec::reconstructionMse(const Dataset &data)
+{
+    LECA_ASSERT(_trained, "reconstructionMse before train()");
+    const Tensor recon = process(data.images);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < recon.numel(); ++i) {
+        const double d =
+            static_cast<double>(recon[i]) - data.images[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(recon.numel());
+}
+
+} // namespace leca

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Learned digital image codec — the "Learned [1,13,59,89]" row of
+ * Table 1: an autoencoder trained for reconstruction quality in the
+ * digital domain. Unlike LeCA it is task-agnostic (MSE objective),
+ * runs after full 8-bit digitization, and needs a multi-layer encoder
+ * network — exactly the contrast the paper draws (Sec. 7, "Learned
+ * compression": computation-intensive encoders infeasible inside a
+ * CIS).
+ */
+
+#ifndef LECA_COMPRESSION_LEARNED_CODEC_HH
+#define LECA_COMPRESSION_LEARNED_CODEC_HH
+
+#include <memory>
+
+#include "compression/method.hh"
+#include "data/dataset.hh"
+#include "nn/sequential.hh"
+
+namespace leca {
+
+/**
+ * Convolutional autoencoder codec: a strided encoder produces a
+ * latent feature map that is uniformly quantized to 8 bits, and a
+ * transposed-convolution decoder reconstructs the image. The
+ * compression ratio is input_bits / latent_bits = 48 / latentChannels
+ * for the 4x4-stride latent.
+ */
+class LearnedCodec : public CompressionMethod
+{
+  public:
+    /**
+     * @param latent_channels latent depth (12 -> CR 4, 8 -> CR 6,
+     *                        6 -> CR 8)
+     * @param seed            weight init seed
+     */
+    explicit LearnedCodec(int latent_channels = 12,
+                          std::uint64_t seed = 31);
+    ~LearnedCodec() override;
+
+    /** Train the autoencoder on @p images (MSE objective). */
+    void train(const Dataset &data, int epochs = 12,
+               double learning_rate = 2e-3, int batch_size = 32);
+
+    /** Mean squared reconstruction error on @p data. */
+    double reconstructionMse(const Dataset &data);
+
+    /**
+     * Decode with the latent re-quantized to @p levels instead of the
+     * nominal 256 — an evaluation hook for rate/distortion probing.
+     */
+    Tensor processAtLatentLevels(const Tensor &batch, int levels);
+
+    std::string name() const override { return "Learned"; }
+    double compressionRatio() const override;
+    Tensor process(const Tensor &batch) override;
+    EncodingDomain domain() const override
+    {
+        return EncodingDomain::Digital;
+    }
+    Objective objective() const override { return Objective::TaskAgnostic; }
+    std::string hardwareOverhead() const override { return "Medium"; }
+
+    bool trained() const { return _trained; }
+
+  private:
+    int _latentChannels;
+    std::unique_ptr<Sequential> _encoder;
+    std::unique_ptr<Sequential> _decoder;
+    bool _trained = false;
+
+    Tensor encodeQuantized(const Tensor &batch, Mode mode);
+};
+
+} // namespace leca
+
+#endif // LECA_COMPRESSION_LEARNED_CODEC_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Common interface of every image compression method evaluated in the
+ * paper (Sec. 5.1). A method consumes an RGB batch and returns the
+ * reconstruction a frozen downstream classifier would see; its
+ * compression ratio follows the paper's bit-accounting.
+ */
+
+#ifndef LECA_COMPRESSION_METHOD_HH
+#define LECA_COMPRESSION_METHOD_HH
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.hh"
+
+namespace leca {
+
+/** Where a method's encoder runs (Table 1). */
+enum class EncodingDomain { Analog, Digital, Mixed };
+
+/** What a method optimizes for (Table 1). */
+enum class Objective { TaskAgnostic, TaskSpecific };
+
+/** Abstract compression baseline. */
+class CompressionMethod
+{
+  public:
+    virtual ~CompressionMethod() = default;
+
+    /** Short display name (CNV, SD, LR, CS, MS, AGT, JPEG, LeCA). */
+    virtual std::string name() const = 0;
+
+    /** Nominal compression ratio of the current configuration. */
+    virtual double compressionRatio() const = 0;
+
+    /**
+     * Encode + decode a batch [N,3,H,W] in [0,1]; the result has the
+     * same shape and feeds the frozen downstream model.
+     */
+    virtual Tensor process(const Tensor &batch) = 0;
+
+    /** Table 1 metadata. */
+    virtual EncodingDomain domain() const = 0;
+    virtual Objective objective() const = 0;
+    virtual std::string qualityMetric() const { return "PSNR"; }
+    virtual std::string hardwareOverhead() const = 0;
+};
+
+using CompressionMethodPtr = std::unique_ptr<CompressionMethod>;
+
+} // namespace leca
+
+#endif // LECA_COMPRESSION_METHOD_HH

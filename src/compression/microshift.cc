@@ -1,0 +1,81 @@
+#include "microshift.hh"
+
+#include <algorithm>
+
+#include "nn/quantize.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+namespace {
+
+// Classic 4x4 ordered-dither index matrix; normalised it spreads the
+// shifts uniformly over one quantizer step.
+constexpr int kPattern[4][4] = {
+    {0, 8, 2, 10},
+    {12, 4, 14, 6},
+    {3, 11, 1, 9},
+    {15, 7, 13, 5},
+};
+
+} // namespace
+
+Microshift::Microshift(int bits) : _bits(bits), _levels(1 << bits)
+{
+    LECA_ASSERT(bits >= 1 && bits <= 4, "Microshift expects 1..4 bits");
+}
+
+float
+Microshift::shiftAt(int y, int x) const
+{
+    // Centered fraction in (-0.5, 0.5) of one quantizer step.
+    return (static_cast<float>(kPattern[y & 3][x & 3]) + 0.5f) / 16.0f
+           - 0.5f;
+}
+
+Tensor
+Microshift::process(const Tensor &batch)
+{
+    LECA_ASSERT(batch.dim() == 4, "MS expects [N,C,H,W]");
+    const int n = batch.size(0), c = batch.size(1);
+    const int h = batch.size(2), w = batch.size(3);
+    const float step = 1.0f / static_cast<float>(_levels - 1);
+
+    Tensor dequant(batch.shape());
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch)
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x) {
+                    const float shift = shiftAt(y, x) * step;
+                    const float q = quantizeUniform(
+                        batch.at(i, ch, y, x) + shift, 0.0f, 1.0f,
+                        _levels);
+                    dequant.at(i, ch, y, x) =
+                        std::clamp(q - shift, 0.0f, 1.0f);
+                }
+
+    // Decoder smoothing: neighbouring pixels carry different shifts, so
+    // a local average recovers intermediate intensities.
+    Tensor out(batch.shape());
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch)
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x) {
+                    float acc = 0.0f;
+                    int count = 0;
+                    for (int dy = -1; dy <= 1; ++dy)
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            const int yy = y + dy, xx = x + dx;
+                            if (yy < 0 || yy >= h || xx < 0 || xx >= w)
+                                continue;
+                            acc += dequant.at(i, ch, yy, xx);
+                            ++count;
+                        }
+                    const float smooth = acc / static_cast<float>(count);
+                    out.at(i, ch, y, x) =
+                        0.5f * dequant.at(i, ch, y, x) + 0.5f * smooth;
+                }
+    return out;
+}
+
+} // namespace leca

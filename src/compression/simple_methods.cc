@@ -1,0 +1,47 @@
+#include "simple_methods.hh"
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+Tensor
+ConventionalSensor::process(const Tensor &batch)
+{
+    return quantizeTensor(batch, 0.0f, 1.0f, 256);
+}
+
+Tensor
+SpatialDownsample::process(const Tensor &batch)
+{
+    LECA_ASSERT(batch.dim() == 4, "SD expects [N,C,H,W]");
+    const int n = batch.size(0), c = batch.size(1);
+    const int h = batch.size(2), w = batch.size(3);
+    const int oh = h / _kh, ow = w / _kw;
+    LECA_ASSERT(oh > 0 && ow > 0, "SD kernel larger than image");
+
+    Tensor pooled({n, c, oh, ow});
+    const float inv = 1.0f / static_cast<float>(_kh * _kw);
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch)
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    float acc = 0.0f;
+                    for (int ky = 0; ky < _kh; ++ky)
+                        for (int kx = 0; kx < _kw; ++kx)
+                            acc += batch.at(i, ch, oy * _kh + ky,
+                                            ox * _kw + kx);
+                    pooled.at(i, ch, oy, ox) = acc * inv;
+                }
+    // 8-bit quantization of the pooled samples, then upsampling.
+    pooled = quantizeTensor(pooled, 0.0f, 1.0f, 256);
+    return bilinearResize(pooled, h, w);
+}
+
+Tensor
+LowResQuantizer::process(const Tensor &batch)
+{
+    return quantizeTensor(batch, 0.0f, 1.0f, _qbits.levels());
+}
+
+} // namespace leca

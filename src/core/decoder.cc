@@ -1,0 +1,53 @@
+#include "decoder.hh"
+
+#include "nn/activation.hh"
+#include "nn/batchnorm.hh"
+#include "nn/conv.hh"
+#include "nn/conv_transpose.hh"
+
+namespace leca {
+
+LecaDecoder::LecaDecoder(const LecaConfig &config, Rng &init_rng)
+{
+    const int c = config.inChannels;
+    const int f = config.decoderFilters;
+    const int kd = config.decoderKernel;
+    const int pad = kd / 2;
+
+    // Upsample the ofmap back to the image extent (Table 2, row 1).
+    _net.emplace<ConvTranspose2d>(config.nch, c, config.kernel,
+                                  config.kernel, true, init_rng);
+    // M DnCNN-style denoising blocks (Table 2, row 2).
+    for (int m = 0; m < config.decoderDncnnLayers; ++m) {
+        _net.emplace<Conv2d>(c, c, kd, 1, pad, true, init_rng);
+        _net.emplace<Relu>();
+    }
+    // Filtered head (Table 2, rows 3-4).
+    _net.emplace<Conv2d>(c, f, kd, 1, pad, false, init_rng);
+    _net.emplace<BatchNorm2d>(f);
+    _net.emplace<Relu>();
+    _net.emplace<Conv2d>(f, c, kd, 1, pad, true, init_rng);
+}
+
+Tensor
+LecaDecoder::forward(const Tensor &x, Mode mode)
+{
+    return _net.forward(x, mode);
+}
+
+Tensor
+LecaDecoder::backward(const Tensor &grad_out)
+{
+    return _net.backward(grad_out);
+}
+
+std::size_t
+LecaDecoder::parameterCount()
+{
+    std::size_t count = 0;
+    for (Param *p : params())
+        count += p->value.numel();
+    return count;
+}
+
+} // namespace leca

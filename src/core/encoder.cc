@@ -1,0 +1,399 @@
+#include "encoder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analog/buffers.hh"
+#include "analog/scm.hh"
+#include "nn/init.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+LecaEncoder::LecaEncoder(const LecaConfig &config,
+                         const CircuitConfig &circuit,
+                         const SensorConfig &sensor, Rng &init_rng)
+    : _config(config), _circuit(circuit), _sensor(sensor),
+      _weight(Tensor({config.nch, config.inChannels, config.kernel,
+                      config.kernel})),
+      _outScale(Tensor({1}))
+{
+    kaimingInit(_weight.value,
+                config.inChannels * config.kernel * config.kernel,
+                init_rng);
+    _outScale.value[0] = 1.0f;
+}
+
+std::vector<Param *>
+LecaEncoder::params()
+{
+    return {&_weight, &_outScale};
+}
+
+void
+LecaEncoder::setModality(EncoderModality modality)
+{
+    if (modality != EncoderModality::Soft) {
+        LECA_ASSERT(_config.kernel == 2,
+                    "hardware modalities require K = 2 (Sec. 3.3)");
+    }
+    if (modality != _modality) {
+        // The output scale lives in different units per modality
+        // (conv units vs volts); re-seed it on a switch. This is the
+        // "no trivial mapping" of Sec. 6.2 made concrete.
+        _outScale.value[0] =
+            modality == EncoderModality::Soft ? 1.0f : 0.3f;
+    }
+    _modality = modality;
+}
+
+void
+LecaEncoder::setNoiseModel(AnalogNoiseModel model)
+{
+    _noiseModel = std::move(model);
+    _hasNoiseModel = true;
+}
+
+const std::array<LecaEncoder::Tap, 16> &
+LecaEncoder::rawTaps()
+{
+    // Raw-domain 4x4 block in row-major order; RGGB with duplicated
+    // green (Fig. 5(a)). Channel indices: 0 = R, 1 = G, 2 = B.
+    static const std::array<Tap, 16> taps = {{
+        {0, 0, 0, 1.0f}, {1, 0, 0, 0.5f}, {0, 0, 1, 1.0f}, {1, 0, 1, 0.5f},
+        {1, 0, 0, 0.5f}, {2, 0, 0, 1.0f}, {1, 0, 1, 0.5f}, {2, 0, 1, 1.0f},
+        {0, 1, 0, 1.0f}, {1, 1, 0, 0.5f}, {0, 1, 1, 1.0f}, {1, 1, 1, 0.5f},
+        {1, 1, 0, 0.5f}, {2, 1, 0, 1.0f}, {1, 1, 1, 0.5f}, {2, 1, 1, 1.0f},
+    }};
+    return taps;
+}
+
+Tensor
+LecaEncoder::forward(const Tensor &x, Mode mode)
+{
+    switch (_modality) {
+      case EncoderModality::Soft:
+        return forwardSoft(x, mode);
+      case EncoderModality::Hard:
+        return forwardHard(x, mode, false);
+      case EncoderModality::Noisy:
+        return forwardHard(x, mode, true);
+    }
+    panic("unknown modality");
+}
+
+Tensor
+LecaEncoder::backward(const Tensor &grad_out)
+{
+    if (_modality == EncoderModality::Soft)
+        return backwardSoft(grad_out);
+    return backwardHard(grad_out);
+}
+
+// ---------------------------------------------------------------------
+// Soft modality: conv (stride = K) -> scale -> STE quantizer.
+// ---------------------------------------------------------------------
+
+Tensor
+LecaEncoder::forwardSoft(const Tensor &x, Mode mode)
+{
+    LECA_ASSERT(x.dim() == 4 && x.size(1) == _config.inChannels,
+                "encoder input shape");
+    const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    const int k = _config.kernel;
+    const int oh = h / k, ow = w / k;
+    const int nch = _config.nch;
+
+    _softCols.clear();
+    _inShape = x.shape();
+
+    const Tensor wmat = _weight.value.reshape({nch, c * k * k});
+    Tensor pre({n, nch, oh, ow});
+    for (int i = 0; i < n; ++i) {
+        const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
+        Tensor img = Tensor::fromData(
+            {c, h, w}, std::vector<float>(x.data() + i * img_sz,
+                                          x.data() + (i + 1) * img_sz));
+        Tensor cols = im2col(img, k, k, k, 0);
+        const Tensor out = matmul(wmat, cols);
+        std::copy(out.data(), out.data() + out.numel(),
+                  pre.data() + static_cast<std::size_t>(i) * nch * oh * ow);
+        if (mode == Mode::Train)
+            _softCols.push_back(std::move(cols));
+    }
+
+    const float s = std::max(_outScale.value[0], 0.05f);
+    const int levels = _config.qbits.levels();
+    Tensor features(pre.shape());
+    for (std::size_t i = 0; i < pre.numel(); ++i)
+        features[i] = quantizeUniform(pre[i] / s, -1.0f, 1.0f, levels);
+    if (mode == Mode::Train)
+        _softPre = std::move(pre);
+    return features;
+}
+
+Tensor
+LecaEncoder::backwardSoft(const Tensor &grad_out)
+{
+    LECA_ASSERT(_softPre.numel() > 0,
+                "soft encoder backward without forward");
+    const int n = _inShape[0], c = _inShape[1];
+    const int h = _inShape[2], w = _inShape[3];
+    const int k = _config.kernel;
+    const int nch = _config.nch;
+    const int oh = h / k, ow = w / k;
+
+    const float s = std::max(_outScale.value[0], 0.05f);
+
+    // STE through the quantizer and scale division.
+    Tensor g_pre(grad_out.shape());
+    double g_s = 0.0;
+    for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+        const float ratio = _softPre[i] / s;
+        if (ratio >= -1.0f && ratio <= 1.0f) {
+            g_pre[i] = grad_out[i] / s;
+            g_s += static_cast<double>(grad_out[i]) * (-_softPre[i])
+                   / (s * s);
+        } else {
+            g_pre[i] = 0.0f;
+        }
+    }
+    _outScale.grad[0] += static_cast<float>(g_s);
+
+    Tensor dwmat({nch, c * k * k});
+    for (int i = 0; i < n; ++i) {
+        const std::size_t go_sz = static_cast<std::size_t>(nch) * oh * ow;
+        const Tensor dy = Tensor::fromData(
+            {nch, oh * ow},
+            std::vector<float>(g_pre.data() + i * go_sz,
+                               g_pre.data() + (i + 1) * go_sz));
+        dwmat += matmulTransB(dy, _softCols[static_cast<std::size_t>(i)]);
+    }
+    _weight.grad += dwmat.reshape({nch, c, k, k});
+
+    _softCols.clear();
+    _softPre = Tensor();
+    // The encoder is the first pipeline stage; no upstream gradient.
+    return Tensor(_inShape);
+}
+
+// ---------------------------------------------------------------------
+// Hard / Noisy modality: the analog circuit model of Sec. 3.4 / 5.3.
+// ---------------------------------------------------------------------
+
+Tensor
+LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
+{
+    LECA_ASSERT(x.dim() == 4 && x.size(1) == 3, "encoder input shape");
+    LECA_ASSERT(!noisy || (_hasNoiseModel && _noiseRng),
+                "noisy modality needs a noise model and rng");
+    const int n = x.size(0), h = x.size(2), w = x.size(3);
+    const int oh = h / 2, ow = w / 2;
+    const int nch = _config.nch;
+    const int steps = _circuit.dacSteps();
+    const float wscale = _weightScale;
+    const double unit = _circuit.unitCapFf();
+    const double vcm = _circuit.vCm;
+    const int levels = _config.qbits.levels();
+    const float fs = std::max(_outScale.value[0], 0.02f);
+
+    const SourceFollower psf(_circuit.psf);
+    const SourceFollower fvf(_circuit.fvf);
+    const auto &taps = rawTaps();
+
+    const std::size_t elems =
+        static_cast<std::size_t>(n) * nch * oh * ow;
+    const bool cache = mode == Mode::Train;
+    if (cache) {
+        _stepVin.assign(elems * 16, 0.0f);
+        _stepVprev.assign(elems * 16, 0.0f);
+        _stepCap.assign(elems * 16, 0.0f);
+        _diff.assign(elems, 0.0f);
+        _inShape = x.shape();
+    }
+
+    Tensor features({n, nch, oh, ow});
+    std::size_t e = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int kch = 0; kch < nch; ++kch) {
+            for (int by = 0; by < oh; ++by) {
+                for (int bx = 0; bx < ow; ++bx, ++e) {
+                    double v_plus = vcm, v_minus = vcm;
+                    for (int t = 0; t < 16; ++t) {
+                        const Tap &tap = taps[static_cast<std::size_t>(t)];
+                        const float w_tap =
+                            _weight.value.at(kch, tap.channel, tap.py,
+                                             tap.px) * tap.factor;
+                        int mag = static_cast<int>(std::lround(
+                            std::abs(w_tap) / wscale * steps));
+                        mag = std::clamp(mag, 0, steps);
+                        const bool neg = w_tap < 0.0f;
+                        const double cap = unit * mag;
+
+                        const double x_val =
+                            x.at(i, tap.channel, 2 * by + tap.py,
+                                 2 * bx + tap.px);
+                        const double vpix =
+                            _sensor.digitalToVoltage(x_val);
+                        double vin;
+                        if (noisy) {
+                            vin = _noiseRng->gaussian(
+                                _noiseModel.psf.meanTransfer(vpix),
+                                _noiseModel.psf.sigma(vpix));
+                        } else {
+                            vin = psf.linearModel(vpix);
+                        }
+
+                        double &rail = neg ? v_minus : v_plus;
+                        if (cache) {
+                            _stepVin[e * 16 + t] =
+                                static_cast<float>(vin);
+                            _stepVprev[e * 16 + t] =
+                                static_cast<float>(rail);
+                            _stepCap[e * 16 + t] =
+                                static_cast<float>(cap);
+                        }
+                        if (mag > 0) {
+                            double next = ScMultiplier::idealStep(
+                                _circuit, rail, vin, cap);
+                            if (noisy) {
+                                // Fine-grained eps(V_in, code) surface
+                                // when extracted; per-code mean
+                                // otherwise (Sec. 5.3, item 2).
+                                const double eps_mean =
+                                    _noiseModel.scm.epsSurface.empty()
+                                        ? _noiseModel.scm.epsMean[
+                                              static_cast<std::size_t>(
+                                                  mag)]
+                                        : _noiseModel.scm.epsSurface(
+                                              vin, mag);
+                                next -= _noiseRng->gaussian(
+                                    eps_mean,
+                                    _noiseModel.scm.epsSigma[
+                                        static_cast<std::size_t>(mag)]);
+                            }
+                            rail = next;
+                        }
+                    }
+                    double p, m;
+                    if (noisy) {
+                        p = _noiseRng->gaussian(
+                            _noiseModel.fvf.meanTransfer(v_plus),
+                            _noiseModel.fvf.sigma(v_plus));
+                        m = _noiseRng->gaussian(
+                            _noiseModel.fvf.meanTransfer(v_minus),
+                            _noiseModel.fvf.sigma(v_minus));
+                    } else {
+                        p = fvf.linearModel(v_plus);
+                        m = fvf.linearModel(v_minus);
+                    }
+                    double diff = p - m;
+                    if (noisy) {
+                        diff += _noiseRng->gaussian(
+                            0.0, _noiseModel.adcOffsetSigma);
+                    }
+                    const int code = quantizeCode(
+                        static_cast<float>(diff), -fs, fs, levels);
+                    features.at(i, kch, by, bx) =
+                        2.0f * static_cast<float>(code)
+                        / static_cast<float>(levels - 1) - 1.0f;
+                    if (cache)
+                        _diff[e] = static_cast<float>(diff);
+                }
+            }
+        }
+    }
+    return features;
+}
+
+Tensor
+LecaEncoder::backwardHard(const Tensor &grad_out)
+{
+    LECA_ASSERT(!_diff.empty(), "hard encoder backward without forward");
+    const int n = _inShape[0];
+    const int oh = _inShape[2] / 2, ow = _inShape[3] / 2;
+    const int nch = _config.nch;
+    const int steps = _circuit.dacSteps();
+    const float wscale = _weightScale;
+    const double unit = _circuit.unitCapFf();
+    const double cout = _circuit.cOutFf;
+    const double vcm = _circuit.vCm;
+    const float fs = std::max(_outScale.value[0], 0.02f);
+    const double fvf_gain = _circuit.fvf.gain;
+    const auto &taps = rawTaps();
+
+    double g_fs_total = 0.0;
+
+    std::size_t e = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int kch = 0; kch < nch; ++kch) {
+            for (int by = 0; by < oh; ++by) {
+                for (int bx = 0; bx < ow; ++bx, ++e) {
+                    const float g_feat = grad_out.at(i, kch, by, bx);
+                    if (g_feat == 0.0f)
+                        continue;
+                    const double diff = _diff[e];
+                    if (diff < -fs || diff > fs)
+                        continue; // clipped STE region
+                    // feature ~= diff / fs under the STE.
+                    const double g_diff = g_feat / fs;
+                    g_fs_total += g_feat * (-diff / (fs * fs));
+
+                    double g_plus = g_diff * fvf_gain;
+                    double g_minus = -g_diff * fvf_gain;
+
+                    // Reverse the 16-step recurrence.
+                    for (int t = 15; t >= 0; --t) {
+                        const Tap &tap =
+                            taps[static_cast<std::size_t>(t)];
+                        const float w_rgb = _weight.value.at(
+                            kch, tap.channel, tap.py, tap.px);
+                        const float w_tap = w_rgb * tap.factor;
+                        const bool neg = w_tap < 0.0f;
+                        double &g_rail = neg ? g_minus : g_plus;
+                        const double cap = _stepCap[e * 16 + t];
+                        const double vin = _stepVin[e * 16 + t];
+                        const double v_prev = _stepVprev[e * 16 + t];
+
+                        double g_cap;
+                        if (cap > 0.0) {
+                            const double denom = cout + cap;
+                            const double v_after =
+                                (cap * (2.0 * vcm - vin)
+                                 + cout * v_prev) / denom;
+                            g_cap = g_rail
+                                    * ((2.0 * vcm - vin) - v_after)
+                                    / denom;
+                            g_rail = g_rail * cout / denom;
+                        } else {
+                            // STE through the zero code: gradient of
+                            // the limit cap -> 0+ keeps dead taps
+                            // trainable.
+                            g_cap = g_rail
+                                    * ((2.0 * vcm - vin) - v_prev)
+                                    / cout;
+                        }
+                        // cap = unit * round(|w_tap|/wscale * steps);
+                        // STE over the rounding.
+                        const double dcap_dwtap =
+                            (neg ? -1.0 : 1.0) * unit * steps / wscale;
+                        const double g_wtap = g_cap * dcap_dwtap;
+                        _weight.grad.at(kch, tap.channel, tap.py,
+                                        tap.px) +=
+                            static_cast<float>(g_wtap * tap.factor);
+                    }
+                }
+            }
+        }
+    }
+    _outScale.grad[0] += static_cast<float>(g_fs_total);
+
+    _diff.clear();
+    _stepVin.clear();
+    _stepVprev.clear();
+    _stepCap.clear();
+    return Tensor(_inShape);
+}
+
+} // namespace leca

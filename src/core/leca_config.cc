@@ -1,0 +1,26 @@
+#include "leca_config.hh"
+
+#include <cmath>
+
+namespace leca {
+
+std::vector<LecaConfig>
+designPointsForCr(double target_cr, int max_nch)
+{
+    static const double candidate_bits[] = {1.0, 1.5, 2.0, 3.0, 4.0,
+                                            6.0, 8.0};
+    std::vector<LecaConfig> points;
+    for (int nch = 1; nch <= max_nch; ++nch) {
+        for (double bits : candidate_bits) {
+            LecaConfig cfg;
+            cfg.kernel = 2;
+            cfg.nch = nch;
+            cfg.qbits = QBits(bits);
+            if (std::abs(cfg.compressionRatio() - target_cr) < 1e-9)
+                points.push_back(cfg);
+        }
+    }
+    return points;
+}
+
+} // namespace leca

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * LeCA design-point configuration: the encoder parameters (K, N_ch,
+ * Q_bit) of Sec. 3.3, the decoder hyper-parameters of Table 2, and the
+ * compression ratio of Eq. (1).
+ */
+
+#ifndef LECA_CORE_LECA_CONFIG_HH
+#define LECA_CORE_LECA_CONFIG_HH
+
+#include "nn/quantize.hh"
+
+namespace leca {
+
+/** One LeCA encoder/decoder design point. */
+struct LecaConfig
+{
+    // Encoder (Sec. 3.3). K is both kernel size and stride.
+    int kernel = 2;
+    int nch = 8;
+    QBits qbits{3.0};
+    int inChannels = 3;
+
+    // Decoder (Table 2). The paper uses M = 15 DnCNN layers with
+    // F = 64 filters; the bench suite defaults to a smaller decoder
+    // that preserves the architecture at CPU-friendly cost.
+    int decoderDncnnLayers = 3; //!< M
+    int decoderFilters = 16;    //!< F
+    int decoderKernel = 3;      //!< K_d
+
+    /** Full-resolution reference bit depth (Q_full = 8). */
+    static constexpr double qFull = 8.0;
+
+    /** Compression ratio per Eq. (1). */
+    double
+    compressionRatio() const
+    {
+        return static_cast<double>(kernel) * kernel * inChannels * qFull
+               / (static_cast<double>(nch) * qbits.bits());
+    }
+};
+
+/**
+ * Enumerate the (N_ch, Q_bit) pairs whose Eq. (1) ratio equals
+ * @p target_cr for K = 2 (the Fig. 4(b) design-space sweep).
+ */
+std::vector<LecaConfig> designPointsForCr(double target_cr,
+                                          int max_nch = 16);
+
+} // namespace leca
+
+#endif // LECA_CORE_LECA_CONFIG_HH

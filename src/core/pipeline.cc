@@ -1,0 +1,182 @@
+#include "pipeline.hh"
+
+#include "analog/mismatch.hh"
+#include "data/serialize.hh"
+#include "data/trainloop.hh"
+#include "nn/loss.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+LecaPipeline::LecaPipeline(const Options &options,
+                           std::unique_ptr<Sequential> backbone)
+    : _backbone(std::move(backbone)),
+      _pixelNoise(options.sensor),
+      _noiseRng(options.seed * 0x2545F4914F6CDD1DULL + 99)
+{
+    Rng init(options.seed);
+    _encoder = std::make_unique<LecaEncoder>(options.leca, options.circuit,
+                                             options.sensor, init);
+    _decoder = std::make_unique<LecaDecoder>(options.leca, init);
+    LECA_ASSERT(_backbone, "pipeline needs a backbone");
+    _backbone->freeze(true);
+
+    // Extract the Sec. 5.3 noise model once so the Noisy modality is
+    // ready whenever the trainer switches to it.
+    Rng mc(options.seed ^ 0xA5A5A5A5ULL);
+    _encoder->setNoiseModel(extractNoiseModel(options.circuit, 200, mc));
+    _encoder->setNoiseRng(&_noiseRng);
+}
+
+void
+LecaPipeline::setModality(EncoderModality modality)
+{
+    _encoder->setModality(modality);
+}
+
+Tensor
+LecaPipeline::maybeAddPixelNoise(const Tensor &images)
+{
+    if (_encoder->modality() != EncoderModality::Noisy)
+        return images;
+    // Pixel-array shot + read noise (Sec. 5.3, "Pixel array noise").
+    return _pixelNoise.apply(images, _noiseRng);
+}
+
+Tensor
+LecaPipeline::forward(const Tensor &images, Mode mode)
+{
+    const Tensor input = maybeAddPixelNoise(images);
+    const Tensor features = _encoder->forward(input, mode);
+    const Tensor decoded = _decoder->forward(features, mode);
+    return _backbone->forward(decoded, mode);
+}
+
+Tensor
+LecaPipeline::decodeImages(const Tensor &images, Mode mode)
+{
+    const Tensor input = maybeAddPixelNoise(images);
+    const Tensor features = _encoder->forward(input, mode);
+    return _decoder->forward(features, mode);
+}
+
+Tensor
+LecaPipeline::encodeFeatures(const Tensor &images, Mode mode)
+{
+    const Tensor input = maybeAddPixelNoise(images);
+    return _encoder->forward(input, mode);
+}
+
+void
+LecaPipeline::backward(const Tensor &grad_logits)
+{
+    const Tensor g_decoded = _backbone->backward(grad_logits);
+    const Tensor g_features = _decoder->backward(g_decoded);
+    _encoder->backward(g_features);
+}
+
+std::vector<Param *>
+LecaPipeline::allParams()
+{
+    std::vector<Param *> params = _encoder->params();
+    const auto dec = _decoder->params();
+    params.insert(params.end(), dec.begin(), dec.end());
+    const auto bb = _backbone->params();
+    params.insert(params.end(), bb.begin(), bb.end());
+    return params;
+}
+
+void
+LecaPipeline::setBackboneFrozen(bool frozen)
+{
+    _backbone->freeze(frozen);
+}
+
+namespace {
+
+/** Adapter exposing the whole pipeline as one serializable layer. */
+class PipelineBundle : public Layer
+{
+  public:
+    PipelineBundle(LecaEncoder &enc, LecaDecoder &dec, Sequential &bb)
+        : _enc(enc), _dec(dec), _bb(bb)
+    {
+    }
+
+    Tensor forward(const Tensor &x, Mode) override { return x; }
+    Tensor backward(const Tensor &g) override { return g; }
+
+    std::vector<Param *>
+    params() override
+    {
+        std::vector<Param *> out = _enc.params();
+        for (Param *p : _dec.params())
+            out.push_back(p);
+        for (Param *p : _bb.params())
+            out.push_back(p);
+        return out;
+    }
+
+    std::vector<Tensor *>
+    state() override
+    {
+        std::vector<Tensor *> out = _dec.state();
+        for (Tensor *t : _bb.state())
+            out.push_back(t);
+        return out;
+    }
+
+  private:
+    LecaEncoder &_enc;
+    LecaDecoder &_dec;
+    Sequential &_bb;
+};
+
+} // namespace
+
+void
+LecaPipeline::save(const std::string &path)
+{
+    PipelineBundle bundle(*_encoder, *_decoder, *_backbone);
+    saveLayerState(bundle, path);
+}
+
+bool
+LecaPipeline::load(const std::string &path)
+{
+    PipelineBundle bundle(*_encoder, *_decoder, *_backbone);
+    return loadLayerState(bundle, path);
+}
+
+void
+LecaPipeline::refreshStats(const Dataset &ds, int batch_size)
+{
+    _decoder->setStatsRefresh(true);
+    _backbone->setStatsRefresh(true);
+    for (int begin = 0; begin < ds.count(); begin += batch_size) {
+        const int count = std::min(batch_size, ds.count() - begin);
+        const Dataset batch = sliceDataset(ds, begin, count);
+        forward(batch.images, Mode::Train);
+    }
+    _decoder->setStatsRefresh(false);
+    _backbone->setStatsRefresh(false);
+}
+
+double
+LecaPipeline::evalAccuracy(const Dataset &ds, int batch_size)
+{
+    const int n = ds.count();
+    if (n == 0)
+        return 0.0;
+    int correct = 0;
+    for (int begin = 0; begin < n; begin += batch_size) {
+        const int count = std::min(batch_size, n - begin);
+        const Dataset batch = sliceDataset(ds, begin, count);
+        const Tensor logits = forward(batch.images, Mode::Eval);
+        correct += static_cast<int>(
+            accuracy(logits, batch.labels) * count + 0.5);
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+} // namespace leca

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The full LeCA machine-vision pipeline (Fig. 3(a)): encoder ->
+ * decoder -> frozen backbone DNN, with modality switching and the
+ * pixel-array noise injection of Sec. 5.3.
+ */
+
+#ifndef LECA_CORE_PIPELINE_HH
+#define LECA_CORE_PIPELINE_HH
+
+#include <memory>
+#include <string>
+
+#include "core/decoder.hh"
+#include "core/encoder.hh"
+#include "data/dataset.hh"
+#include "nn/sequential.hh"
+#include "sensor/noise.hh"
+
+namespace leca {
+
+/** Encoder + decoder stacked before a (typically frozen) backbone. */
+class LecaPipeline
+{
+  public:
+    struct Options
+    {
+        LecaConfig leca;
+        CircuitConfig circuit;
+        SensorConfig sensor;
+        std::uint64_t seed = 1;
+    };
+
+    /**
+     * @param backbone a pre-trained classifier; it is frozen on
+     *                 construction (Sec. 3.4) and can be unfrozen for
+     *                 the Sec. 6.4 ablation.
+     */
+    LecaPipeline(const Options &options,
+                 std::unique_ptr<Sequential> backbone);
+
+    LecaEncoder &encoder() { return *_encoder; }
+    LecaDecoder &decoder() { return *_decoder; }
+    Sequential &backbone() { return *_backbone; }
+
+    /** Switch the encoder modality (soft / hard / noisy). */
+    void setModality(EncoderModality modality);
+    EncoderModality modality() const { return _encoder->modality(); }
+
+    /** Full forward pass to logits. */
+    Tensor forward(const Tensor &images, Mode mode);
+
+    /** Encoder+decoder only — the reconstructed image (Fig. 12). */
+    Tensor decodeImages(const Tensor &images, Mode mode);
+
+    /** Encoder only — the quantized feature map (Fig. 12). */
+    Tensor encodeFeatures(const Tensor &images, Mode mode);
+
+    /** Backpropagate from logits gradient through the whole stack. */
+    void backward(const Tensor &grad_logits);
+
+    /** Every parameter (backbone ones carry frozen=true by default). */
+    std::vector<Param *> allParams();
+
+    /** Unfreeze/refreeze the backbone (Sec. 6.4 ablation). */
+    void setBackboneFrozen(bool frozen);
+
+    /** Top-1 accuracy of the pipeline on a dataset. */
+    double evalAccuracy(const Dataset &ds, int batch_size = 64);
+
+    /**
+     * Recompute decoder + backbone batch-norm running statistics over
+     * @p ds in the current modality (forward-only).
+     */
+    void refreshStats(const Dataset &ds, int batch_size = 32);
+
+    /**
+     * Persist the whole trained pipeline (encoder weights + ADC
+     * boundary, decoder, backbone, and all batch-norm running
+     * statistics) to one file.
+     */
+    void save(const std::string &path);
+
+    /** Restore a pipeline saved with save(); shapes must match. */
+    bool load(const std::string &path);
+
+    /** Noise stream used for pixel + analog noise in Noisy modality. */
+    Rng &noiseRng() { return _noiseRng; }
+
+  private:
+    std::unique_ptr<LecaEncoder> _encoder;
+    std::unique_ptr<LecaDecoder> _decoder;
+    std::unique_ptr<Sequential> _backbone;
+    PixelNoiseModel _pixelNoise;
+    Rng _noiseRng;
+
+    Tensor maybeAddPixelNoise(const Tensor &images);
+};
+
+} // namespace leca
+
+#endif // LECA_CORE_PIPELINE_HH

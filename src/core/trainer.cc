@@ -1,0 +1,132 @@
+#include "trainer.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/trainloop.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+double
+LecaTrainer::runEpochs(const Dataset &train, const Dataset &val, int epochs,
+                       const LecaTrainOptions &options)
+{
+    Rng rng(options.seed);
+    Adam adam(_pipeline.allParams(), options.learningRate);
+    SoftmaxCrossEntropy loss;
+
+    std::vector<int> order(static_cast<std::size_t>(train.count()));
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        if (options.lrDecayEveryEpochs > 0 && epoch > 0 &&
+            epoch % options.lrDecayEveryEpochs == 0) {
+            adam.setLearningRate(adam.learningRate()
+                                 * options.lrDecayFactor);
+        }
+        for (int i = train.count() - 1; i > 0; --i) {
+            const int j = rng.uniformInt(0, i);
+            std::swap(order[static_cast<std::size_t>(i)],
+                      order[static_cast<std::size_t>(j)]);
+        }
+        double epoch_loss = 0.0;
+        int batches = 0;
+        for (int begin = 0; begin < train.count();
+             begin += options.batchSize) {
+            const int count =
+                std::min(options.batchSize, train.count() - begin);
+            const Dataset batch = gatherBatch(train, order, begin, count);
+            adam.zeroGrad();
+            const Tensor logits =
+                _pipeline.forward(batch.images, Mode::Train);
+            epoch_loss += loss.forward(logits, batch.labels);
+            _pipeline.backward(loss.backward());
+            adam.step();
+            ++batches;
+        }
+        if (options.verbose) {
+            inform("leca epoch ", epoch + 1, "/", epochs, " loss ",
+                   epoch_loss / std::max(1, batches));
+        }
+    }
+    _pipeline.refreshStats(train, options.batchSize);
+    return _pipeline.evalAccuracy(val);
+}
+
+double
+LecaTrainer::train(const Dataset &train, const Dataset &val,
+                   const LecaTrainOptions &options)
+{
+    if (options.unfreezeBackbone)
+        _pipeline.setBackboneFrozen(false);
+
+    const QBits target = _pipeline.encoder().qbits();
+    double acc = 0.0;
+    if (options.incrementalQbit && target.bits() < 8.0 &&
+        options.incrementalEpochs > 0) {
+        // Lenient 8-bit pre-training stage (Sec. 3.4).
+        _pipeline.encoder().setQbits(QBits(8.0));
+        runEpochs(train, val, options.incrementalEpochs, options);
+        _pipeline.encoder().setQbits(target);
+    }
+    acc = runEpochs(train, val, options.epochs, options);
+
+    if (options.unfreezeBackbone)
+        _pipeline.setBackboneFrozen(true);
+    return acc;
+}
+
+double
+LecaTrainer::trainCurriculum(const Dataset &train_set, const Dataset &val,
+                             const LecaTrainOptions &options,
+                             double *soft_acc, double *hard_acc)
+{
+    // Stage 1: soft training (no hardware effects).
+    _pipeline.setModality(EncoderModality::Soft);
+    const double soft = train(train_set, val, options);
+    if (soft_acc)
+        *soft_acc = soft;
+
+    // Stage 2: hard training, initialised from the soft weights.
+    _pipeline.setModality(EncoderModality::Hard);
+    const double hard = train(train_set, val, options);
+    if (hard_acc)
+        *hard_acc = hard;
+
+    // Stage 3: noisy fine-tuning of the hard model. Direct noisy
+    // training from scratch converges poorly (Sec. 3.4); fine-tuning
+    // inherits the hard weights by construction.
+    _pipeline.setModality(EncoderModality::Noisy);
+    LecaTrainOptions finetune = options;
+    finetune.incrementalQbit = false; // keep the target Q_bit
+    finetune.learningRate = options.learningRate * 0.3;
+    finetune.epochs = std::max(1, options.epochs / 2);
+    const double noisy = train(train_set, val, finetune);
+    return noisy;
+}
+
+double
+LecaTrainer::evaluate(const Dataset &ds, EncoderModality modality)
+{
+    const EncoderModality saved = _pipeline.modality();
+    const float saved_scale = _pipeline.encoder().outScale().value[0];
+    _pipeline.setModality(modality);
+    // Keep the trained scale if we are not crossing the soft/hard
+    // boundary; otherwise the reset seeded by setModality applies,
+    // which is exactly the paper's naive soft->hard mapping.
+    if ((saved == EncoderModality::Hard &&
+         modality == EncoderModality::Noisy) ||
+        (saved == EncoderModality::Noisy &&
+         modality == EncoderModality::Hard)) {
+        _pipeline.encoder().outScale().value[0] = saved_scale;
+    }
+    const double acc = _pipeline.evalAccuracy(ds);
+    _pipeline.setModality(saved);
+    _pipeline.encoder().outScale().value[0] = saved_scale;
+    return acc;
+}
+
+} // namespace leca

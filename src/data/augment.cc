@@ -1,0 +1,72 @@
+#include "augment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+void
+flipHorizontal(Tensor &batch, int index)
+{
+    LECA_ASSERT(batch.dim() == 4, "flipHorizontal expects [N,C,H,W]");
+    const int c = batch.size(1), h = batch.size(2), w = batch.size(3);
+    for (int ch = 0; ch < c; ++ch)
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w / 2; ++x)
+                std::swap(batch.at(index, ch, y, x),
+                          batch.at(index, ch, y, w - 1 - x));
+}
+
+void
+rotateImage(Tensor &batch, int index, double degrees)
+{
+    LECA_ASSERT(batch.dim() == 4, "rotateImage expects [N,C,H,W]");
+    const int c = batch.size(1), h = batch.size(2), w = batch.size(3);
+    const double rad = degrees * M_PI / 180.0;
+    const double cs = std::cos(rad), sn = std::sin(rad);
+    const double cx = (w - 1) / 2.0, cy = (h - 1) / 2.0;
+
+    Tensor out({c, h, w});
+    for (int ch = 0; ch < c; ++ch) {
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                // Inverse-rotate the destination coordinate.
+                const double dx = x - cx, dy = y - cy;
+                double sx = cs * dx + sn * dy + cx;
+                double sy = -sn * dx + cs * dy + cy;
+                sx = std::clamp(sx, 0.0, static_cast<double>(w - 1));
+                sy = std::clamp(sy, 0.0, static_cast<double>(h - 1));
+                const int x0 = static_cast<int>(sx);
+                const int y0 = static_cast<int>(sy);
+                const int x1 = std::min(x0 + 1, w - 1);
+                const int y1 = std::min(y0 + 1, h - 1);
+                const double fx = sx - x0, fy = sy - y0;
+                const double v =
+                    batch.at(index, ch, y0, x0) * (1 - fy) * (1 - fx) +
+                    batch.at(index, ch, y0, x1) * (1 - fy) * fx +
+                    batch.at(index, ch, y1, x0) * fy * (1 - fx) +
+                    batch.at(index, ch, y1, x1) * fy * fx;
+                out.at(ch, y, x) = static_cast<float>(v);
+            }
+        }
+    }
+    float *dst = batch.data() + static_cast<std::size_t>(index) * out.numel();
+    std::copy(out.data(), out.data() + out.numel(), dst);
+}
+
+void
+augmentBatch(Tensor &batch, Rng &rng, double max_degrees)
+{
+    const int n = batch.size(0);
+    for (int i = 0; i < n; ++i) {
+        if (rng.uniform() < 0.5)
+            flipHorizontal(batch, i);
+        const double deg = rng.uniform(-max_degrees, max_degrees);
+        if (std::abs(deg) > 0.5)
+            rotateImage(batch, i, deg);
+    }
+}
+
+} // namespace leca

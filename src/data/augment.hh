@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Training-time augmentation matching the paper's recipe (Sec. 5.2):
+ * random rotation up to +/-20 degrees and random horizontal flipping.
+ */
+
+#ifndef LECA_DATA_AUGMENT_HH
+#define LECA_DATA_AUGMENT_HH
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+/** Horizontally mirror a [N,C,H,W] batch image in place. */
+void flipHorizontal(Tensor &batch, int index);
+
+/**
+ * Rotate image @p index of a batch about its centre by @p degrees,
+ * sampling bilinearly and clamping at the border.
+ */
+void rotateImage(Tensor &batch, int index, double degrees);
+
+/**
+ * Apply the paper's augmentation to a whole batch: each image is
+ * flipped with probability 1/2 and rotated by U(-max_degrees,
+ * +max_degrees).
+ */
+void augmentBatch(Tensor &batch, Rng &rng, double max_degrees = 20.0);
+
+} // namespace leca
+
+#endif // LECA_DATA_AUGMENT_HH

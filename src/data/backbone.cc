@@ -1,0 +1,40 @@
+#include "backbone.hh"
+
+#include "nn/activation.hh"
+#include "nn/batchnorm.hh"
+#include "nn/conv.hh"
+#include "nn/linear.hh"
+#include "nn/pool.hh"
+
+namespace leca {
+
+std::unique_ptr<Sequential>
+makeBackbone(BackboneStyle style, int in_channels, int num_classes,
+             Rng &rng)
+{
+    auto net = std::make_unique<Sequential>();
+    if (style == BackboneStyle::Proxy) {
+        net->emplace<Conv2d>(in_channels, 16, 3, 1, 1, false, rng);
+        net->emplace<BatchNorm2d>(16);
+        net->emplace<Relu>();
+        net->emplace<ResidualBlock>(16, 16, 1, rng);
+        net->emplace<ResidualBlock>(16, 32, 2, rng);
+        net->emplace<ResidualBlock>(32, 64, 2, rng);
+        net->emplace<GlobalAvgPool>();
+        net->emplace<Linear>(64, num_classes, rng);
+    } else {
+        net->emplace<Conv2d>(in_channels, 32, 3, 1, 1, false, rng);
+        net->emplace<BatchNorm2d>(32);
+        net->emplace<Relu>();
+        net->emplace<ResidualBlock>(32, 32, 1, rng);
+        net->emplace<ResidualBlock>(32, 64, 2, rng);
+        net->emplace<ResidualBlock>(64, 64, 1, rng);
+        net->emplace<ResidualBlock>(64, 128, 2, rng);
+        net->emplace<ResidualBlock>(128, 128, 2, rng);
+        net->emplace<GlobalAvgPool>();
+        net->emplace<Linear>(128, num_classes, rng);
+    }
+    return net;
+}
+
+} // namespace leca

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Backbone factory: compact ResNet-style classifier networks that stand
+ * in for the paper's pre-trained ResNet-18 (proxy pipeline) and
+ * ResNet-50 (full pipeline) downstream models. They are pre-trained on
+ * SyntheticVision inside this repo and then frozen, exactly as the
+ * paper freezes its ImageNet backbones.
+ */
+
+#ifndef LECA_DATA_BACKBONE_HH
+#define LECA_DATA_BACKBONE_HH
+
+#include <memory>
+
+#include "nn/sequential.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+/** Which downstream model a backbone stands in for. */
+enum class BackboneStyle
+{
+    Proxy, //!< ResNet-18 stand-in (TinyImageNet-scale pipeline)
+    Full   //!< ResNet-50 stand-in (ImageNet-scale pipeline)
+};
+
+/**
+ * Build a ResNet-style backbone.
+ *
+ * Proxy: stem conv + 3 residual stages (16/32/64 ch) + GAP + linear.
+ * Full: wider stem + 4 residual stages (32/64/128/128 ch).
+ *
+ * @param style       proxy or full
+ * @param in_channels input channels (3 for RGB)
+ * @param num_classes classifier width
+ * @param rng         init stream
+ */
+std::unique_ptr<Sequential> makeBackbone(BackboneStyle style,
+                                         int in_channels, int num_classes,
+                                         Rng &rng);
+
+} // namespace leca
+
+#endif // LECA_DATA_BACKBONE_HH

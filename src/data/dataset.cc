@@ -1,0 +1,151 @@
+#include "dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+SyntheticVision::SyntheticVision(Config config) : _config(config)
+{
+    LECA_ASSERT(_config.resolution >= 8, "resolution too small");
+    LECA_ASSERT(_config.numClasses >= 2, "need at least two classes");
+}
+
+namespace {
+
+/** Class-conditional generative factors. */
+struct ClassFactors
+{
+    double theta;     //!< texture orientation (radians)
+    double freq;      //!< texture frequency (cycles across the image)
+    double hue;       //!< colour tint angle
+    int shape;        //!< 0 = disc, 1 = square, 2 = diagonal bar
+};
+
+ClassFactors
+factorsFor(int cls, int ncls, int resolution)
+{
+    ClassFactors f;
+    f.theta = M_PI * static_cast<double>(cls) / ncls;
+    // Texture frequency scales with resolution (a fixed fraction of
+    // Nyquist) and interleaves low/high values, so that spatial
+    // downsampling confuses specific class pairs at every image size.
+    f.freq = resolution * (0.12 + 0.07 * static_cast<double>(cls % 4));
+    f.hue = 2.0 * M_PI * static_cast<double>(cls) / ncls;
+    f.shape = cls % 3;
+    return f;
+}
+
+/** RGB tint for a hue angle (unit-ish amplitude, phase-split channels). */
+void
+hueToRgb(double hue, double rgb[3])
+{
+    rgb[0] = 0.5 + 0.5 * std::cos(hue);
+    rgb[1] = 0.5 + 0.5 * std::cos(hue - 2.0 * M_PI / 3.0);
+    rgb[2] = 0.5 + 0.5 * std::cos(hue + 2.0 * M_PI / 3.0);
+}
+
+} // namespace
+
+Tensor
+SyntheticVision::renderImage(int cls, Rng &rng) const
+{
+    const int hw = _config.resolution;
+    const ClassFactors f = factorsFor(cls, _config.numClasses, hw);
+
+    // Per-image nuisance parameters.
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+    const double amp = rng.uniform(0.10, 0.18);
+    const double brightness = rng.uniform(0.35, 0.55);
+    const double hue = f.hue + rng.gaussian(0.0, 0.12);
+    const double cx = 0.5 + rng.gaussian(0.0, 0.08);
+    const double cy = 0.5 + rng.gaussian(0.0, 0.08);
+    const double radius = rng.uniform(0.18, 0.28);
+    const double grad_angle = rng.uniform(0.0, 2.0 * M_PI);
+    const double grad_amp = rng.uniform(0.05, 0.15);
+
+    double tint[3];
+    hueToRgb(hue, tint);
+
+    Tensor img({3, hw, hw});
+    const double kx = std::cos(f.theta) * f.freq * 2.0 * M_PI;
+    const double ky = std::sin(f.theta) * f.freq * 2.0 * M_PI;
+    const double gx = std::cos(grad_angle);
+    const double gy = std::sin(grad_angle);
+
+    for (int y = 0; y < hw; ++y) {
+        for (int x = 0; x < hw; ++x) {
+            const double u = (static_cast<double>(x) + 0.5) / hw;
+            const double v = (static_cast<double>(y) + 0.5) / hw;
+
+            // Smooth nuisance gradient (task-irrelevant energy).
+            const double grad =
+                grad_amp * ((u - 0.5) * gx + (v - 0.5) * gy);
+
+            // Class texture grating.
+            const double grating =
+                amp * std::sin(kx * u + ky * v + phase);
+
+            // Class shape pedestal: a small contrast step that coarse
+            // quantization flattens away.
+            double inside = 0.0;
+            switch (f.shape) {
+              case 0: { // disc
+                const double d = std::hypot(u - cx, v - cy);
+                inside = d < radius ? 1.0 : 0.0;
+                break;
+              }
+              case 1: { // axis-aligned square
+                inside = (std::abs(u - cx) < radius &&
+                          std::abs(v - cy) < radius)
+                             ? 1.0
+                             : 0.0;
+                break;
+              }
+              default: { // diagonal bar
+                inside = std::abs((u - cx) - (v - cy)) < radius * 0.5
+                             ? 1.0
+                             : 0.0;
+                break;
+              }
+            }
+            const double pedestal = 0.08 * inside;
+
+            const double base = brightness + grad + grating + pedestal;
+            for (int c = 0; c < 3; ++c) {
+                // Hue modulates the channels multiplicatively around the
+                // shared luminance signal.
+                double value = base * (0.7 + 0.6 * tint[c]);
+                value += rng.gaussian(0.0, _config.pixelNoise);
+                img.at(c, y, x) =
+                    static_cast<float>(std::clamp(value, 0.0, 1.0));
+            }
+        }
+    }
+    return img;
+}
+
+Dataset
+SyntheticVision::generate(int count, std::uint64_t salt) const
+{
+    Dataset ds;
+    const int hw = _config.resolution;
+    ds.images = Tensor({count, 3, hw, hw});
+    ds.labels.resize(static_cast<std::size_t>(count));
+
+    Rng master(_config.seed * 0x9E3779B97F4A7C15ULL + salt);
+    for (int i = 0; i < count; ++i) {
+        const int cls = i % _config.numClasses;
+        ds.labels[static_cast<std::size_t>(i)] = cls;
+        Rng img_rng = master.fork();
+        const Tensor img = renderImage(cls, img_rng);
+        float *dst =
+            ds.images.data() + static_cast<std::size_t>(i) * img.numel();
+        std::copy(img.data(), img.data() + img.numel(), dst);
+    }
+    return ds;
+}
+
+} // namespace leca

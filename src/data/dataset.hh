@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SyntheticVision: the procedurally-generated stand-in for
+ * TinyImageNet / ImageNet (see DESIGN.md, substitution table).
+ *
+ * Class identity is deliberately encoded across the three redundancy
+ * domains that LeCA compresses (Sec. 3.2):
+ *  - spatial domain: an oriented sinusoidal texture whose frequency and
+ *    orientation are class-dependent (destroyed by block averaging),
+ *  - colour domain: a class-dependent hue tint (destroyed by channel
+ *    mixing),
+ *  - bit-depth domain: a low-amplitude contrast pedestal on a class
+ *    shape (destroyed by coarse uniform quantization).
+ * Per-image nuisance variation (phase, brightness, position, pixel
+ * noise) forces a classifier to learn the class factors rather than
+ * memorise pixels.
+ */
+
+#ifndef LECA_DATA_DATASET_HH
+#define LECA_DATA_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+/** A labelled image batch: images [N, 3, H, W] in [0,1], labels [N]. */
+struct Dataset
+{
+    Tensor images;
+    std::vector<int> labels;
+
+    int count() const { return images.numel() ? images.size(0) : 0; }
+};
+
+/**
+ * Deterministic synthetic image generator.
+ *
+ * The same (seed, salt, index) always produces the same image, so every
+ * bench and test in the repository is reproducible.
+ */
+class SyntheticVision
+{
+  public:
+    struct Config
+    {
+        int resolution = 32;     //!< square image extent
+        int numClasses = 8;      //!< number of classes
+        std::uint64_t seed = 1;  //!< base seed for all derived streams
+        double pixelNoise = 0.02;//!< iid Gaussian nuisance noise sigma
+    };
+
+    explicit SyntheticVision(Config config);
+
+    /** Generate @p count images with balanced class labels. */
+    Dataset generate(int count, std::uint64_t salt) const;
+
+    /** Generate a single image of class @p cls. */
+    Tensor renderImage(int cls, Rng &rng) const;
+
+    const Config &config() const { return _config; }
+
+  private:
+    Config _config;
+};
+
+} // namespace leca
+
+#endif // LECA_DATA_DATASET_HH

@@ -1,0 +1,102 @@
+#include "image_io.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+namespace {
+
+unsigned char
+toByte(float v)
+{
+    const float clamped = std::clamp(v, 0.0f, 1.0f);
+    return static_cast<unsigned char>(clamped * 255.0f + 0.5f);
+}
+
+} // namespace
+
+void
+writePpm(const Tensor &image, const std::string &path)
+{
+    LECA_ASSERT(image.dim() == 3 && image.size(0) == 3,
+                "writePpm expects [3,H,W]");
+    const int h = image.size(1), w = image.size(2);
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open ", path, " for writing");
+    os << "P6\n" << w << " " << h << "\n255\n";
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            for (int c = 0; c < 3; ++c) {
+                const unsigned char b = toByte(image.at(c, y, x));
+                os.write(reinterpret_cast<const char *>(&b), 1);
+            }
+        }
+    }
+}
+
+void
+writePgm(const Tensor &image, const std::string &path, bool normalize)
+{
+    Tensor plane = image;
+    if (plane.dim() == 3) {
+        LECA_ASSERT(plane.size(0) == 1, "writePgm expects one channel");
+        plane = plane.reshape({plane.size(1), plane.size(2)});
+    }
+    LECA_ASSERT(plane.dim() == 2, "writePgm expects [H,W]");
+    const int h = plane.size(0), w = plane.size(1);
+
+    float lo = 0.0f, hi = 1.0f;
+    if (normalize) {
+        lo = std::numeric_limits<float>::max();
+        hi = std::numeric_limits<float>::lowest();
+        for (std::size_t i = 0; i < plane.numel(); ++i) {
+            lo = std::min(lo, plane[i]);
+            hi = std::max(hi, plane[i]);
+        }
+        if (hi <= lo)
+            hi = lo + 1.0f;
+    }
+
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open ", path, " for writing");
+    os << "P5\n" << w << " " << h << "\n255\n";
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const float v = (plane.at(y, x) - lo) / (hi - lo);
+            const unsigned char b = toByte(v);
+            os.write(reinterpret_cast<const char *>(&b), 1);
+        }
+    }
+}
+
+Tensor
+readPpm(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open ", path, " for reading");
+    std::string magic;
+    int w = 0, h = 0, maxval = 0;
+    is >> magic >> w >> h >> maxval;
+    LECA_ASSERT(magic == "P6" && maxval == 255, "unsupported PPM ", path);
+    is.get(); // single whitespace after header
+    Tensor img({3, h, w});
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            for (int c = 0; c < 3; ++c) {
+                const int b = is.get();
+                LECA_ASSERT(b >= 0, "truncated PPM ", path);
+                img.at(c, y, x) = static_cast<float>(b) / 255.0f;
+            }
+        }
+    }
+    return img;
+}
+
+} // namespace leca

@@ -1,0 +1,119 @@
+#include "serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "nn/layer.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C654341; // "LeCA"
+
+} // namespace
+
+void
+saveParams(const std::vector<Param *> &params, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open ", path, " for writing");
+    const std::uint32_t magic = kMagic;
+    const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+    os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const Param *p : params) {
+        const std::uint64_t numel = p->value.numel();
+        os.write(reinterpret_cast<const char *>(&numel), sizeof(numel));
+        os.write(reinterpret_cast<const char *>(p->value.data()),
+                 static_cast<std::streamsize>(numel * sizeof(float)));
+    }
+}
+
+bool
+loadParams(const std::vector<Param *> &params, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::uint32_t magic = 0, count = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is || magic != kMagic || count != params.size())
+        return false;
+    for (Param *p : params) {
+        std::uint64_t numel = 0;
+        is.read(reinterpret_cast<char *>(&numel), sizeof(numel));
+        if (!is || numel != p->value.numel())
+            return false;
+        is.read(reinterpret_cast<char *>(p->value.data()),
+                static_cast<std::streamsize>(numel * sizeof(float)));
+        if (!is)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Gather a layer's params and state as one flat tensor list. */
+std::vector<Tensor *>
+allTensorsOf(Layer &layer)
+{
+    std::vector<Tensor *> tensors;
+    for (Param *p : layer.params())
+        tensors.push_back(&p->value);
+    for (Tensor *t : layer.state())
+        tensors.push_back(t);
+    return tensors;
+}
+
+} // namespace
+
+void
+saveLayerState(Layer &layer, const std::string &path)
+{
+    const auto tensors = allTensorsOf(layer);
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open ", path, " for writing");
+    const std::uint32_t magic = kMagic + 1; // layer-state format
+    const std::uint32_t count = static_cast<std::uint32_t>(tensors.size());
+    os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const Tensor *t : tensors) {
+        const std::uint64_t numel = t->numel();
+        os.write(reinterpret_cast<const char *>(&numel), sizeof(numel));
+        os.write(reinterpret_cast<const char *>(t->data()),
+                 static_cast<std::streamsize>(numel * sizeof(float)));
+    }
+}
+
+bool
+loadLayerState(Layer &layer, const std::string &path)
+{
+    const auto tensors = allTensorsOf(layer);
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::uint32_t magic = 0, count = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is || magic != kMagic + 1 || count != tensors.size())
+        return false;
+    for (Tensor *t : tensors) {
+        std::uint64_t numel = 0;
+        is.read(reinterpret_cast<char *>(&numel), sizeof(numel));
+        if (!is || numel != t->numel())
+            return false;
+        is.read(reinterpret_cast<char *>(t->data()),
+                static_cast<std::streamsize>(numel * sizeof(float)));
+        if (!is)
+            return false;
+    }
+    return true;
+}
+
+} // namespace leca

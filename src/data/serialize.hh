@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Flat binary serialization of parameter lists, used to cache
+ * pre-trained backbones between bench invocations.
+ */
+
+#ifndef LECA_DATA_SERIALIZE_HH
+#define LECA_DATA_SERIALIZE_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/param.hh"
+
+namespace leca {
+
+/** Write every parameter's value tensor to @p path. */
+void saveParams(const std::vector<Param *> &params, const std::string &path);
+
+/**
+ * Load parameters saved by saveParams(). Shapes must match exactly.
+ * @return false if the file does not exist or is incompatible.
+ */
+bool loadParams(const std::vector<Param *> &params, const std::string &path);
+
+/**
+ * Save a layer's parameters AND persistent state (e.g. batch-norm
+ * running statistics) — required to reproduce evaluation-mode
+ * behaviour after a reload.
+ */
+void saveLayerState(class Layer &layer, const std::string &path);
+
+/** Load a layer's parameters and persistent state. */
+bool loadLayerState(class Layer &layer, const std::string &path);
+
+} // namespace leca
+
+#endif // LECA_DATA_SERIALIZE_HH

@@ -1,0 +1,130 @@
+#include "trainloop.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/augment.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+Dataset
+sliceDataset(const Dataset &ds, int begin, int count)
+{
+    LECA_ASSERT(begin >= 0 && begin + count <= ds.count(),
+                "slice out of range");
+    const int c = ds.images.size(1), h = ds.images.size(2);
+    const int w = ds.images.size(3);
+    const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
+    Dataset out;
+    out.images = Tensor::fromData(
+        {count, c, h, w},
+        std::vector<float>(ds.images.data() + begin * img_sz,
+                           ds.images.data() + (begin + count) * img_sz));
+    out.labels.assign(ds.labels.begin() + begin,
+                      ds.labels.begin() + begin + count);
+    return out;
+}
+
+Dataset
+gatherBatch(const Dataset &ds, const std::vector<int> &order, int begin,
+            int count)
+{
+    const int c = ds.images.size(1), h = ds.images.size(2);
+    const int w = ds.images.size(3);
+    const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
+    Dataset batch;
+    batch.images = Tensor({count, c, h, w});
+    batch.labels.resize(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const int src = order[static_cast<std::size_t>(begin + i)];
+        std::copy(ds.images.data() + src * img_sz,
+                  ds.images.data() + (src + 1) * img_sz,
+                  batch.images.data() + i * img_sz);
+        batch.labels[static_cast<std::size_t>(i)] =
+            ds.labels[static_cast<std::size_t>(src)];
+    }
+    return batch;
+}
+
+double
+evalAccuracy(Layer &net, const Dataset &ds, int batch_size)
+{
+    const int n = ds.count();
+    if (n == 0)
+        return 0.0;
+    int correct = 0;
+    for (int begin = 0; begin < n; begin += batch_size) {
+        const int count = std::min(batch_size, n - begin);
+        const Dataset batch = sliceDataset(ds, begin, count);
+        const Tensor logits = net.forward(batch.images, Mode::Eval);
+        const double acc = accuracy(logits, batch.labels);
+        correct += static_cast<int>(acc * count + 0.5);
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double
+trainClassifier(Layer &net, const Dataset &train, const Dataset &val,
+                const TrainOptions &options)
+{
+    Rng rng(options.seed);
+    Adam adam(net.params(), options.learningRate);
+    SoftmaxCrossEntropy loss;
+
+    std::vector<int> order(static_cast<std::size_t>(train.count()));
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        if (options.lrDecayEveryEpochs > 0 && epoch > 0 &&
+            epoch % options.lrDecayEveryEpochs == 0) {
+            adam.setLearningRate(adam.learningRate()
+                                 * options.lrDecayFactor);
+        }
+        // Fisher-Yates shuffle.
+        for (int i = train.count() - 1; i > 0; --i) {
+            const int j = rng.uniformInt(0, i);
+            std::swap(order[static_cast<std::size_t>(i)],
+                      order[static_cast<std::size_t>(j)]);
+        }
+        double epoch_loss = 0.0;
+        int batches = 0;
+        for (int begin = 0; begin < train.count();
+             begin += options.batchSize) {
+            const int count =
+                std::min(options.batchSize, train.count() - begin);
+            Dataset batch = gatherBatch(train, order, begin, count);
+            if (options.augment)
+                augmentBatch(batch.images, rng);
+            adam.zeroGrad();
+            const Tensor logits = net.forward(batch.images, Mode::Train);
+            epoch_loss += loss.forward(logits, batch.labels);
+            net.backward(loss.backward());
+            adam.step();
+            ++batches;
+        }
+        if (options.verbose) {
+            inform("epoch ", epoch + 1, "/", options.epochs, " loss ",
+                   epoch_loss / std::max(1, batches));
+        }
+    }
+    refreshBatchNormStats(net, train, options.batchSize);
+    return evalAccuracy(net, val);
+}
+
+void
+refreshBatchNormStats(Layer &net, const Dataset &ds, int batch_size)
+{
+    net.setStatsRefresh(true);
+    for (int begin = 0; begin < ds.count(); begin += batch_size) {
+        const int count = std::min(batch_size, ds.count() - begin);
+        const Dataset batch = sliceDataset(ds, begin, count);
+        net.forward(batch.images, Mode::Train);
+    }
+    net.setStatsRefresh(false);
+}
+
+} // namespace leca

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Generic mini-batch classifier training loop used to pre-train the
+ * backbone networks (the LeCA-specific curriculum lives in core/).
+ */
+
+#ifndef LECA_DATA_TRAINLOOP_HH
+#define LECA_DATA_TRAINLOOP_HH
+
+#include <cstdint>
+
+#include "data/dataset.hh"
+#include "nn/layer.hh"
+
+namespace leca {
+
+/** Options for trainClassifier(). */
+struct TrainOptions
+{
+    int epochs = 10;
+    int batchSize = 32;
+    double learningRate = 1e-3;
+    int lrDecayEveryEpochs = 0;   //!< 0 = no decay
+    double lrDecayFactor = 0.1;
+    bool augment = false;         //!< random flip + rotation (Sec. 5.2)
+    bool verbose = false;
+    std::uint64_t seed = 1234;
+};
+
+/** Copy a [count] slice of a dataset starting at @p begin. */
+Dataset sliceDataset(const Dataset &ds, int begin, int count);
+
+/** Gather an index-selected batch (order[begin..begin+count)). */
+Dataset gatherBatch(const Dataset &ds, const std::vector<int> &order,
+                    int begin, int count);
+
+/**
+ * Recompute every batch-norm layer's running statistics as the exact
+ * average over @p ds (forward-only pass in training mode). Called after
+ * short trainings so evaluation matches the final activations.
+ */
+void refreshBatchNormStats(Layer &net, const Dataset &ds,
+                           int batch_size = 32);
+
+/** Evaluation-mode top-1 accuracy of @p net on @p ds. */
+double evalAccuracy(Layer &net, const Dataset &ds, int batch_size = 64);
+
+/**
+ * Train @p net with Adam + cross entropy on @p train, shuffling every
+ * epoch. Returns the final accuracy on @p val.
+ */
+double trainClassifier(Layer &net, const Dataset &train, const Dataset &val,
+                       const TrainOptions &options);
+
+} // namespace leca
+
+#endif // LECA_DATA_TRAINLOOP_HH

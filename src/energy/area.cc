@@ -1,0 +1,21 @@
+#include "area.hh"
+
+namespace leca {
+
+double
+AreaModel::pixelArrayMm2() const
+{
+    const double pitch_mm = pixelPitchUm * 1e-3;
+    return pitch_mm * pitch_mm * rawRows * rawCols;
+}
+
+double
+AreaModel::overheadFraction() const
+{
+    // The conventional CIS baseline already contains the pixel array
+    // and a column ADC array; LeCA adds only the PE array on top.
+    const double baseline = pixelArrayMm2() + adcArrayMm2;
+    return peArrayMm2 / baseline;
+}
+
+} // namespace leca

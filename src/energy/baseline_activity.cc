@@ -1,0 +1,115 @@
+#include "baseline_activity.hh"
+
+#include <cmath>
+
+namespace leca {
+
+namespace {
+
+std::int64_t
+pixelsOf(int raw_rows, int raw_cols)
+{
+    return static_cast<std::int64_t>(raw_rows) * raw_cols;
+}
+
+/** Fill the SRAM/link counters for @p payload_bits of frame output. */
+void
+accountOutput(ChipStats &stats, std::int64_t payload_bits)
+{
+    stats.globalSramWriteBits += payload_bits;
+    stats.globalSramReadBits += payload_bits;
+    stats.outputLinkBits += payload_bits;
+}
+
+} // namespace
+
+SensorActivity
+cnvActivity(int raw_rows, int raw_cols)
+{
+    const std::int64_t p = pixelsOf(raw_rows, raw_cols);
+    SensorActivity a;
+    a.name = "CNV";
+    a.compressionRatio = 1.0;
+    a.stats.pixelReads = p;
+    a.stats.adcConversions[8.0] = p;
+    accountOutput(a.stats, p * 8);
+    return a;
+}
+
+SensorActivity
+sdActivity(int raw_rows, int raw_cols)
+{
+    const std::int64_t p = pixelsOf(raw_rows, raw_cols);
+    SensorActivity a;
+    a.name = "SD";
+    a.compressionRatio = 4.0;
+    a.stats.pixelReads = p;
+    // Vertical 2x binning halves the conversion count; the horizontal
+    // average is digital, keeping full-rate column sampling.
+    a.stats.adcConversions[8.0] = p / 2;
+    accountOutput(a.stats, (p / 4) * 8);
+    a.extraDigitalPj = 0.5 * static_cast<double>(p); // adders
+    return a;
+}
+
+SensorActivity
+lrActivity(int raw_rows, int raw_cols, double bits)
+{
+    const std::int64_t p = pixelsOf(raw_rows, raw_cols);
+    SensorActivity a;
+    a.name = "LR";
+    a.compressionRatio = 8.0 / bits;
+    a.stats.pixelReads = p;
+    a.stats.adcConversions[bits] = p;
+    accountOutput(a.stats, static_cast<std::int64_t>(
+        std::llround(static_cast<double>(p) * bits)));
+    return a;
+}
+
+SensorActivity
+csActivity(int raw_rows, int raw_cols)
+{
+    const std::int64_t p = pixelsOf(raw_rows, raw_cols);
+    SensorActivity a;
+    a.name = "CS";
+    a.compressionRatio = 4.0;
+    a.stats.pixelReads = p;
+    a.stats.macOps = p;       // analog random-projection MACs
+    a.stats.iBufferWrites = p;
+    a.stats.adcConversions[10.0] = p / 4;
+    accountOutput(a.stats, (p / 4) * 10);
+    return a;
+}
+
+SensorActivity
+msActivity(int raw_rows, int raw_cols)
+{
+    const std::int64_t p = pixelsOf(raw_rows, raw_cols);
+    SensorActivity a;
+    a.name = "MS";
+    a.compressionRatio = 4.0; // image dependent, 4x..5x (Fig. 13 note)
+    a.stats.pixelReads = p;
+    a.stats.adcConversions[2.0] = p; // pixel-wise low-res conversion
+    accountOutput(a.stats, p * 2);
+    // Value-shift pattern application + bitmap coding engine.
+    a.extraDigitalPj = 35.0 * static_cast<double>(p);
+    return a;
+}
+
+SensorActivity
+agtActivity(int raw_rows, int raw_cols)
+{
+    const std::int64_t p = pixelsOf(raw_rows, raw_cols);
+    SensorActivity a;
+    a.name = "AGT";
+    a.compressionRatio = 4.0;
+    a.stats.pixelReads = p;
+    // Gradient accumulation skips ~3/4 of the conversions.
+    a.stats.adcConversions[8.0] = p / 4;
+    accountOutput(a.stats, (p / 4) * 8);
+    // Per-pixel gradient accumulate/compare logic.
+    a.extraDigitalPj = 18.0 * static_cast<double>(p);
+    return a;
+}
+
+} // namespace leca

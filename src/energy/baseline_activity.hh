@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic per-frame activity models of the baseline sensor designs
+ * compared in Fig. 13. CNV and LeCA activity comes from the actual
+ * hw::LecaSensorChip simulation; the alternative sensors (SD, LR, CS,
+ * MS, AGT) are described by the event counts their published
+ * architectures imply, so all methods share one EnergyModel.
+ */
+
+#ifndef LECA_ENERGY_BASELINE_ACTIVITY_HH
+#define LECA_ENERGY_BASELINE_ACTIVITY_HH
+
+#include <string>
+
+#include "hw/stats.hh"
+
+namespace leca {
+
+/** A named sensor design point for the Fig. 13 comparison. */
+struct SensorActivity
+{
+    std::string name;
+    ChipStats stats;
+    double extraDigitalPj = 0.0; //!< per-frame digital engine energy
+    double compressionRatio = 1.0;
+};
+
+/** Conventional full-resolution sensor: every pixel digitized at 8b. */
+SensorActivity cnvActivity(int raw_rows, int raw_cols);
+
+/**
+ * Spatial down-sampling sensor at CR 4: vertical 2x analog binning on
+ * the shared column line plus horizontal digital averaging, 8-bit ADC.
+ */
+SensorActivity sdActivity(int raw_rows, int raw_cols);
+
+/** Low-resolution quantizer: pixel-wise ADC at @p bits. */
+SensorActivity lrActivity(int raw_rows, int raw_cols, double bits);
+
+/**
+ * Compressive-sensing sensor per [63]: column-parallel analog random
+ * projections (1 MAC/pixel), 1/4 measurement rate, 10-bit ADC (CS
+ * reconstruction demands high quantization resolution, Sec. 6.3).
+ */
+SensorActivity csActivity(int raw_rows, int raw_cols);
+
+/**
+ * Microshift [83]: digital value-shifting compression; every pixel is
+ * A/D converted (2-bit effective output + shift pattern bookkeeping),
+ * with a per-pixel digital engine cost.
+ */
+SensorActivity msActivity(int raw_rows, int raw_cols);
+
+/**
+ * Accumulated gradient thresholding [38]: all pixels read, ~1/4
+ * digitized at 8-bit after the gradient skip logic.
+ */
+SensorActivity agtActivity(int raw_rows, int raw_cols);
+
+} // namespace leca
+
+#endif // LECA_ENERGY_BASELINE_ACTIVITY_HH

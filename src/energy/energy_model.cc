@@ -1,0 +1,38 @@
+#include "energy_model.hh"
+
+#include <cmath>
+
+namespace leca {
+
+double
+EnergyModel::adcConversionPj(double bits) const
+{
+    if (bits < 2.0) {
+        // Ternary comparator path (Sec. 4.3): no SAR bit cycling.
+        return _params.ternaryCmpPj;
+    }
+    return _params.adcAlphaPj * std::pow(2.0, bits)
+           + _params.adcBetaPj * bits + _params.adcGammaPj;
+}
+
+EnergyBreakdown
+EnergyModel::fromStats(const ChipStats &stats, double extra_digital_pj) const
+{
+    EnergyBreakdown e;
+    e.pixelNj = stats.pixelReads * _params.pixelReadPj * 1e-3;
+    e.analogPeNj = (stats.iBufferWrites * _params.iBufferWritePj
+                    + stats.macOps * _params.macPj) * 1e-3;
+    double adc_pj = 0.0;
+    for (const auto &[bits, count] : stats.adcConversions)
+        adc_pj += count * adcConversionPj(bits);
+    e.adcNj = adc_pj * 1e-3;
+    e.sramNj = ((stats.localSramReadBits + stats.localSramWriteBits)
+                    * _params.localSramBitPj +
+                (stats.globalSramReadBits + stats.globalSramWriteBits)
+                    * _params.globalSramBitPj) * 1e-3;
+    e.commNj = stats.outputLinkBits * _params.linkBitPj * 1e-3;
+    e.digitalNj = (_params.digitalPerFramePj + extra_digital_pj) * 1e-3;
+    return e;
+}
+
+} // namespace leca

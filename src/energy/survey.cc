@@ -1,0 +1,66 @@
+#include "survey.hh"
+
+namespace leca {
+
+CisSurvey::CisSurvey()
+{
+    // Twelve designs the paper cites explicitly, then anonymous rows.
+    static const char *const cited[] = {
+        "Chen-TCAS1-2014 [11]",  "Choi-JSSC-2015 [14]",
+        "Choi-JSSC-2016 [15]",   "Choo-JSSC-2019 [16]",
+        "Hwang-TED-2018 [33]",   "Jo-TCAS1-2015 [36]",
+        "Kim-JSSC-2021 [40]",    "Kim-JSSC-2016 [41]",
+        "Lee-TCAS1-2015 [50]",   "Park-JSSC-2020 [64]",
+        "Seo-VLSI-2021 [71]",    "Shin-TED-2012 [72]",
+    };
+    static const double power_cycle[] = {0.57, 0.61, 0.65, 0.69,
+                                         0.73, 0.77, 0.81};
+    static const double time_cycle[] = {0.26, 0.30, 0.34, 0.38, 0.42};
+    static const double area_cycle[] = {0.52, 0.58, 0.64, 0.70};
+    static const int years[] = {2010, 2012, 2014, 2015, 2016, 2017,
+                                2018, 2019, 2020, 2021, 2022};
+
+    _entries.reserve(37);
+    for (int i = 0; i < 37; ++i) {
+        CisSurveyEntry entry;
+        if (i < 12) {
+            entry.key = cited[i];
+        } else {
+            entry.key = "survey-entry-" + std::to_string(i - 11);
+        }
+        entry.year = years[i % 11];
+        entry.adcBufferPowerShare = power_cycle[i % 7];
+        entry.readoutTimeShare = time_cycle[i % 5];
+        entry.adcBufferAreaShare = area_cycle[i % 4];
+        _entries.push_back(entry);
+    }
+}
+
+double
+CisSurvey::meanOf(double CisSurveyEntry::*field) const
+{
+    double sum = 0.0;
+    for (const auto &entry : _entries)
+        sum += entry.*field;
+    return sum / static_cast<double>(_entries.size());
+}
+
+double
+CisSurvey::meanPowerShare() const
+{
+    return meanOf(&CisSurveyEntry::adcBufferPowerShare);
+}
+
+double
+CisSurvey::meanReadoutTimeShare() const
+{
+    return meanOf(&CisSurveyEntry::readoutTimeShare);
+}
+
+double
+CisSurvey::meanAreaShare() const
+{
+    return meanOf(&CisSurveyEntry::adcBufferAreaShare);
+}
+
+} // namespace leca

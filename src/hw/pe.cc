@@ -1,0 +1,144 @@
+#include "pe.hh"
+
+#include "util/logging.hh"
+
+namespace leca {
+
+Pe::Pe(const CircuitConfig &config)
+    : _chain(AnalogChain::nominal(config)),
+      _oBuffers(4, DiffBuffer(config.vCm))
+{
+}
+
+Pe::Pe(const CircuitConfig &config, Rng &mc_rng)
+    : _chain(AnalogChain::sample(config, mc_rng)),
+      _oBuffers(4, DiffBuffer(config.vCm))
+{
+    // The paper calibrates ADC offset digitally (Sec. 4.4).
+    _chain.adc.calibrate();
+}
+
+void
+Pe::configureAdc(QBits qbits, double full_scale)
+{
+    _chain.adc.configure(qbits, full_scale);
+}
+
+void
+Pe::startBlock()
+{
+    _oBuffers.assign(4, DiffBuffer(_chain.config.vCm));
+}
+
+void
+Pe::loadRow(const std::array<double, 4> &pixel_voltages)
+{
+    _iBuffer = pixel_voltages;
+    _stats.iBufferWrites += 4;
+}
+
+void
+Pe::loadWeights(const std::vector<FlatKernel> &kernels, int kernel_base,
+                int kernel_count, int row_in_block)
+{
+    LECA_ASSERT(kernel_count >= 1 && kernel_count <= 4,
+                "PE supports at most 4 kernels per pass");
+    LECA_ASSERT(row_in_block >= 0 && row_in_block < 4, "bad block row");
+    for (int k = 0; k < kernel_count; ++k) {
+        const FlatKernel &kernel =
+            kernels[static_cast<std::size_t>(kernel_base + k)];
+        for (int c = 0; c < 4; ++c) {
+            _localSram[static_cast<std::size_t>(k) * 4 + c] =
+                kernel.taps[static_cast<std::size_t>(row_in_block) * 4 + c];
+        }
+    }
+    // 16 x 5-bit write from global SRAM (hidden behind pixel readout).
+    _stats.localSramWriteBits += 16 * 5;
+    _stats.globalSramReadBits += 16 * 5;
+}
+
+double
+Pe::applyPsf(double v_pixel, PeMode mode, Rng *noise_rng) const
+{
+    switch (mode) {
+      case PeMode::Ideal:
+        return _chain.psf.linearModel(v_pixel);
+      case PeMode::Real:
+        return _chain.psf.transfer(v_pixel);
+      case PeMode::RealNoisy:
+        LECA_ASSERT(noise_rng, "RealNoisy mode needs a noise stream");
+        return _chain.psf.transferNoisy(v_pixel, *noise_rng);
+    }
+    return v_pixel;
+}
+
+void
+Pe::processRow(int kernel_count, PeMode mode, Rng *noise_rng)
+{
+    LECA_ASSERT(kernel_count >= 1 && kernel_count <= 4,
+                "bad kernel count");
+    // Kernels consecutively, i-buffer entries cyclically (Fig. 5(c)).
+    for (int k = 0; k < kernel_count; ++k) {
+        DiffBuffer &obuf = _oBuffers[static_cast<std::size_t>(k)];
+        for (int c = 0; c < 4; ++c) {
+            const ScmWeight &w =
+                _localSram[static_cast<std::size_t>(k) * 4 + c];
+            _stats.localSramReadBits += 5;
+            ++_stats.macOps;
+            if (w.magnitude == 0)
+                continue;
+            const double v_in =
+                applyPsf(_iBuffer[static_cast<std::size_t>(c)], mode,
+                         noise_rng);
+            double &rail = w.negative ? obuf.vMinus : obuf.vPlus;
+            if (mode == PeMode::Ideal) {
+                rail = ScMultiplier::idealStep(
+                    _chain.config, rail, v_in,
+                    _chain.scm.idealCapFf(w.magnitude));
+            } else {
+                rail = _chain.scm.step(
+                    rail, v_in, w.magnitude,
+                    mode == PeMode::RealNoisy ? noise_rng : nullptr);
+            }
+        }
+    }
+}
+
+std::vector<int>
+Pe::readOfmap(int kernel_count, PeMode mode, Rng *noise_rng)
+{
+    std::vector<int> codes(static_cast<std::size_t>(kernel_count));
+    for (int k = 0; k < kernel_count; ++k) {
+        const DiffBuffer &obuf = _oBuffers[static_cast<std::size_t>(k)];
+        double plus = obuf.vPlus, minus = obuf.vMinus;
+        switch (mode) {
+          case PeMode::Ideal:
+            plus = _chain.fvf.linearModel(plus);
+            minus = _chain.fvf.linearModel(minus);
+            break;
+          case PeMode::Real:
+            plus = _chain.fvf.transfer(plus);
+            minus = _chain.fvf.transfer(minus);
+            break;
+          case PeMode::RealNoisy:
+            LECA_ASSERT(noise_rng, "RealNoisy mode needs a noise stream");
+            plus = _chain.fvf.transferNoisy(plus, *noise_rng);
+            minus = _chain.fvf.transferNoisy(minus, *noise_rng);
+            break;
+        }
+        codes[static_cast<std::size_t>(k)] = _chain.adc.convert(
+            plus - minus,
+            mode == PeMode::RealNoisy ? noise_rng : nullptr);
+        ++_stats.adcConversions[_chain.adc.qbits().bits()];
+    }
+    return codes;
+}
+
+double
+Pe::obufferDiff(int k) const
+{
+    LECA_ASSERT(k >= 0 && k < 4, "o-buffer index out of range");
+    return _oBuffers[static_cast<std::size_t>(k)].diff();
+}
+
+} // namespace leca

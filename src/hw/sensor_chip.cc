@@ -1,0 +1,162 @@
+#include "sensor_chip.hh"
+
+#include <cmath>
+
+#include "sensor/bayer.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+LecaSensorChip::LecaSensorChip(const ChipConfig &config)
+    : _config(config),
+      _pixelArray(config.sensor, 2 * config.rgbHeight, 2 * config.rgbWidth)
+{
+    LECA_ASSERT(config.rgbHeight % 2 == 0 && config.rgbWidth % 2 == 0,
+                "RGB frame extents must be even");
+    const int pe_count = (2 * config.rgbWidth) / 4;
+    _pes.reserve(static_cast<std::size_t>(pe_count));
+    Rng mc(config.mcSeed);
+    for (int i = 0; i < pe_count; ++i) {
+        if (config.monteCarlo) {
+            _pes.emplace_back(config.circuit, mc);
+        } else {
+            _pes.emplace_back(config.circuit);
+        }
+        _pes.back().configureAdc(config.qbits, config.adcFullScale);
+    }
+}
+
+void
+LecaSensorChip::loadKernels(std::vector<FlatKernel> kernels)
+{
+    LECA_ASSERT(!kernels.empty(), "need at least one kernel");
+    _kernels = std::move(kernels);
+    // Programming the encoder writes Nch x 16 x 5 bits of global SRAM.
+    _chipStats.globalSramWriteBits +=
+        static_cast<std::int64_t>(_kernels.size()) * 16 * 5;
+}
+
+Tensor
+LecaSensorChip::encodeFrame(const Tensor &rgb_scene, PeMode mode, Rng &rng,
+                            bool sensor_noise)
+{
+    LECA_ASSERT(!_kernels.empty(), "kernels not programmed");
+    LECA_ASSERT(rgb_scene.dim() == 3 && rgb_scene.size(0) == 3 &&
+                rgb_scene.size(1) == _config.rgbHeight &&
+                rgb_scene.size(2) == _config.rgbWidth,
+                "scene shape mismatch");
+
+    const Tensor raw = mosaic(rgb_scene);
+    _pixelArray.expose(raw, rng, sensor_noise);
+
+    const int raw_rows = _pixelArray.rows();
+    const int raw_cols = _pixelArray.cols();
+    const int of_h = raw_rows / 4;
+    const int of_w = raw_cols / 4;
+    const int nch = static_cast<int>(_kernels.size());
+    const int passes = (nch + 3) / 4;
+
+    Tensor ofmap({nch, of_h, of_w});
+    Rng *noise_rng = mode == PeMode::RealNoisy ? &rng : nullptr;
+
+    for (int band = 0; band < of_h; ++band) {
+        for (int pass = 0; pass < passes; ++pass) {
+            const int kernel_base = pass * 4;
+            const int kernel_count = std::min(4, nch - kernel_base);
+            for (auto &pe : _pes)
+                pe.startBlock();
+            for (int r = 0; r < 4; ++r) {
+                const int row = band * 4 + r;
+                const auto voltages = _pixelArray.readRowVoltages(row);
+                _chipStats.pixelReads += raw_cols;
+                for (int p = 0; p < static_cast<int>(_pes.size()); ++p) {
+                    Pe &pe = _pes[static_cast<std::size_t>(p)];
+                    pe.loadWeights(_kernels, kernel_base, kernel_count, r);
+                    pe.loadRow({voltages[static_cast<std::size_t>(4 * p)],
+                                voltages[static_cast<std::size_t>(4 * p + 1)],
+                                voltages[static_cast<std::size_t>(4 * p + 2)],
+                                voltages[static_cast<std::size_t>(4 * p + 3)]});
+                    pe.processRow(kernel_count, mode, noise_rng);
+                }
+            }
+            for (int p = 0; p < static_cast<int>(_pes.size()); ++p) {
+                Pe &pe = _pes[static_cast<std::size_t>(p)];
+                const auto codes =
+                    pe.readOfmap(kernel_count, mode, noise_rng);
+                for (int k = 0; k < kernel_count; ++k) {
+                    ofmap.at(kernel_base + k, band, p) =
+                        static_cast<float>(codes[static_cast<std::size_t>(k)]);
+                }
+            }
+        }
+    }
+
+    // Quantized ofmap goes through the global SRAM and off-chip.
+    const double bits = _config.qbits.bits();
+    const auto ofmap_bits = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(ofmap.numel()) * bits));
+    _chipStats.globalSramWriteBits += ofmap_bits;
+    _chipStats.globalSramReadBits += ofmap_bits;
+    _chipStats.outputLinkBits += ofmap_bits;
+    return ofmap;
+}
+
+Tensor
+LecaSensorChip::normalModeCapture(const Tensor &rgb_scene, Rng &rng,
+                                  bool sensor_noise)
+{
+    const Tensor raw = mosaic(rgb_scene);
+    _pixelArray.expose(raw, rng, sensor_noise);
+    const int rows = _pixelArray.rows(), cols = _pixelArray.cols();
+    Tensor out({rows, cols});
+    const SensorConfig &sc = _config.sensor;
+    for (int r = 0; r < rows; ++r) {
+        const auto voltages = _pixelArray.readRowVoltages(r);
+        _chipStats.pixelReads += cols;
+        for (int c = 0; c < cols; ++c) {
+            const int code = quantizeCode(
+                static_cast<float>(sc.voltageToDigital(
+                    voltages[static_cast<std::size_t>(c)])),
+                0.0f, 1.0f, 256);
+            out.at(r, c) = static_cast<float>(code) / 255.0f;
+        }
+    }
+    // All pixels digitized at 8 bits, stored, and streamed out.
+    const std::int64_t pixels = static_cast<std::int64_t>(rows) * cols;
+    _chipStats.adcConversions[8.0] += pixels;
+    _chipStats.globalSramWriteBits += pixels * 8;
+    _chipStats.globalSramReadBits += pixels * 8;
+    _chipStats.outputLinkBits += pixels * 8;
+    return out;
+}
+
+Tensor
+LecaSensorChip::codesToFeatures(const Tensor &codes) const
+{
+    const int levels = _config.qbits.levels();
+    Tensor features(codes.shape());
+    for (std::size_t i = 0; i < codes.numel(); ++i) {
+        features[i] = 2.0f * codes[i] / static_cast<float>(levels - 1)
+                      - 1.0f;
+    }
+    return features;
+}
+
+ChipStats
+LecaSensorChip::stats() const
+{
+    ChipStats total = _chipStats;
+    for (const auto &pe : _pes)
+        total += pe.stats();
+    return total;
+}
+
+void
+LecaSensorChip::resetStats()
+{
+    _chipStats = ChipStats{};
+    for (auto &pe : _pes)
+        pe.resetStats();
+}
+
+} // namespace leca

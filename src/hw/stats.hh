@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Event counters collected while simulating a frame through the LeCA
+ * sensor. The energy model (src/energy) turns these counts into pJ.
+ */
+
+#ifndef LECA_HW_STATS_HH
+#define LECA_HW_STATS_HH
+
+#include <cstdint>
+#include <map>
+
+namespace leca {
+
+/** Per-frame activity counters of the whole sensor chip. */
+struct ChipStats
+{
+    std::int64_t pixelReads = 0;    //!< pixel readout events
+    std::int64_t iBufferWrites = 0; //!< analog i-buffer writes
+    std::int64_t macOps = 0;        //!< SCM sample/transfer cycles
+    /** ADC conversions bucketed by resolution (bits -> count). */
+    std::map<double, std::int64_t> adcConversions;
+    std::int64_t localSramWriteBits = 0;
+    std::int64_t localSramReadBits = 0;
+    std::int64_t globalSramReadBits = 0;
+    std::int64_t globalSramWriteBits = 0;
+    std::int64_t outputLinkBits = 0; //!< serial interface traffic
+
+    /** Total conversion events across all resolutions. */
+    std::int64_t
+    totalAdcConversions() const
+    {
+        std::int64_t total = 0;
+        for (const auto &[bits, count] : adcConversions)
+            total += count;
+        return total;
+    }
+
+    ChipStats &
+    operator+=(const ChipStats &other)
+    {
+        pixelReads += other.pixelReads;
+        iBufferWrites += other.iBufferWrites;
+        macOps += other.macOps;
+        for (const auto &[bits, count] : other.adcConversions)
+            adcConversions[bits] += count;
+        localSramWriteBits += other.localSramWriteBits;
+        localSramReadBits += other.localSramReadBits;
+        globalSramReadBits += other.globalSramReadBits;
+        globalSramWriteBits += other.globalSramWriteBits;
+        outputLinkBits += other.outputLinkBits;
+        return *this;
+    }
+};
+
+} // namespace leca
+
+#endif // LECA_HW_STATS_HH

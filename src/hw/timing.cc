@@ -1,0 +1,47 @@
+#include "timing.hh"
+
+#include "util/logging.hh"
+
+namespace leca {
+
+double
+TimingModel::bandLatencyNs() const
+{
+    const double per_row = _config.pixelRowReadoutNs
+                           + _config.iBufferWriteNs + _config.macBurstNs;
+    return 4.0 * per_row + _config.ofmapFetchNs;
+}
+
+double
+TimingModel::frameLatencyUs(int raw_rows, int nch) const
+{
+    LECA_ASSERT(raw_rows % 4 == 0, "raw rows must be a multiple of 4");
+    LECA_ASSERT(nch >= 1, "need at least one channel");
+    const int bands = raw_rows / 4;
+    const int passes = (nch + 3) / 4; // repetitive readout factor
+    return bands * passes * bandLatencyNs() / 1000.0;
+}
+
+double
+TimingModel::framesPerSecond(int raw_rows, int nch) const
+{
+    return 1e6 / frameLatencyUs(raw_rows, nch);
+}
+
+double
+TimingModel::normalFrameLatencyUs(int raw_rows) const
+{
+    // Normal mode: each row is read out and digitized through four
+    // ADC quantization cycles (Sec. 4.3).
+    const double per_row =
+        _config.pixelRowReadoutNs + 4.0 * _config.adcCycleNs;
+    return raw_rows * per_row / 1000.0;
+}
+
+bool
+TimingModel::sramWriteHidden() const
+{
+    return _config.localSramWriteNs <= _config.pixelRowReadoutNs;
+}
+
+} // namespace leca

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Operation-sequence timing model of the LeCA sensor (Sec. 4.2,
+ * Fig. 6(b)): a slow 100 MHz controller-s and a fast 400 MHz
+ * controller-f coordinate pixel readout, i-buffer writes, the
+ * 16-MAC SCM burst per row, and the ofmap fetch after every 4 rows.
+ *
+ * Reproduced headline numbers: 209 fps at 448x448 (Nch <= 4) and
+ * ~86 fps at 1080p (Sec. 6.4).
+ */
+
+#ifndef LECA_HW_TIMING_HH
+#define LECA_HW_TIMING_HH
+
+namespace leca {
+
+/** Phase durations from the paper's timing diagram (nanoseconds). */
+struct TimingConfig
+{
+    double pixelRowReadoutNs = 10350.0; //!< rolling-shutter row readout
+    double iBufferWriteNs = 30.0;       //!< 4 analog i-buffer writes
+    double macBurstNs = 250.0;          //!< 16 MACs at 400 MHz + margin
+    double ofmapFetchNs = 200.0;        //!< o-buffer -> ADC -> SRAM
+    double localSramWriteNs = 500.0;    //!< hidden behind row readout
+    double adcCycleNs = 62.5;           //!< one normal-mode ADC cycle
+};
+
+/** Frame-latency / frame-rate estimator. */
+class TimingModel
+{
+  public:
+    explicit TimingModel(TimingConfig config = TimingConfig{})
+        : _config(config)
+    {
+    }
+
+    /**
+     * Latency of one LeCA-encoded frame in microseconds.
+     *
+     * @param raw_rows  pixel-array height (448 for the default chip)
+     * @param nch       output channels; Nch > 4 triggers repetitive
+     *                  readout (each 4-row band re-read per kernel
+     *                  group, Sec. 4.2 step 4)
+     */
+    double frameLatencyUs(int raw_rows, int nch) const;
+
+    /** LeCA-mode frames per second. */
+    double framesPerSecond(int raw_rows, int nch) const;
+
+    /**
+     * Latency of one row band (4 rows + ofmap fetch) in nanoseconds.
+     */
+    double bandLatencyNs() const;
+
+    /** Normal (bypass) mode frame latency in microseconds. */
+    double normalFrameLatencyUs(int raw_rows) const;
+
+    /**
+     * True when the local SRAM write is hidden behind the pixel row
+     * readout (Sec. 4.2 step 1) — an invariant of the design.
+     */
+    bool sramWriteHidden() const;
+
+    const TimingConfig &config() const { return _config; }
+
+  private:
+    TimingConfig _config;
+};
+
+} // namespace leca
+
+#endif // LECA_HW_TIMING_HH

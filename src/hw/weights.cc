@@ -1,0 +1,72 @@
+#include "weights.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+ScmWeight
+quantizeWeight(float w, float w_scale, int dac_steps)
+{
+    LECA_ASSERT(w_scale > 0.0f, "weight scale must be positive");
+    const float normalized = std::abs(w) / w_scale;
+    int mag = static_cast<int>(
+        std::lround(normalized * static_cast<float>(dac_steps)));
+    mag = std::clamp(mag, 0, dac_steps);
+    return ScmWeight{mag, w < 0.0f};
+}
+
+float
+dequantizeWeight(const ScmWeight &w, float w_scale, int dac_steps)
+{
+    const float mag = static_cast<float>(w.magnitude)
+                      / static_cast<float>(dac_steps) * w_scale;
+    return w.negative ? -mag : mag;
+}
+
+std::vector<FlatKernel>
+flattenKernels(const Tensor &rgb_weights, float w_scale)
+{
+    LECA_ASSERT(rgb_weights.dim() == 4 && rgb_weights.size(1) == 3 &&
+                rgb_weights.size(2) == 2 && rgb_weights.size(3) == 2,
+                "flattenKernels expects [Nch,3,2,2]");
+    const int nch = rgb_weights.size(0);
+    std::vector<FlatKernel> kernels(static_cast<std::size_t>(nch));
+    for (int k = 0; k < nch; ++k) {
+        FlatKernel &flat = kernels[static_cast<std::size_t>(k)];
+        flat.taps.assign(16, ScmWeight{});
+        for (int y = 0; y < 2; ++y) {
+            for (int x = 0; x < 2; ++x) {
+                const float wr = rgb_weights.at(k, 0, y, x);
+                const float wg = rgb_weights.at(k, 1, y, x);
+                const float wb = rgb_weights.at(k, 2, y, x);
+                // Raw 4x4 block: RGB pixel (y,x) occupies the 2x2 cell
+                // at (2y, 2x) with the RGGB pattern.
+                const int ry = 2 * y, rx = 2 * x;
+                auto tap = [&flat](int yy, int xx) -> ScmWeight & {
+                    return flat.taps[static_cast<std::size_t>(yy) * 4 + xx];
+                };
+                tap(ry, rx) = quantizeWeight(wr, w_scale);
+                tap(ry, rx + 1) = quantizeWeight(wg * 0.5f, w_scale);
+                tap(ry + 1, rx) = quantizeWeight(wg * 0.5f, w_scale);
+                tap(ry + 1, rx + 1) = quantizeWeight(wb, w_scale);
+            }
+        }
+    }
+    return kernels;
+}
+
+std::vector<float>
+kernelToFloats(const FlatKernel &kernel, float w_scale)
+{
+    std::vector<float> out(16);
+    for (int i = 0; i < 16; ++i)
+        out[static_cast<std::size_t>(i)] =
+            dequantizeWeight(kernel.taps[static_cast<std::size_t>(i)],
+                             w_scale);
+    return out;
+}
+
+} // namespace leca

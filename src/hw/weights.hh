@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hardware weight handling: quantization of trained encoder weights to
+ * the 5-bit (sign + 4-bit magnitude) SCM codes, and kernel flattening
+ * from the RGB domain to the Bayer raw domain (Fig. 5(a)).
+ */
+
+#ifndef LECA_HW_WEIGHTS_HH
+#define LECA_HW_WEIGHTS_HH
+
+#include <vector>
+
+#include "analog/scm.hh"
+#include "tensor/tensor.hh"
+
+namespace leca {
+
+/**
+ * Quantize a real weight to a sign+magnitude SCM code.
+ *
+ * @param w          the trained weight
+ * @param w_scale    |w| = w_scale maps to the full DAC code
+ * @param dac_steps  number of magnitude steps (15 for 4-bit)
+ */
+ScmWeight quantizeWeight(float w, float w_scale, int dac_steps = 15);
+
+/** Real-valued weight represented by an SCM code under @p w_scale. */
+float dequantizeWeight(const ScmWeight &w, float w_scale,
+                       int dac_steps = 15);
+
+/**
+ * One encoder kernel flattened onto the raw Bayer 4x4 block
+ * (row-major, 16 entries).
+ */
+struct FlatKernel
+{
+    std::vector<ScmWeight> taps; //!< 16 sign+magnitude codes
+
+    /** Taps of raw row @p r (4 entries). */
+    std::vector<ScmWeight>
+    row(int r) const
+    {
+        return {taps.begin() + r * 4, taps.begin() + (r + 1) * 4};
+    }
+};
+
+/**
+ * Flatten trained RGB encoder weights [Nch, 3, 2, 2] into raw-domain
+ * 4x4 kernels: the green weight is halved and placed on both green
+ * Bayer sites; red/blue map to their single sites (Fig. 5(a)).
+ *
+ * @param rgb_weights encoder weight tensor [Nch, 3, 2, 2]
+ * @param w_scale     weight quantization scale
+ * @return one FlatKernel per output channel
+ */
+std::vector<FlatKernel> flattenKernels(const Tensor &rgb_weights,
+                                       float w_scale);
+
+/**
+ * Inverse check helper: the real-valued raw-domain weight matrix
+ * represented by a flattened kernel (4x4 row-major floats).
+ */
+std::vector<float> kernelToFloats(const FlatKernel &kernel, float w_scale);
+
+} // namespace leca
+
+#endif // LECA_HW_WEIGHTS_HH

@@ -1,0 +1,66 @@
+#include "activation.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+Tensor
+Relu::forward(const Tensor &x, Mode mode)
+{
+    Tensor y(x.shape());
+    if (mode == Mode::Train) {
+        _mask.assign(x.numel(), false);
+        _shape = x.shape();
+    }
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        const bool pos = x[i] > 0.0f;
+        y[i] = pos ? x[i] : 0.0f;
+        if (mode == Mode::Train)
+            _mask[i] = pos;
+    }
+    return y;
+}
+
+Tensor
+Relu::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(_mask.size() == grad_out.numel(),
+                "Relu backward without matching forward");
+    Tensor dx(grad_out.shape());
+    for (std::size_t i = 0; i < grad_out.numel(); ++i)
+        dx[i] = _mask[i] ? grad_out[i] : 0.0f;
+    _mask.clear();
+    return dx;
+}
+
+Tensor
+HardClamp::forward(const Tensor &x, Mode mode)
+{
+    Tensor y(x.shape());
+    if (mode == Mode::Train) {
+        _inside.assign(x.numel(), false);
+        _shape = x.shape();
+    }
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        y[i] = std::clamp(x[i], _lo, _hi);
+        if (mode == Mode::Train)
+            _inside[i] = x[i] >= _lo && x[i] <= _hi;
+    }
+    return y;
+}
+
+Tensor
+HardClamp::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(_inside.size() == grad_out.numel(),
+                "HardClamp backward without matching forward");
+    Tensor dx(grad_out.shape());
+    for (std::size_t i = 0; i < grad_out.numel(); ++i)
+        dx[i] = _inside[i] ? grad_out[i] : 0.0f;
+    _inside.clear();
+    return dx;
+}
+
+} // namespace leca

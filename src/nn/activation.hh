@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Pointwise activation layers.
+ */
+
+#ifndef LECA_NN_ACTIVATION_HH
+#define LECA_NN_ACTIVATION_HH
+
+#include "nn/layer.hh"
+
+namespace leca {
+
+/** Rectified linear unit. */
+class Relu : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    std::vector<bool> _mask; // true where the input was positive
+    std::vector<int> _shape;
+};
+
+/**
+ * Hard clamp to [lo, hi] with pass-through gradient inside the range
+ * and zero outside (clipped straight-through). Models the limited
+ * signal range of the analog path (Sec. 3.4 "hardware constraints").
+ */
+class HardClamp : public Layer
+{
+  public:
+    HardClamp(float lo, float hi) : _lo(lo), _hi(hi) {}
+
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    float _lo, _hi;
+    std::vector<bool> _inside;
+    std::vector<int> _shape;
+};
+
+} // namespace leca
+
+#endif // LECA_NN_ACTIVATION_HH

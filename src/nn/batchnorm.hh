@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Batch normalisation over the channel dimension of [N,C,H,W] tensors
+ * (used by the backbone residual blocks and the LeCA decoder head,
+ * Table 2).
+ */
+
+#ifndef LECA_NN_BATCHNORM_HH
+#define LECA_NN_BATCHNORM_HH
+
+#include "nn/layer.hh"
+
+namespace leca {
+
+/**
+ * BatchNorm2d with learnable affine (gamma, beta) and running statistics
+ * for evaluation mode.
+ */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(int channels, float momentum = 0.1f,
+                         float eps = 1e-5f);
+
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override { return {&_gamma, &_beta}; }
+    std::vector<Tensor *> state() override
+    {
+        return {&_runningMean, &_runningVar};
+    }
+
+    void setStatsRefresh(bool enable) override;
+
+    const Tensor &runningMean() const { return _runningMean; }
+    const Tensor &runningVar() const { return _runningVar; }
+
+  private:
+    int _channels;
+    float _momentum;
+    float _eps;
+    Param _gamma;
+    Param _beta;
+    Tensor _runningMean;
+    Tensor _runningVar;
+    bool _refresh = false;
+    long _refreshCount = 0;
+
+    // Forward cache (training mode).
+    Tensor _xhat;
+    std::vector<float> _batchStd; // per-channel sqrt(var + eps)
+};
+
+} // namespace leca
+
+#endif // LECA_NN_BATCHNORM_HH

@@ -1,0 +1,106 @@
+#include "conv.hh"
+
+#include "nn/init.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+Conv2d::Conv2d(int cin, int cout, int k, int stride, int pad, bool bias,
+               Rng &rng)
+    : _cin(cin), _cout(cout), _k(k), _stride(stride), _pad(pad),
+      _hasBias(bias),
+      _weight(Tensor({cout, cin, k, k})),
+      _bias(Tensor({cout}))
+{
+    kaimingInit(_weight.value, cin * k * k, rng);
+}
+
+Tensor
+Conv2d::forward(const Tensor &x, Mode mode)
+{
+    LECA_ASSERT(x.dim() == 4 && x.size(1) == _cin, "Conv2d input shape");
+    const int n = x.size(0), h = x.size(2), w = x.size(3);
+    const int oh = convOutSize(h, _k, _stride, _pad);
+    const int ow = convOutSize(w, _k, _stride, _pad);
+
+    _cols.clear();
+    _inShape = x.shape();
+
+    const Tensor wmat = _weight.value.reshape({_cout, _cin * _k * _k});
+    Tensor y({n, _cout, oh, ow});
+    for (int i = 0; i < n; ++i) {
+        const std::size_t img_sz =
+            static_cast<std::size_t>(_cin) * h * w;
+        Tensor img = Tensor::fromData(
+            {_cin, h, w},
+            std::vector<float>(x.data() + i * img_sz,
+                               x.data() + (i + 1) * img_sz));
+        Tensor cols = im2col(img, _k, _k, _stride, _pad);
+        const Tensor out = matmul(wmat, cols);
+        float *dst = y.data() + static_cast<std::size_t>(i) * _cout * oh * ow;
+        const float *src = out.data();
+        for (int co = 0; co < _cout; ++co) {
+            const float b =
+                _hasBias ? _bias.value[static_cast<std::size_t>(co)] : 0.0f;
+            for (int p = 0; p < oh * ow; ++p)
+                dst[co * oh * ow + p] = src[co * oh * ow + p] + b;
+        }
+        if (mode == Mode::Train)
+            _cols.push_back(std::move(cols));
+    }
+    return y;
+}
+
+Tensor
+Conv2d::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(!_cols.empty(), "Conv2d backward without cached forward");
+    const int n = _inShape[0], h = _inShape[2], w = _inShape[3];
+    const int oh = grad_out.size(2), ow = grad_out.size(3);
+    LECA_ASSERT(grad_out.size(0) == n && grad_out.size(1) == _cout,
+                "Conv2d grad shape");
+
+    const Tensor wmat = _weight.value.reshape({_cout, _cin * _k * _k});
+    Tensor dwmat({_cout, _cin * _k * _k});
+    Tensor dx({n, _cin, h, w});
+
+    for (int i = 0; i < n; ++i) {
+        const std::size_t go_sz = static_cast<std::size_t>(_cout) * oh * ow;
+        Tensor dy = Tensor::fromData(
+            {_cout, oh * ow},
+            std::vector<float>(grad_out.data() + i * go_sz,
+                               grad_out.data() + (i + 1) * go_sz));
+        // dW += dY * cols^T
+        const Tensor dwi = matmulTransB(dy, _cols[static_cast<std::size_t>(i)]);
+        dwmat += dwi;
+        if (_hasBias) {
+            for (int co = 0; co < _cout; ++co) {
+                float acc = 0.0f;
+                for (int p = 0; p < oh * ow; ++p)
+                    acc += dy.at(co, p);
+                _bias.grad[static_cast<std::size_t>(co)] += acc;
+            }
+        }
+        // dX = col2im(W^T * dY)
+        const Tensor dcols = matmulTransA(wmat, dy);
+        const Tensor dimg = col2im(dcols, _cin, h, w, _k, _k, _stride, _pad);
+        float *dst = dx.data() + static_cast<std::size_t>(i) * _cin * h * w;
+        const float *src = dimg.data();
+        for (std::size_t p = 0; p < dimg.numel(); ++p)
+            dst[p] += src[p];
+    }
+    _weight.grad += dwmat.reshape({_cout, _cin, _k, _k});
+    _cols.clear();
+    return dx;
+}
+
+std::vector<Param *>
+Conv2d::params()
+{
+    if (_hasBias)
+        return {&_weight, &_bias};
+    return {&_weight};
+}
+
+} // namespace leca

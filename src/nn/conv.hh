@@ -1,0 +1,61 @@
+/**
+ * @file
+ * 2-D convolution layer with hand-derived backward pass (im2col based).
+ */
+
+#ifndef LECA_NN_CONV_HH
+#define LECA_NN_CONV_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+/**
+ * Standard 2-D convolution: weight [Cout, Cin, K, K], optional bias.
+ *
+ * Forward caches the im2col matrix per batch image; backward produces
+ * dW = dY * cols^T, db = row-sums of dY, and dX via col2im of W^T * dY.
+ */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param cin     input channels
+     * @param cout    output channels
+     * @param k       square kernel extent
+     * @param stride  stride (LeCA encoder uses stride == k)
+     * @param pad     symmetric zero padding
+     * @param bias    whether to learn a bias term
+     * @param rng     initialisation stream (Kaiming)
+     */
+    Conv2d(int cin, int cout, int k, int stride, int pad, bool bias,
+           Rng &rng);
+
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+
+    Param &weight() { return _weight; }
+    Param &bias() { return _bias; }
+    bool hasBias() const { return _hasBias; }
+    int stride() const { return _stride; }
+    int pad() const { return _pad; }
+    int kernel() const { return _k; }
+
+  private:
+    int _cin, _cout, _k, _stride, _pad;
+    bool _hasBias;
+    Param _weight;
+    Param _bias;
+
+    // Forward cache.
+    std::vector<Tensor> _cols;   // one im2col matrix per batch image
+    std::vector<int> _inShape;   // input shape for backward-data
+};
+
+} // namespace leca
+
+#endif // LECA_NN_CONV_HH

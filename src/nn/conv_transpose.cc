@@ -1,0 +1,107 @@
+#include "conv_transpose.hh"
+
+#include "nn/init.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+ConvTranspose2d::ConvTranspose2d(int cin, int cout, int k, int stride,
+                                 bool bias, Rng &rng)
+    : _cin(cin), _cout(cout), _k(k), _stride(stride), _hasBias(bias),
+      _weight(Tensor({cin, cout, k, k})),
+      _bias(Tensor({cout}))
+{
+    kaimingInit(_weight.value, cin * k * k, rng);
+}
+
+Tensor
+ConvTranspose2d::forward(const Tensor &x, Mode mode)
+{
+    LECA_ASSERT(x.dim() == 4 && x.size(1) == _cin,
+                "ConvTranspose2d input shape");
+    const int n = x.size(0), h = x.size(2), w = x.size(3);
+    const int oh = (h - 1) * _stride + _k;
+    const int ow = (w - 1) * _stride + _k;
+
+    const Tensor wmat = _weight.value.reshape({_cin, _cout * _k * _k});
+    Tensor y({n, _cout, oh, ow});
+    for (int i = 0; i < n; ++i) {
+        const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
+        const Tensor xm = Tensor::fromData(
+            {_cin, h * w},
+            std::vector<float>(x.data() + i * in_sz,
+                               x.data() + (i + 1) * in_sz));
+        // cols = W^T * X : [Cout*K*K, H*W]
+        const Tensor cols = matmulTransA(wmat, xm);
+        const Tensor img = col2im(cols, _cout, oh, ow, _k, _k, _stride, 0);
+        float *dst = y.data() + static_cast<std::size_t>(i) * _cout * oh * ow;
+        const float *src = img.data();
+        for (int co = 0; co < _cout; ++co) {
+            const float b =
+                _hasBias ? _bias.value[static_cast<std::size_t>(co)] : 0.0f;
+            for (int p = 0; p < oh * ow; ++p)
+                dst[co * oh * ow + p] = src[co * oh * ow + p] + b;
+        }
+    }
+    if (mode == Mode::Train)
+        _input = x;
+    return y;
+}
+
+Tensor
+ConvTranspose2d::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(_input.numel() > 0,
+                "ConvTranspose2d backward without cached forward");
+    const int n = _input.size(0), h = _input.size(2), w = _input.size(3);
+    const int oh = grad_out.size(2), ow = grad_out.size(3);
+
+    const Tensor wmat = _weight.value.reshape({_cin, _cout * _k * _k});
+    Tensor dwmat({_cin, _cout * _k * _k});
+    Tensor dx({n, _cin, h, w});
+
+    for (int i = 0; i < n; ++i) {
+        const std::size_t go_sz = static_cast<std::size_t>(_cout) * oh * ow;
+        const Tensor dy = Tensor::fromData(
+            {_cout, oh, ow},
+            std::vector<float>(grad_out.data() + i * go_sz,
+                               grad_out.data() + (i + 1) * go_sz));
+        // dcols = im2col(dY) : [Cout*K*K, H*W]
+        const Tensor dcols = im2col(dy, _k, _k, _stride, 0);
+        // dX = W * dcols : [Cin, H*W]
+        const Tensor dxm = matmul(wmat, dcols);
+        float *dst = dx.data() + static_cast<std::size_t>(i) * _cin * h * w;
+        const float *src = dxm.data();
+        for (std::size_t p = 0; p < dxm.numel(); ++p)
+            dst[p] = src[p];
+        // dW = X * dcols^T : [Cin, Cout*K*K]
+        const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
+        const Tensor xm = Tensor::fromData(
+            {_cin, h * w},
+            std::vector<float>(_input.data() + i * in_sz,
+                               _input.data() + (i + 1) * in_sz));
+        dwmat += matmulTransB(xm, dcols);
+        if (_hasBias) {
+            for (int co = 0; co < _cout; ++co) {
+                float acc = 0.0f;
+                for (int p = 0; p < oh * ow; ++p)
+                    acc += dy[static_cast<std::size_t>(co) * oh * ow + p];
+                _bias.grad[static_cast<std::size_t>(co)] += acc;
+            }
+        }
+    }
+    _weight.grad += dwmat.reshape({_cin, _cout, _k, _k});
+    _input = Tensor();
+    return dx;
+}
+
+std::vector<Param *>
+ConvTranspose2d::params()
+{
+    if (_hasBias)
+        return {&_weight, &_bias};
+    return {&_weight};
+}
+
+} // namespace leca

@@ -1,0 +1,23 @@
+#include "init.hh"
+
+#include <cmath>
+
+namespace leca {
+
+void
+kaimingInit(Tensor &t, int fan_in, Rng &rng)
+{
+    const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+void
+xavierInit(Tensor &t, int fan_in, int fan_out, Rng &rng)
+{
+    const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+} // namespace leca

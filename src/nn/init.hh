@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Weight initialisation helpers (Kaiming / Xavier) over util::Rng so
+ * that every training run is deterministic given its seed.
+ */
+
+#ifndef LECA_NN_INIT_HH
+#define LECA_NN_INIT_HH
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+/** Fill with N(0, sqrt(2 / fan_in)) — Kaiming for ReLU networks. */
+void kaimingInit(Tensor &t, int fan_in, Rng &rng);
+
+/** Fill with U(-a, a), a = sqrt(6 / (fan_in + fan_out)) — Xavier. */
+void xavierInit(Tensor &t, int fan_in, int fan_out, Rng &rng);
+
+} // namespace leca
+
+#endif // LECA_NN_INIT_HH

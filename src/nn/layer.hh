@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Base interface of the hand-rolled training framework.
+ *
+ * Every layer implements an explicit forward pass (caching whatever the
+ * backward pass needs) and an explicit, hand-derived backward pass. There
+ * is no tape/autograd: the LeCA pipeline is a fixed feed-forward stack,
+ * so reverse-mode differentiation by composition is simpler to verify
+ * (each layer's gradient is unit-tested against finite differences).
+ */
+
+#ifndef LECA_NN_LAYER_HH
+#define LECA_NN_LAYER_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/param.hh"
+#include "tensor/tensor.hh"
+
+namespace leca {
+
+/** Whether a forward pass is part of training or evaluation. */
+enum class Mode { Train, Eval };
+
+/**
+ * Abstract differentiable layer. A layer holds at most one outstanding
+ * forward activation cache; calling backward() consumes it.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Compute the output for @p x, caching intermediates when training. */
+    virtual Tensor forward(const Tensor &x, Mode mode) = 0;
+
+    /**
+     * Propagate @p grad_out (dL/d output) backwards, accumulating
+     * parameter gradients and returning dL/d input.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** All trainable parameters of this layer (and its children). */
+    virtual std::vector<Param *> params() { return {}; }
+
+    /**
+     * Non-trainable persistent state (e.g. batch-norm running
+     * statistics) that must be serialized alongside the parameters.
+     */
+    virtual std::vector<Tensor *> state() { return {}; }
+
+    /**
+     * Toggle batch-norm statistics refresh: while enabled, training-
+     * mode forward passes recompute the running statistics as an exact
+     * cumulative average instead of an exponential one. Used after
+     * short trainings so evaluation-mode normalisation matches the
+     * final activation distribution.
+     */
+    virtual void setStatsRefresh(bool enable) { (void)enable; }
+
+    /** Mark every parameter as frozen (or unfrozen). */
+    void
+    freeze(bool frozen = true)
+    {
+        for (Param *p : params())
+            p->frozen = frozen;
+    }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace leca
+
+#endif // LECA_NN_LAYER_HH

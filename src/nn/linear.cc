@@ -1,0 +1,51 @@
+#include "linear.hh"
+
+#include "nn/init.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+Linear::Linear(int in_features, int out_features, Rng &rng)
+    : _in(in_features), _out(out_features),
+      _weight(Tensor({out_features, in_features})),
+      _bias(Tensor({out_features}))
+{
+    xavierInit(_weight.value, in_features, out_features, rng);
+}
+
+Tensor
+Linear::forward(const Tensor &x, Mode mode)
+{
+    LECA_ASSERT(x.dim() == 2 && x.size(1) == _in, "Linear input shape");
+    // y = x * W^T
+    Tensor y = matmulTransB(x, _weight.value);
+    const int n = y.size(0);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < _out; ++j)
+            y.at(i, j) += _bias.value[static_cast<std::size_t>(j)];
+    if (mode == Mode::Train)
+        _input = x;
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(_input.numel() > 0, "Linear backward without forward");
+    // dW = dY^T * X  -> [out, in]
+    _weight.grad += matmulTransA(grad_out, _input);
+    const int n = grad_out.size(0);
+    for (int j = 0; j < _out; ++j) {
+        float acc = 0.0f;
+        for (int i = 0; i < n; ++i)
+            acc += grad_out.at(i, j);
+        _bias.grad[static_cast<std::size_t>(j)] += acc;
+    }
+    // dX = dY * W
+    Tensor dx = matmul(grad_out, _weight.value);
+    _input = Tensor();
+    return dx;
+}
+
+} // namespace leca

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fully-connected layer (classifier head of the backbone networks).
+ */
+
+#ifndef LECA_NN_LINEAR_HH
+#define LECA_NN_LINEAR_HH
+
+#include "nn/layer.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+/** y = x W^T + b with x [N, in], W [out, in], b [out]. */
+class Linear : public Layer
+{
+  public:
+    Linear(int in_features, int out_features, Rng &rng);
+
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override { return {&_weight, &_bias}; }
+
+    Param &weight() { return _weight; }
+    Param &bias() { return _bias; }
+
+  private:
+    int _in, _out;
+    Param _weight;
+    Param _bias;
+    Tensor _input;
+};
+
+} // namespace leca
+
+#endif // LECA_NN_LINEAR_HH

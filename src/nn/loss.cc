@@ -1,0 +1,85 @@
+#include "loss.hh"
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+double
+SoftmaxCrossEntropy::forward(const Tensor &logits,
+                             const std::vector<int> &labels)
+{
+    LECA_ASSERT(logits.dim() == 2, "loss expects [N,K] logits");
+    const int n = logits.size(0);
+    LECA_ASSERT(static_cast<std::size_t>(n) == labels.size(),
+                "label count mismatch");
+    _probs = softmax(logits);
+    _labels = labels;
+    double loss = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const float p = _probs.at(i, labels[static_cast<std::size_t>(i)]);
+        loss += -std::log(std::max(p, 1e-12f));
+    }
+    return loss / static_cast<double>(n);
+}
+
+Tensor
+SoftmaxCrossEntropy::backward() const
+{
+    LECA_ASSERT(_probs.numel() > 0, "loss backward without forward");
+    const int n = _probs.size(0), k = _probs.size(1);
+    Tensor d(_probs.shape());
+    const float inv = 1.0f / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < k; ++j) {
+            float g = _probs.at(i, j);
+            if (j == _labels[static_cast<std::size_t>(i)])
+                g -= 1.0f;
+            d.at(i, j) = g * inv;
+        }
+    }
+    return d;
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const auto pred = argmaxRows(logits);
+    LECA_ASSERT(pred.size() == labels.size(), "accuracy label mismatch");
+    if (pred.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i)
+        if (pred[i] == labels[i])
+            ++correct;
+    return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double
+MseLoss::forward(const Tensor &prediction, const Tensor &target)
+{
+    LECA_ASSERT(prediction.sameShape(target), "MseLoss shape mismatch");
+    _prediction = prediction;
+    _target = target;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < prediction.numel(); ++i) {
+        const double d = static_cast<double>(prediction[i]) - target[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(prediction.numel());
+}
+
+Tensor
+MseLoss::backward() const
+{
+    LECA_ASSERT(_prediction.numel() > 0, "MseLoss backward before forward");
+    Tensor d(_prediction.shape());
+    const float scale = 2.0f / static_cast<float>(_prediction.numel());
+    for (std::size_t i = 0; i < d.numel(); ++i)
+        d[i] = scale * (_prediction[i] - _target[i]);
+    return d;
+}
+
+} // namespace leca

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Softmax cross-entropy loss — the training objective of the whole
+ * LeCA pipeline (Sec. 3.4: trained with classification cross-entropy,
+ * not reconstruction loss).
+ */
+
+#ifndef LECA_NN_LOSS_HH
+#define LECA_NN_LOSS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace leca {
+
+/**
+ * Numerically-stable softmax cross entropy over [N, K] logits.
+ * forward() returns the mean loss; backward() returns dL/dlogits
+ * (already divided by N).
+ */
+class SoftmaxCrossEntropy
+{
+  public:
+    /** Compute mean cross-entropy of @p logits against integer labels. */
+    double forward(const Tensor &logits, const std::vector<int> &labels);
+
+    /** Gradient w.r.t. the logits of the last forward() call. */
+    Tensor backward() const;
+
+  private:
+    Tensor _probs;
+    std::vector<int> _labels;
+};
+
+/** Fraction of rows whose argmax equals the label. */
+double accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+/**
+ * Mean-squared-error loss over same-shaped prediction/target tensors
+ * (used by the task-adaptation example: LeCA re-trained for regression
+ * tasks with no hardware change, Sec. 6.4 "System deployment").
+ */
+class MseLoss
+{
+  public:
+    /** Mean of squared elementwise differences. */
+    double forward(const Tensor &prediction, const Tensor &target);
+
+    /** Gradient w.r.t. the prediction of the last forward(). */
+    Tensor backward() const;
+
+  private:
+    Tensor _prediction;
+    Tensor _target;
+};
+
+} // namespace leca
+
+#endif // LECA_NN_LOSS_HH

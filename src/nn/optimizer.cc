@@ -1,0 +1,81 @@
+#include "optimizer.hh"
+
+#include <cmath>
+
+namespace leca {
+
+void
+Optimizer::zeroGrad()
+{
+    for (Param *p : _params)
+        p->zeroGrad();
+}
+
+Sgd::Sgd(std::vector<Param *> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)), _momentum(momentum),
+      _weightDecay(weight_decay)
+{
+    _lr = lr;
+    _velocity.reserve(_params.size());
+    for (Param *p : _params)
+        _velocity.emplace_back(Tensor::zeros(p->value.shape()));
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t pi = 0; pi < _params.size(); ++pi) {
+        Param *p = _params[pi];
+        if (p->frozen)
+            continue;
+        Tensor &vel = _velocity[pi];
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+            float g = p->grad[i];
+            if (_weightDecay != 0.0)
+                g += static_cast<float>(_weightDecay) * p->value[i];
+            vel[i] = static_cast<float>(_momentum) * vel[i] + g;
+            p->value[i] -= static_cast<float>(_lr) * vel[i];
+        }
+    }
+}
+
+Adam::Adam(std::vector<Param *> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params)), _beta1(beta1), _beta2(beta2), _eps(eps)
+{
+    _lr = lr;
+    _m.reserve(_params.size());
+    _v.reserve(_params.size());
+    for (Param *p : _params) {
+        _m.emplace_back(Tensor::zeros(p->value.shape()));
+        _v.emplace_back(Tensor::zeros(p->value.shape()));
+    }
+}
+
+void
+Adam::step()
+{
+    ++_t;
+    const double bc1 = 1.0 - std::pow(_beta1, static_cast<double>(_t));
+    const double bc2 = 1.0 - std::pow(_beta2, static_cast<double>(_t));
+    for (std::size_t pi = 0; pi < _params.size(); ++pi) {
+        Param *p = _params[pi];
+        if (p->frozen)
+            continue;
+        Tensor &m = _m[pi];
+        Tensor &v = _v[pi];
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+            const double g = p->grad[i];
+            m[i] = static_cast<float>(_beta1 * m[i] + (1.0 - _beta1) * g);
+            v[i] = static_cast<float>(_beta2 * v[i]
+                                      + (1.0 - _beta2) * g * g);
+            const double mhat = m[i] / bc1;
+            const double vhat = v[i] / bc2;
+            p->value[i] -= static_cast<float>(
+                _lr * mhat / (std::sqrt(vhat) + _eps));
+        }
+    }
+}
+
+} // namespace leca

@@ -1,0 +1,102 @@
+#include "pool.hh"
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+Tensor
+MaxPool2d::forward(const Tensor &x, Mode mode)
+{
+    _inShape = x.shape();
+    if (mode == Mode::Train)
+        return maxPool2d(x, _k, &_argmax);
+    return maxPool2d(x, _k, nullptr);
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(_argmax.size() == grad_out.numel(),
+                "MaxPool2d backward without forward");
+    Tensor dx(_inShape);
+    for (std::size_t i = 0; i < grad_out.numel(); ++i)
+        dx[static_cast<std::size_t>(_argmax[i])] += grad_out[i];
+    _argmax.clear();
+    return dx;
+}
+
+Tensor
+AvgPool2d::forward(const Tensor &x, Mode mode)
+{
+    (void)mode;
+    _inShape = x.shape();
+    return avgPool2d(x, _k);
+}
+
+Tensor
+AvgPool2d::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(!_inShape.empty(), "AvgPool2d backward without forward");
+    const int n = _inShape[0], c = _inShape[1];
+    const int h = _inShape[2], w = _inShape[3];
+    const int oh = h / _k, ow = w / _k;
+    const float inv = 1.0f / static_cast<float>(_k * _k);
+    Tensor dx(_inShape);
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch)
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    const float g = grad_out.at(i, ch, oy, ox) * inv;
+                    for (int ky = 0; ky < _k; ++ky)
+                        for (int kx = 0; kx < _k; ++kx)
+                            dx.at(i, ch, oy * _k + ky, ox * _k + kx) = g;
+                }
+    return dx;
+}
+
+Tensor
+Flatten::forward(const Tensor &x, Mode mode)
+{
+    (void)mode;
+    LECA_ASSERT(x.dim() >= 2, "Flatten expects rank >= 2");
+    _inShape = x.shape();
+    return x.reshape({x.size(0), -1});
+}
+
+Tensor
+Flatten::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(!_inShape.empty(), "Flatten backward without forward");
+    return grad_out.reshape(_inShape);
+}
+
+Tensor
+GlobalAvgPool::forward(const Tensor &x, Mode mode)
+{
+    (void)mode;
+    _inShape = x.shape();
+    return globalAvgPool(x);
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(!_inShape.empty(), "GlobalAvgPool backward without forward");
+    const int n = _inShape[0], c = _inShape[1];
+    const int h = _inShape[2], w = _inShape[3];
+    const float inv = 1.0f / static_cast<float>(h * w);
+    Tensor dx(_inShape);
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch) {
+            const float g = grad_out.at(i, ch) * inv;
+            float *dst = dx.data()
+                + (static_cast<std::size_t>(i) * c + ch)
+                  * static_cast<std::size_t>(h) * w;
+            for (int p = 0; p < h * w; ++p)
+                dst[p] = g;
+        }
+    return dx;
+}
+
+} // namespace leca

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pooling layers: non-overlapping max/average pooling and global
+ * average pooling (the backbone's head flattens through the latter).
+ */
+
+#ifndef LECA_NN_POOL_HH
+#define LECA_NN_POOL_HH
+
+#include "nn/layer.hh"
+
+namespace leca {
+
+/** Non-overlapping (kernel == stride) max pooling. */
+class MaxPool2d : public Layer
+{
+  public:
+    explicit MaxPool2d(int k) : _k(k) {}
+
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    int _k;
+    std::vector<int> _argmax;
+    std::vector<int> _inShape;
+};
+
+/** Non-overlapping average pooling. */
+class AvgPool2d : public Layer
+{
+  public:
+    explicit AvgPool2d(int k) : _k(k) {}
+
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    int _k;
+    std::vector<int> _inShape;
+};
+
+/** [N,C,H,W] -> [N, C*H*W] reshape (for dense heads). */
+class Flatten : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    std::vector<int> _inShape;
+};
+
+/** [N,C,H,W] -> [N,C] mean over the spatial plane. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    std::vector<int> _inShape;
+};
+
+} // namespace leca
+
+#endif // LECA_NN_POOL_HH

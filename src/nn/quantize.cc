@@ -1,0 +1,85 @@
+#include "quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+int
+QBits::levels() const
+{
+    if (isTernary())
+        return 3;
+    LECA_ASSERT(_bits == std::floor(_bits) && _bits >= 1.0 && _bits <= 16.0,
+                "unsupported bit depth ", _bits);
+    return 1 << static_cast<int>(_bits);
+}
+
+int
+quantizeCode(float x, float lo, float hi, int levels)
+{
+    LECA_ASSERT(levels >= 2 && hi > lo, "bad quantizer configuration");
+    const float clamped = std::clamp(x, lo, hi);
+    const float t = (clamped - lo) / (hi - lo);
+    const int code =
+        static_cast<int>(std::lround(t * static_cast<float>(levels - 1)));
+    return std::clamp(code, 0, levels - 1);
+}
+
+float
+dequantizeCode(int code, float lo, float hi, int levels)
+{
+    return lo + static_cast<float>(code) * (hi - lo)
+           / static_cast<float>(levels - 1);
+}
+
+float
+quantizeUniform(float x, float lo, float hi, int levels)
+{
+    return dequantizeCode(quantizeCode(x, lo, hi, levels), lo, hi, levels);
+}
+
+Tensor
+quantizeTensor(const Tensor &x, float lo, float hi, int levels)
+{
+    Tensor y(x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        y[i] = quantizeUniform(x[i], lo, hi, levels);
+    return y;
+}
+
+SteQuantizer::SteQuantizer(QBits qbits, float lo, float hi)
+    : _qbits(qbits), _lo(lo), _hi(hi)
+{
+}
+
+Tensor
+SteQuantizer::forward(const Tensor &x, Mode mode)
+{
+    const int levels = _qbits.levels();
+    Tensor y(x.shape());
+    if (mode == Mode::Train)
+        _inside.assign(x.numel(), false);
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        y[i] = quantizeUniform(x[i], _lo, _hi, levels);
+        if (mode == Mode::Train)
+            _inside[i] = x[i] >= _lo && x[i] <= _hi;
+    }
+    return y;
+}
+
+Tensor
+SteQuantizer::backward(const Tensor &grad_out)
+{
+    LECA_ASSERT(_inside.size() == grad_out.numel(),
+                "SteQuantizer backward without forward");
+    Tensor dx(grad_out.shape());
+    for (std::size_t i = 0; i < grad_out.numel(); ++i)
+        dx[i] = _inside[i] ? grad_out[i] : 0.0f;
+    _inside.clear();
+    return dx;
+}
+
+} // namespace leca

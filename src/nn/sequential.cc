@@ -1,0 +1,127 @@
+#include "sequential.hh"
+
+#include "nn/activation.hh"
+#include "nn/batchnorm.hh"
+#include "nn/conv.hh"
+#include "util/logging.hh"
+
+namespace leca {
+
+Sequential &
+Sequential::add(LayerPtr layer)
+{
+    _layers.push_back(std::move(layer));
+    return *this;
+}
+
+Tensor
+Sequential::forward(const Tensor &x, Mode mode)
+{
+    Tensor cur = x;
+    for (auto &layer : _layers)
+        cur = layer->forward(cur, mode);
+    return cur;
+}
+
+Tensor
+Sequential::backward(const Tensor &grad_out)
+{
+    Tensor cur = grad_out;
+    for (auto it = _layers.rbegin(); it != _layers.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+std::vector<Param *>
+Sequential::params()
+{
+    std::vector<Param *> out;
+    for (auto &layer : _layers) {
+        auto child = layer->params();
+        out.insert(out.end(), child.begin(), child.end());
+    }
+    return out;
+}
+
+std::vector<Tensor *>
+Sequential::state()
+{
+    std::vector<Tensor *> out;
+    for (auto &layer : _layers) {
+        auto child = layer->state();
+        out.insert(out.end(), child.begin(), child.end());
+    }
+    return out;
+}
+
+void
+Sequential::setStatsRefresh(bool enable)
+{
+    for (auto &layer : _layers)
+        layer->setStatsRefresh(enable);
+}
+
+ResidualBlock::ResidualBlock(int cin, int cout, int stride, Rng &rng)
+    : _hasProj(stride != 1 || cin != cout)
+{
+    _main.emplace<Conv2d>(cin, cout, 3, stride, 1, false, rng);
+    _main.emplace<BatchNorm2d>(cout);
+    _main.emplace<Relu>();
+    _main.emplace<Conv2d>(cout, cout, 3, 1, 1, false, rng);
+    _main.emplace<BatchNorm2d>(cout);
+    if (_hasProj) {
+        _proj.emplace<Conv2d>(cin, cout, 1, stride, 0, false, rng);
+        _proj.emplace<BatchNorm2d>(cout);
+    }
+    _finalRelu = std::make_unique<Relu>();
+}
+
+Tensor
+ResidualBlock::forward(const Tensor &x, Mode mode)
+{
+    Tensor main = _main.forward(x, mode);
+    Tensor skip = _hasProj ? _proj.forward(x, mode) : x;
+    LECA_ASSERT(main.sameShape(skip), "residual shape mismatch");
+    main += skip;
+    return _finalRelu->forward(main, mode);
+}
+
+Tensor
+ResidualBlock::backward(const Tensor &grad_out)
+{
+    const Tensor d_sum = _finalRelu->backward(grad_out);
+    Tensor dx = _main.backward(d_sum);
+    if (_hasProj) {
+        dx += _proj.backward(d_sum);
+    } else {
+        dx += d_sum;
+    }
+    return dx;
+}
+
+std::vector<Param *>
+ResidualBlock::params()
+{
+    std::vector<Param *> out = _main.params();
+    auto proj = _proj.params();
+    out.insert(out.end(), proj.begin(), proj.end());
+    return out;
+}
+
+std::vector<Tensor *>
+ResidualBlock::state()
+{
+    std::vector<Tensor *> out = _main.state();
+    auto proj = _proj.state();
+    out.insert(out.end(), proj.begin(), proj.end());
+    return out;
+}
+
+void
+ResidualBlock::setStatsRefresh(bool enable)
+{
+    _main.setStatsRefresh(enable);
+    _proj.setStatsRefresh(enable);
+}
+
+} // namespace leca

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Container layers: Sequential composition and residual blocks
+ * (the backbone networks are ResNet-style stacks of these).
+ */
+
+#ifndef LECA_NN_SEQUENTIAL_HH
+#define LECA_NN_SEQUENTIAL_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+/** Runs child layers in order; backward runs them in reverse. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Append a child layer; returns *this for chaining. */
+    Sequential &add(LayerPtr layer);
+
+    /** Emplace-construct a child layer. */
+    template <typename L, typename... Args>
+    L &
+    emplace(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L &ref = *layer;
+        _layers.push_back(std::move(layer));
+        return ref;
+    }
+
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+    std::vector<Tensor *> state() override;
+    void setStatsRefresh(bool enable) override;
+
+    std::size_t size() const { return _layers.size(); }
+    Layer &at(std::size_t i) { return *_layers[i]; }
+
+  private:
+    std::vector<LayerPtr> _layers;
+};
+
+/**
+ * ResNet basic block: conv-bn-relu-conv-bn + skip, final relu.
+ * When the channel count or stride changes, the skip path uses a
+ * 1x1 strided projection (conv + bn), as in He et al.
+ */
+class ResidualBlock : public Layer
+{
+  public:
+    ResidualBlock(int cin, int cout, int stride, Rng &rng);
+
+    Tensor forward(const Tensor &x, Mode mode) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+    std::vector<Tensor *> state() override;
+    void setStatsRefresh(bool enable) override;
+
+  private:
+    Sequential _main;
+    Sequential _proj;  // empty when identity skip
+    bool _hasProj;
+    LayerPtr _finalRelu;
+};
+
+} // namespace leca
+
+#endif // LECA_NN_SEQUENTIAL_HH

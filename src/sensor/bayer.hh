@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bayer colour-filter-array handling (Sec. 2.1, Sec. 4.1).
+ *
+ * The LeCA sensor uses an RGGB pattern in which "the green pixel is
+ * duplicated": a VxH raw array captures a (V/2)x(H/2) RGB frame, with
+ * the two green sites of each 2x2 cell sampling the same green value.
+ * Kernel flattening (Fig. 5(a)) relies on this layout.
+ */
+
+#ifndef LECA_SENSOR_BAYER_HH
+#define LECA_SENSOR_BAYER_HH
+
+#include "tensor/tensor.hh"
+
+namespace leca {
+
+/** Colour of a raw Bayer site. */
+enum class BayerColor { R, G, B };
+
+/** RGGB pattern lookup: colour of raw site (y, x). */
+BayerColor bayerColorAt(int y, int x);
+
+/**
+ * Mosaic an RGB image [3,H,W] into a raw Bayer frame [2H,2W]
+ * (both green sites take the pixel's green value).
+ */
+Tensor mosaic(const Tensor &rgb);
+
+/**
+ * Exact inverse of mosaic(): collapse a raw [2H,2W] frame back to
+ * [3,H,W], averaging the two green sites.
+ */
+Tensor demosaicCollapse(const Tensor &raw);
+
+/**
+ * Conventional bilinear demosaicing to full raw resolution [3,2H,2W]
+ * (the human-centric ISP path of Fig. 1; used by the CNV baseline when
+ * full-resolution output is requested).
+ */
+Tensor demosaicBilinear(const Tensor &raw);
+
+} // namespace leca
+
+#endif // LECA_SENSOR_BAYER_HH

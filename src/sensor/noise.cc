@@ -1,0 +1,35 @@
+#include "noise.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leca {
+
+float
+PixelNoiseModel::sampleIntensity(float x, Rng &rng) const
+{
+    const double full = _config.fullWellElectrons;
+    const double electrons = std::clamp(static_cast<double>(x), 0.0, 1.0)
+                             * full;
+    double noisy = static_cast<double>(rng.poisson(electrons));
+    noisy += rng.gaussian(0.0, _config.readNoiseElectrons);
+    return static_cast<float>(std::clamp(noisy / full, 0.0, 1.0));
+}
+
+Tensor
+PixelNoiseModel::apply(const Tensor &image, Rng &rng) const
+{
+    Tensor out(image.shape());
+    for (std::size_t i = 0; i < image.numel(); ++i)
+        out[i] = sampleIntensity(image[i], rng);
+    return out;
+}
+
+double
+PixelNoiseModel::shotSigma(double x) const
+{
+    const double full = _config.fullWellElectrons;
+    return std::sqrt(std::max(0.0, x) * full) / full;
+}
+
+} // namespace leca

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The 4-T pixel plane with rolling-shutter row readout (Fig. 2(a,b)).
+ * The pixel array exposes a scene (adding shot/read noise) and serves
+ * rows of analog voltages to the column-parallel readout, which is how
+ * the LeCA PE array consumes it (Sec. 4.1).
+ */
+
+#ifndef LECA_SENSOR_PIXEL_ARRAY_HH
+#define LECA_SENSOR_PIXEL_ARRAY_HH
+
+#include <vector>
+
+#include "sensor/noise.hh"
+#include "sensor/sensor_config.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace leca {
+
+/**
+ * Simulated pixel plane of fixed geometry. expose() latches a noisy
+ * frame; readRow() models the rolling-shutter column-parallel readout
+ * by returning one row of analog pixel voltages.
+ */
+class PixelArray
+{
+  public:
+    PixelArray(SensorConfig config, int rows, int cols);
+
+    /**
+     * Expose the plane to a raw (Bayer-domain) scene in [0,1] whose
+     * shape must match the array geometry. Shot and read noise are
+     * applied; the noisy frame is latched until the next exposure.
+     * Pass noisy=false for an ideal (noise-free) capture.
+     */
+    void expose(const Tensor &raw_scene, Rng &rng, bool noisy = true);
+
+    /** Latched noisy frame in digital intensity units [0,1]. */
+    const Tensor &frame() const { return _frame; }
+
+    /** One row of analog pixel voltages (rolling shutter readout). */
+    std::vector<double> readRowVoltages(int row) const;
+
+    int rows() const { return _rows; }
+    int cols() const { return _cols; }
+    const SensorConfig &config() const { return _config; }
+
+  private:
+    SensorConfig _config;
+    PixelNoiseModel _noise;
+    int _rows, _cols;
+    Tensor _frame;
+    bool _exposed = false;
+};
+
+} // namespace leca
+
+#endif // LECA_SENSOR_PIXEL_ARRAY_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared electrical/optical constants of the simulated CMOS image
+ * sensor (Sec. 2.1, Sec. 4.3 of the paper).
+ */
+
+#ifndef LECA_SENSOR_SENSOR_CONFIG_HH
+#define LECA_SENSOR_SENSOR_CONFIG_HH
+
+namespace leca {
+
+/**
+ * Electrical configuration of the 4-T pixel front end and readout.
+ *
+ * Digital pixel intensities in [0,1] map linearly onto the pixel output
+ * voltage range [vMin, vMax]; photon statistics are modelled in the
+ * electron domain through the full-well capacity.
+ */
+struct SensorConfig
+{
+    // Voltage mapping (pixel source-follower output swing).
+    double vMin = 0.4;  //!< volts at zero intensity
+    double vMax = 1.4;  //!< volts at full scale
+
+    // Photon/electron statistics.
+    double fullWellElectrons = 4000.0; //!< full-well capacity
+    double readNoiseElectrons = 2.6;   //!< RMS read noise (e-), per [71]
+
+    // Geometry.
+    int pixelPitchUm = 5; //!< pixel pitch in micrometres (Sec. 6.3)
+
+    /** Map a digital intensity in [0,1] to the pixel voltage. */
+    double
+    digitalToVoltage(double x) const
+    {
+        return vMin + x * (vMax - vMin);
+    }
+
+    /** Map a pixel voltage back to the digital intensity in [0,1]. */
+    double
+    voltageToDigital(double v) const
+    {
+        return (v - vMin) / (vMax - vMin);
+    }
+};
+
+} // namespace leca
+
+#endif // LECA_SENSOR_SENSOR_CONFIG_HH

@@ -1,0 +1,392 @@
+#include "ops.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    LECA_ASSERT(a.dim() == 2 && b.dim() == 2, "matmul expects matrices");
+    const int m = a.size(0), k = a.size(1), n = b.size(1);
+    LECA_ASSERT(b.size(0) == k, "matmul inner dims ", k, " vs ", b.size(0));
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // i-k-j ordering keeps the inner loop streaming over both B and C.
+    for (int i = 0; i < m; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f)
+                continue;
+            const float *brow = pb + static_cast<std::size_t>(kk) * n;
+            float *crow = pc + static_cast<std::size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransA(const Tensor &a, const Tensor &b)
+{
+    LECA_ASSERT(a.dim() == 2 && b.dim() == 2, "matmulTransA expects matrices");
+    const int k = a.size(0), m = a.size(1), n = b.size(1);
+    LECA_ASSERT(b.size(0) == k, "matmulTransA inner dims");
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int kk = 0; kk < k; ++kk) {
+        const float *arow = pa + static_cast<std::size_t>(kk) * m;
+        const float *brow = pb + static_cast<std::size_t>(kk) * n;
+        for (int i = 0; i < m; ++i) {
+            const float aki = arow[i];
+            if (aki == 0.0f)
+                continue;
+            float *crow = pc + static_cast<std::size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += aki * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransB(const Tensor &a, const Tensor &b)
+{
+    LECA_ASSERT(a.dim() == 2 && b.dim() == 2, "matmulTransB expects matrices");
+    const int m = a.size(0), k = a.size(1), n = b.size(0);
+    LECA_ASSERT(b.size(1) == k, "matmulTransB inner dims");
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int i = 0; i < m; ++i) {
+        const float *arow = pa + static_cast<std::size_t>(i) * k;
+        float *crow = pc + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+            const float *brow = pb + static_cast<std::size_t>(j) * k;
+            float acc = 0.0f;
+            for (int kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+int
+convOutSize(int in, int k, int stride, int pad)
+{
+    return (in + 2 * pad - k) / stride + 1;
+}
+
+Tensor
+im2col(const Tensor &image, int kh, int kw, int stride, int pad)
+{
+    LECA_ASSERT(image.dim() == 3, "im2col expects [C,H,W]");
+    const int c = image.size(0), h = image.size(1), w = image.size(2);
+    const int oh = convOutSize(h, kh, stride, pad);
+    const int ow = convOutSize(w, kw, stride, pad);
+    Tensor cols({c * kh * kw, oh * ow});
+    const float *src = image.data();
+    float *dst = cols.data();
+    for (int ch = 0; ch < c; ++ch) {
+        for (int ky = 0; ky < kh; ++ky) {
+            for (int kx = 0; kx < kw; ++kx) {
+                const int row = (ch * kh + ky) * kw + kx;
+                float *drow = dst + static_cast<std::size_t>(row) * oh * ow;
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * stride + ky - pad;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * stride + kx - pad;
+                        float v = 0.0f;
+                        if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                            v = src[(static_cast<std::size_t>(ch) * h + iy)
+                                    * w + ix];
+                        }
+                        drow[oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+col2im(const Tensor &cols, int channels, int height, int width, int kh,
+       int kw, int stride, int pad)
+{
+    const int oh = convOutSize(height, kh, stride, pad);
+    const int ow = convOutSize(width, kw, stride, pad);
+    LECA_ASSERT(cols.dim() == 2 && cols.size(0) == channels * kh * kw &&
+                cols.size(1) == oh * ow, "col2im shape mismatch");
+    Tensor image({channels, height, width});
+    const float *src = cols.data();
+    float *dst = image.data();
+    for (int ch = 0; ch < channels; ++ch) {
+        for (int ky = 0; ky < kh; ++ky) {
+            for (int kx = 0; kx < kw; ++kx) {
+                const int row = (ch * kh + ky) * kw + kx;
+                const float *srow =
+                    src + static_cast<std::size_t>(row) * oh * ow;
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * stride + ky - pad;
+                    if (iy < 0 || iy >= height)
+                        continue;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * stride + kx - pad;
+                        if (ix < 0 || ix >= width)
+                            continue;
+                        dst[(static_cast<std::size_t>(ch) * height + iy)
+                            * width + ix] += srow[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    return image;
+}
+
+namespace {
+
+/** View image n of a batch as a [C,H,W] copy. */
+Tensor
+sliceImage(const Tensor &x, int n)
+{
+    const int c = x.size(1), h = x.size(2), w = x.size(3);
+    const std::size_t stride = static_cast<std::size_t>(c) * h * w;
+    std::vector<float> data(x.data() + n * stride,
+                            x.data() + (n + 1) * stride);
+    return Tensor::fromData({c, h, w}, std::move(data));
+}
+
+} // namespace
+
+Tensor
+conv2d(const Tensor &x, const Tensor &weight, const Tensor &bias, int stride,
+       int pad)
+{
+    LECA_ASSERT(x.dim() == 4 && weight.dim() == 4, "conv2d shapes");
+    const int n = x.size(0), cin = x.size(1), h = x.size(2), w = x.size(3);
+    const int cout = weight.size(0), kh = weight.size(2), kw = weight.size(3);
+    LECA_ASSERT(weight.size(1) == cin, "conv2d channel mismatch");
+    const int oh = convOutSize(h, kh, stride, pad);
+    const int ow = convOutSize(w, kw, stride, pad);
+    const Tensor wmat = weight.reshape({cout, cin * kh * kw});
+    Tensor y({n, cout, oh, ow});
+    const bool has_bias = bias.numel() > 0;
+    for (int i = 0; i < n; ++i) {
+        const Tensor cols = im2col(sliceImage(x, i), kh, kw, stride, pad);
+        const Tensor out = matmul(wmat, cols); // [cout, oh*ow]
+        float *dst = y.data()
+                     + static_cast<std::size_t>(i) * cout * oh * ow;
+        const float *src = out.data();
+        for (int co = 0; co < cout; ++co) {
+            const float b = has_bias ? bias[static_cast<std::size_t>(co)]
+                                     : 0.0f;
+            for (int p = 0; p < oh * ow; ++p)
+                dst[co * oh * ow + p] = src[co * oh * ow + p] + b;
+        }
+    }
+    return y;
+}
+
+Tensor
+avgPool2d(const Tensor &x, int k)
+{
+    LECA_ASSERT(x.dim() == 4, "avgPool2d expects [N,C,H,W]");
+    const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    LECA_ASSERT(h % k == 0 && w % k == 0, "avgPool2d requires divisibility");
+    const int oh = h / k, ow = w / k;
+    Tensor y({n, c, oh, ow});
+    const float inv = 1.0f / static_cast<float>(k * k);
+    for (int i = 0; i < n; ++i) {
+        for (int ch = 0; ch < c; ++ch) {
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox) {
+                    float acc = 0.0f;
+                    for (int ky = 0; ky < k; ++ky)
+                        for (int kx = 0; kx < k; ++kx)
+                            acc += x.at(i, ch, oy * k + ky, ox * k + kx);
+                    y.at(i, ch, oy, ox) = acc * inv;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+maxPool2d(const Tensor &x, int k, std::vector<int> *argmax)
+{
+    LECA_ASSERT(x.dim() == 4, "maxPool2d expects [N,C,H,W]");
+    const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    LECA_ASSERT(h % k == 0 && w % k == 0, "maxPool2d requires divisibility");
+    const int oh = h / k, ow = w / k;
+    Tensor y({n, c, oh, ow});
+    if (argmax)
+        argmax->assign(y.numel(), 0);
+    std::size_t out_idx = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int ch = 0; ch < c; ++ch) {
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox, ++out_idx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    int best_at = 0;
+                    for (int ky = 0; ky < k; ++ky) {
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int iy = oy * k + ky, ix = ox * k + kx;
+                            const float v = x.at(i, ch, iy, ix);
+                            if (v > best) {
+                                best = v;
+                                best_at = ((i * c + ch) * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    y[out_idx] = best;
+                    if (argmax)
+                        (*argmax)[out_idx] = best_at;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+globalAvgPool(const Tensor &x)
+{
+    LECA_ASSERT(x.dim() == 4, "globalAvgPool expects [N,C,H,W]");
+    const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    Tensor y({n, c});
+    const float inv = 1.0f / static_cast<float>(h * w);
+    for (int i = 0; i < n; ++i) {
+        for (int ch = 0; ch < c; ++ch) {
+            float acc = 0.0f;
+            const float *src = x.data()
+                + ((static_cast<std::size_t>(i) * c + ch) * h) * w;
+            for (int p = 0; p < h * w; ++p)
+                acc += src[p];
+            y.at(i, ch) = acc * inv;
+        }
+    }
+    return y;
+}
+
+Tensor
+bilinearResize(const Tensor &x, int out_h, int out_w)
+{
+    LECA_ASSERT(x.dim() == 4, "bilinearResize expects [N,C,H,W]");
+    const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+    Tensor y({n, c, out_h, out_w});
+    const float sy = static_cast<float>(h) / static_cast<float>(out_h);
+    const float sx = static_cast<float>(w) / static_cast<float>(out_w);
+    for (int i = 0; i < n; ++i) {
+        for (int ch = 0; ch < c; ++ch) {
+            for (int oy = 0; oy < out_h; ++oy) {
+                // align_corners=false sample positions.
+                float fy = (static_cast<float>(oy) + 0.5f) * sy - 0.5f;
+                fy = std::clamp(fy, 0.0f, static_cast<float>(h - 1));
+                const int y0 = static_cast<int>(fy);
+                const int y1 = std::min(y0 + 1, h - 1);
+                const float wy = fy - static_cast<float>(y0);
+                for (int ox = 0; ox < out_w; ++ox) {
+                    float fx = (static_cast<float>(ox) + 0.5f) * sx - 0.5f;
+                    fx = std::clamp(fx, 0.0f, static_cast<float>(w - 1));
+                    const int x0 = static_cast<int>(fx);
+                    const int x1 = std::min(x0 + 1, w - 1);
+                    const float wx = fx - static_cast<float>(x0);
+                    const float v00 = x.at(i, ch, y0, x0);
+                    const float v01 = x.at(i, ch, y0, x1);
+                    const float v10 = x.at(i, ch, y1, x0);
+                    const float v11 = x.at(i, ch, y1, x1);
+                    y.at(i, ch, oy, ox) =
+                        v00 * (1 - wy) * (1 - wx) + v01 * (1 - wy) * wx +
+                        v10 * wy * (1 - wx) + v11 * wy * wx;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+softmax(const Tensor &logits)
+{
+    LECA_ASSERT(logits.dim() == 2, "softmax expects [N,K]");
+    const int n = logits.size(0), k = logits.size(1);
+    Tensor p({n, k});
+    for (int i = 0; i < n; ++i) {
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int j = 0; j < k; ++j)
+            mx = std::max(mx, logits.at(i, j));
+        float z = 0.0f;
+        for (int j = 0; j < k; ++j) {
+            const float e = std::exp(logits.at(i, j) - mx);
+            p.at(i, j) = e;
+            z += e;
+        }
+        for (int j = 0; j < k; ++j)
+            p.at(i, j) /= z;
+    }
+    return p;
+}
+
+std::vector<int>
+argmaxRows(const Tensor &m)
+{
+    LECA_ASSERT(m.dim() == 2, "argmaxRows expects [N,K]");
+    const int n = m.size(0), k = m.size(1);
+    std::vector<int> out(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        int best = 0;
+        for (int j = 1; j < k; ++j)
+            if (m.at(i, j) > m.at(i, best))
+                best = j;
+        out[static_cast<std::size_t>(i)] = best;
+    }
+    return out;
+}
+
+double
+mean(const Tensor &t)
+{
+    if (t.numel() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        acc += t[i];
+    return acc / static_cast<double>(t.numel());
+}
+
+double
+mse(const Tensor &a, const Tensor &b)
+{
+    LECA_ASSERT(a.sameShape(b), "mse shape mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.numel());
+}
+
+double
+psnrDb(const Tensor &reference, const Tensor &test)
+{
+    const double err = mse(reference, test);
+    if (err <= 0.0)
+        return 99.0;
+    return 10.0 * std::log10(1.0 / err);
+}
+
+} // namespace leca

@@ -1,0 +1,178 @@
+#include "tensor.hh"
+
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace leca {
+
+namespace {
+
+std::size_t
+shapeProduct(const std::vector<int> &shape)
+{
+    std::size_t n = 1;
+    for (int d : shape) {
+        LECA_ASSERT(d >= 0, "negative tensor extent ", d);
+        n *= static_cast<std::size_t>(d);
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : _shape(std::move(shape)), _data(shapeProduct(_shape), 0.0f)
+{
+}
+
+Tensor::Tensor(std::initializer_list<int> shape)
+    : Tensor(std::vector<int>(shape))
+{
+}
+
+Tensor
+Tensor::zeros(std::vector<int> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<int> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::fromData(std::vector<int> shape, std::vector<float> data)
+{
+    LECA_ASSERT(shapeProduct(shape) == data.size(),
+                "data size ", data.size(), " does not match shape");
+    Tensor t;
+    t._shape = std::move(shape);
+    t._data = std::move(data);
+    return t;
+}
+
+int
+Tensor::size(int d) const
+{
+    if (d < 0)
+        d += dim();
+    LECA_ASSERT(d >= 0 && d < dim(), "dimension ", d, " out of range");
+    return _shape[static_cast<std::size_t>(d)];
+}
+
+float &
+Tensor::at(int i)
+{
+    LECA_ASSERT(dim() == 1, "rank-1 access on rank-", dim(), " tensor");
+    return _data[static_cast<std::size_t>(i)];
+}
+
+float
+Tensor::at(int i) const
+{
+    return const_cast<Tensor &>(*this).at(i);
+}
+
+float &
+Tensor::at(int i, int j)
+{
+    LECA_ASSERT(dim() == 2, "rank-2 access on rank-", dim(), " tensor");
+    return _data[static_cast<std::size_t>(i) * _shape[1] + j];
+}
+
+float
+Tensor::at(int i, int j) const
+{
+    return const_cast<Tensor &>(*this).at(i, j);
+}
+
+float &
+Tensor::at(int i, int j, int k)
+{
+    LECA_ASSERT(dim() == 3, "rank-3 access on rank-", dim(), " tensor");
+    return _data[(static_cast<std::size_t>(i) * _shape[1] + j) * _shape[2]
+                 + k];
+}
+
+float
+Tensor::at(int i, int j, int k) const
+{
+    return const_cast<Tensor &>(*this).at(i, j, k);
+}
+
+std::size_t
+Tensor::flatIndex(int n, int c, int h, int w) const
+{
+    return ((static_cast<std::size_t>(n) * _shape[1] + c) * _shape[2] + h)
+           * _shape[3] + w;
+}
+
+float &
+Tensor::at(int n, int c, int h, int w)
+{
+    LECA_ASSERT(dim() == 4, "rank-4 access on rank-", dim(), " tensor");
+    return _data[flatIndex(n, c, h, w)];
+}
+
+float
+Tensor::at(int n, int c, int h, int w) const
+{
+    return const_cast<Tensor &>(*this).at(n, c, h, w);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(_data.begin(), _data.end(), value);
+}
+
+Tensor
+Tensor::reshape(std::vector<int> new_shape) const
+{
+    int infer = -1;
+    std::size_t known = 1;
+    for (std::size_t i = 0; i < new_shape.size(); ++i) {
+        if (new_shape[i] == -1) {
+            LECA_ASSERT(infer < 0, "multiple -1 extents in reshape");
+            infer = static_cast<int>(i);
+        } else {
+            known *= static_cast<std::size_t>(new_shape[i]);
+        }
+    }
+    if (infer >= 0) {
+        LECA_ASSERT(known > 0 && numel() % known == 0,
+                    "cannot infer reshape extent");
+        new_shape[static_cast<std::size_t>(infer)] =
+            static_cast<int>(numel() / known);
+    }
+    LECA_ASSERT(shapeProduct(new_shape) == numel(),
+                "reshape changes element count");
+    Tensor t;
+    t._shape = std::move(new_shape);
+    t._data = _data;
+    return t;
+}
+
+Tensor &
+Tensor::operator+=(const Tensor &other)
+{
+    LECA_ASSERT(sameShape(other), "shape mismatch in +=");
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        _data[i] += other._data[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(float scale)
+{
+    for (float &v : _data)
+        v *= scale;
+    return *this;
+}
+
+} // namespace leca

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dense row-major float tensor with value semantics.
+ *
+ * The whole repository standardises on NCHW layout for 4-D image tensors
+ * (batch, channel, height, width). Tensors are plain owning containers;
+ * all numeric kernels live in ops.hh so they can be tested in isolation.
+ */
+
+#ifndef LECA_TENSOR_TENSOR_HH
+#define LECA_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace leca {
+
+/**
+ * A dense float tensor of rank 1..4 with row-major (C-order) layout.
+ *
+ * Indexing helpers are provided for the common ranks; shape mismatches
+ * panic rather than silently broadcasting, which catches dataflow bugs
+ * in the simulator early.
+ */
+class Tensor
+{
+  public:
+    /** Empty rank-0 tensor. */
+    Tensor() = default;
+
+    /** Zero-initialised tensor with the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Convenience initializer-list constructor: Tensor({n, c, h, w}). */
+    Tensor(std::initializer_list<int> shape);
+
+    /** Zero-filled factory (reads better at call sites). */
+    static Tensor zeros(std::vector<int> shape);
+
+    /** Constant-filled factory. */
+    static Tensor full(std::vector<int> shape, float value);
+
+    /** Adopt existing data; size must match the shape product. */
+    static Tensor fromData(std::vector<int> shape, std::vector<float> data);
+
+    /** Number of dimensions. */
+    int dim() const { return static_cast<int>(_shape.size()); }
+
+    /** Full shape vector. */
+    const std::vector<int> &shape() const { return _shape; }
+
+    /** Extent of dimension @p d (negative d counts from the back). */
+    int size(int d) const;
+
+    /** Total element count. */
+    std::size_t numel() const { return _data.size(); }
+
+    /** Raw storage access. */
+    float *data() { return _data.data(); }
+    const float *data() const { return _data.data(); }
+
+    /** Flat element access. */
+    float &operator[](std::size_t i) { return _data[i]; }
+    float operator[](std::size_t i) const { return _data[i]; }
+
+    /** Rank-specific indexing (bounds-checked via assert in debug). */
+    float &at(int i);
+    float at(int i) const;
+    float &at(int i, int j);
+    float at(int i, int j) const;
+    float &at(int i, int j, int k);
+    float at(int i, int j, int k) const;
+    float &at(int n, int c, int h, int w);
+    float at(int n, int c, int h, int w) const;
+
+    /** Set every element to @p value. */
+    void fill(float value);
+
+    /**
+     * Return a copy with a new shape; the element count must match.
+     * A single -1 extent is inferred from the rest.
+     */
+    Tensor reshape(std::vector<int> new_shape) const;
+
+    /** True if both tensors have identical shape. */
+    bool sameShape(const Tensor &other) const
+    {
+        return _shape == other._shape;
+    }
+
+    /** In-place elementwise accumulate; shapes must match. */
+    Tensor &operator+=(const Tensor &other);
+
+    /** In-place scalar scale. */
+    Tensor &operator*=(float scale);
+
+  private:
+    std::vector<int> _shape;
+    std::vector<float> _data;
+
+    std::size_t flatIndex(int n, int c, int h, int w) const;
+};
+
+} // namespace leca
+
+#endif // LECA_TENSOR_TENSOR_HH

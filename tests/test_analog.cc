@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the analog circuit models: LUT interpolation, buffer
+ * transfer functions, the SCM recurrence of Eq. (3), the variable-
+ * resolution ADC, full chains, and Monte-Carlo model extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/adc.hh"
+#include "analog/buffers.hh"
+#include "analog/chain.hh"
+#include "analog/circuit_config.hh"
+#include "analog/lut.hh"
+#include "analog/mismatch.hh"
+#include "analog/scm.hh"
+#include "util/rng.hh"
+
+namespace leca {
+namespace {
+
+TEST(Lut1d, ExactAtSamplePoints)
+{
+    Lut1d lut(0.0, 1.0, 11, [](double x) { return x * x; });
+    for (int i = 0; i <= 10; ++i) {
+        const double x = i / 10.0;
+        EXPECT_NEAR(lut(x), x * x, 1e-12);
+    }
+}
+
+TEST(Lut1d, LinearInterpolationBetweenSamples)
+{
+    Lut1d lut(0.0, 1.0, 2, [](double x) { return 3.0 * x; });
+    EXPECT_NEAR(lut(0.25), 0.75, 1e-12);
+}
+
+TEST(Lut1d, ClampsOutsideDomain)
+{
+    Lut1d lut(0.0, 1.0, 3, [](double x) { return x; });
+    EXPECT_DOUBLE_EQ(lut(-5.0), 0.0);
+    EXPECT_DOUBLE_EQ(lut(5.0), 1.0);
+}
+
+TEST(Lut1d, SlopeOfLinearFunction)
+{
+    Lut1d lut(0.0, 2.0, 9, [](double x) { return 4.0 * x + 1.0; });
+    EXPECT_NEAR(lut.slope(0.5), 4.0, 1e-9);
+    EXPECT_NEAR(lut.slope(1.9), 4.0, 1e-9);
+}
+
+TEST(SourceFollower, NominalIsDeterministic)
+{
+    BufferParams params{0.98, -0.01, 0.0, 0.9, 0.0, 0.0, 0.0};
+    SourceFollower sf(params);
+    EXPECT_NEAR(sf.transfer(1.0), 0.97, 1e-12);
+    EXPECT_NEAR(sf.linearModel(1.0), 0.97, 1e-12);
+}
+
+TEST(SourceFollower, CubicNonlinearityBendsAwayFromCenter)
+{
+    BufferParams params{1.0, 0.0, 0.1, 0.9, 0.0, 0.0, 0.0};
+    SourceFollower sf(params);
+    // At the centre the cubic vanishes.
+    EXPECT_NEAR(sf.transfer(0.9), 0.9, 1e-12);
+    // Away from the centre it adds the cubic term.
+    EXPECT_GT(sf.transfer(1.4), 1.4);
+}
+
+TEST(SourceFollower, MismatchInstancesDiffer)
+{
+    CircuitConfig cfg;
+    Rng mc(3);
+    SourceFollower a(cfg.psf, mc), b(cfg.psf, mc);
+    EXPECT_NE(a.transfer(1.0), b.transfer(1.0));
+}
+
+TEST(SourceFollower, DerivativeMatchesFiniteDifference)
+{
+    CircuitConfig cfg;
+    Rng mc(5);
+    SourceFollower sf(cfg.psf, mc);
+    const double eps = 1e-6;
+    for (double v : {0.5, 0.9, 1.3}) {
+        const double num =
+            (sf.transfer(v + eps) - sf.transfer(v - eps)) / (2 * eps);
+        EXPECT_NEAR(sf.derivative(v), num, 1e-6);
+    }
+}
+
+TEST(Scm, IdealStepMatchesEq3)
+{
+    CircuitConfig cfg;
+    // Hand-evaluate Eq. (3) for one step.
+    const double cs = 45.0, v_prev = 0.9, v_in = 1.2;
+    const double expect = (cs * (2 * cfg.vCm - v_in) + cfg.cOutFf * v_prev)
+                          / (cfg.cOutFf + cs);
+    EXPECT_NEAR(ScMultiplier::idealStep(cfg, v_prev, v_in, cs), expect,
+                1e-15);
+}
+
+TEST(Scm, ZeroCapLeavesBufferUnchanged)
+{
+    CircuitConfig cfg;
+    EXPECT_DOUBLE_EQ(ScMultiplier::idealStep(cfg, 0.75, 1.3, 0.0), 0.75);
+    ScMultiplier scm(cfg);
+    EXPECT_DOUBLE_EQ(scm.step(0.75, 1.3, 0, nullptr), 0.75);
+}
+
+TEST(Scm, StepMovesTowardTarget)
+{
+    // Each step moves V_out toward (2 V_CM - V_in), the charge-domain
+    // image of the input.
+    CircuitConfig cfg;
+    const double v_in = 1.3;
+    const double target = 2 * cfg.vCm - v_in; // 0.5
+    double v = cfg.vCm;
+    for (int i = 0; i < 10; ++i) {
+        const double next = ScMultiplier::idealStep(
+            cfg, v, v_in, cfg.cSampleTotFf);
+        EXPECT_LT(std::abs(next - target), std::abs(v - target));
+        v = next;
+    }
+    EXPECT_NEAR(v, target, 0.01);
+}
+
+TEST(Scm, LargerCapMovesFaster)
+{
+    CircuitConfig cfg;
+    const double v_in = 1.3;
+    const double small = ScMultiplier::idealStep(cfg, 0.9, v_in, 9.0);
+    const double large = ScMultiplier::idealStep(cfg, 0.9, v_in, 135.0);
+    const double target = 2 * cfg.vCm - v_in;
+    EXPECT_GT(std::abs(small - target), std::abs(large - target));
+}
+
+TEST(Scm, CapDacMonotone)
+{
+    CircuitConfig cfg;
+    Rng mc(7);
+    ScMultiplier scm(cfg, mc);
+    for (int code = 1; code <= cfg.dacSteps(); ++code)
+        EXPECT_GT(scm.capFf(code), scm.capFf(code - 1));
+}
+
+TEST(Scm, RealStepCloseToIdeal)
+{
+    // Fig. 8(b): real behaviour deviates from the analytic model by a
+    // small amount (within 1 LSB at 4-bit over a ~0.5 V range).
+    CircuitConfig cfg;
+    Rng mc(11);
+    ScMultiplier scm(cfg, mc);
+    const double lsb = 2 * 0.25 / 15.0; // representative 4-bit LSB
+    for (int code = 1; code <= 15; code += 2) {
+        for (double v_in : {0.5, 0.9, 1.3}) {
+            const double ideal = ScMultiplier::idealStep(
+                cfg, cfg.vCm, v_in, scm.idealCapFf(code));
+            const double real = scm.step(cfg.vCm, v_in, code, nullptr);
+            EXPECT_LT(std::abs(real - ideal), lsb);
+        }
+    }
+}
+
+TEST(Scm, SignSteersDifferentialBuffers)
+{
+    CircuitConfig cfg;
+    ScMultiplier scm(cfg);
+    std::vector<double> v_in = {1.2, 1.2};
+    std::vector<ScmWeight> w = {{8, false}, {8, true}};
+    const DiffBuffer out = scm.runSequence(v_in, w, true, nullptr);
+    // Same input and magnitude on both rails: differential output ~ 0.
+    EXPECT_NEAR(out.diff(), 0.0, 1e-12);
+    EXPECT_NE(out.vPlus, cfg.vCm);
+}
+
+TEST(Scm, SequenceOrderMatters)
+{
+    // The recurrence is a running weighted average, so ordering is NOT
+    // commutative — this is precisely why soft weights cannot be
+    // trivially mapped to hardware (Sec. 6.2).
+    CircuitConfig cfg;
+    ScMultiplier scm(cfg);
+    std::vector<double> a_in = {0.5, 1.3};
+    std::vector<double> b_in = {1.3, 0.5};
+    std::vector<ScmWeight> w = {{15, false}, {3, false}};
+    const double a = scm.runSequence(a_in, w, true, nullptr).vPlus;
+    const double b = scm.runSequence(b_in, w, true, nullptr).vPlus;
+    EXPECT_GT(std::abs(a - b), 1e-3);
+}
+
+TEST(Adc, CodesCoverFullScale)
+{
+    CircuitConfig cfg;
+    VariableResolutionAdc adc(cfg);
+    adc.configure(QBits(4.0), 0.5);
+    EXPECT_EQ(adc.convert(-0.6), 0);
+    EXPECT_EQ(adc.convert(0.6), 15);
+    EXPECT_EQ(adc.convert(0.0), 8); // rounds up from 7.5
+}
+
+TEST(Adc, TernaryConfiguration)
+{
+    CircuitConfig cfg;
+    VariableResolutionAdc adc(cfg);
+    adc.configure(QBits(1.5), 0.3);
+    EXPECT_EQ(adc.levels(), 3);
+    EXPECT_EQ(adc.convert(-0.3), 0);
+    EXPECT_EQ(adc.convert(0.0), 1);
+    EXPECT_EQ(adc.convert(0.3), 2);
+}
+
+TEST(Adc, MonotoneInInput)
+{
+    CircuitConfig cfg;
+    Rng mc(13);
+    VariableResolutionAdc adc(cfg, mc);
+    adc.configure(QBits(3.0), 0.4);
+    int prev = -1;
+    for (double v = -0.45; v <= 0.45; v += 0.01) {
+        const int code = adc.convert(v);
+        EXPECT_GE(code, prev);
+        prev = code;
+    }
+}
+
+TEST(Adc, CalibrationRemovesOffset)
+{
+    CircuitConfig big = CircuitConfig{};
+    big.adcOffsetSigma = 0.05; // force a visible offset
+    Rng mc(17);
+    VariableResolutionAdc adc(big, mc);
+    adc.configure(QBits(8.0), 0.5);
+    VariableResolutionAdc nominal(big);
+    nominal.configure(QBits(8.0), 0.5);
+    // Before calibration codes differ somewhere; after they match.
+    int diff_before = 0, diff_after = 0;
+    for (double v = -0.4; v <= 0.4; v += 0.005)
+        if (adc.convert(v) != nominal.convert(v))
+            ++diff_before;
+    adc.calibrate();
+    for (double v = -0.4; v <= 0.4; v += 0.005)
+        if (adc.convert(v) != nominal.convert(v))
+            ++diff_after;
+    EXPECT_GT(diff_before, 0);
+    EXPECT_EQ(diff_after, 0);
+}
+
+TEST(Adc, DequantizeInverseOnGrid)
+{
+    CircuitConfig cfg;
+    VariableResolutionAdc adc(cfg);
+    adc.configure(QBits(4.0), 0.5);
+    for (int code = 0; code < 16; ++code)
+        EXPECT_EQ(adc.convert(adc.dequantize(code)), code);
+}
+
+TEST(Chain, IdealEncodeIsDeterministic)
+{
+    CircuitConfig cfg;
+    AnalogChain chain = AnalogChain::nominal(cfg);
+    chain.adc.configure(QBits(4.0), 0.3);
+    std::vector<double> pix = {0.8, 1.0, 1.2, 0.6};
+    std::vector<ScmWeight> w = {{5, false}, {9, true}, {3, false},
+                                {12, true}};
+    const int a = chain.encode(pix, w, true, nullptr);
+    const int b = chain.encode(pix, w, true, nullptr);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Chain, RealCloseToIdealWithinOneLsb)
+{
+    // The Fig. 8(b) acceptance criterion over a grid of operating
+    // points: |code_real - code_ideal| <= 1 at 4-bit resolution.
+    CircuitConfig cfg;
+    Rng mc(23);
+    AnalogChain real = AnalogChain::sample(cfg, mc);
+    real.adc.configure(QBits(4.0), 0.3);
+    real.adc.calibrate();
+    AnalogChain ideal = AnalogChain::nominal(cfg);
+    ideal.adc.configure(QBits(4.0), 0.3);
+    int max_err = 0;
+    for (int code = 0; code <= 15; code += 3) {
+        for (double pix = 0.4; pix <= 1.4; pix += 0.1) {
+            std::vector<double> pixels(4, pix);
+            std::vector<ScmWeight> w(4, ScmWeight{code, false});
+            const int c_real = real.encode(pixels, w, false, nullptr);
+            const int c_ideal = ideal.encode(pixels, w, true, nullptr);
+            max_err = std::max(max_err, std::abs(c_real - c_ideal));
+        }
+    }
+    EXPECT_LE(max_err, 1);
+}
+
+TEST(Mismatch, ExtractedModelShapes)
+{
+    CircuitConfig cfg;
+    Rng mc(29);
+    const AnalogNoiseModel model = extractNoiseModel(cfg, 50, mc);
+    EXPECT_EQ(model.scm.epsMean.size(),
+              static_cast<std::size_t>(cfg.dacSteps()) + 1);
+    EXPECT_GT(model.psf.sigma(0.9), 0.0);
+    EXPECT_GT(model.fvf.sigma(0.9), 0.0);
+    EXPECT_DOUBLE_EQ(model.adcOffsetSigma, cfg.adcOffsetSigma);
+}
+
+TEST(Mismatch, MeanTransferTracksNominal)
+{
+    CircuitConfig cfg;
+    Rng mc(31);
+    const AnalogNoiseModel model = extractNoiseModel(cfg, 200, mc);
+    SourceFollower nominal(cfg.psf);
+    for (double v : {0.5, 0.9, 1.3}) {
+        EXPECT_NEAR(model.psf.meanTransfer(v), nominal.transfer(v),
+                    3e-3);
+    }
+}
+
+TEST(Mismatch, ScmErrorSmallAndCodeDependent)
+{
+    CircuitConfig cfg;
+    Rng mc(37);
+    const AnalogNoiseModel model = extractNoiseModel(cfg, 100, mc);
+    // Mean error magnitude is bounded (sub-LSB) and grows with code.
+    for (int code = 1; code <= cfg.dacSteps(); ++code) {
+        EXPECT_LT(std::abs(model.scm.epsMean[
+            static_cast<std::size_t>(code)]), 0.02);
+    }
+    EXPECT_GT(std::abs(model.scm.epsMean[15]),
+              std::abs(model.scm.epsMean[1]) * 0.5);
+}
+
+} // namespace
+} // namespace leca

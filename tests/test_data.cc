@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the data module: SyntheticVision determinism and class
+ * structure, image IO round trips, augmentation invariants, the
+ * training loop, and parameter serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/augment.hh"
+#include "data/backbone.hh"
+#include "data/dataset.hh"
+#include "data/image_io.hh"
+#include "data/serialize.hh"
+#include "data/trainloop.hh"
+#include "nn/conv.hh"
+#include "nn/linear.hh"
+#include "nn/pool.hh"
+#include "tensor/ops.hh"
+
+namespace leca {
+namespace {
+
+SyntheticVision::Config
+smallConfig()
+{
+    SyntheticVision::Config cfg;
+    cfg.resolution = 16;
+    cfg.numClasses = 4;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(SyntheticVision, DeterministicGeneration)
+{
+    SyntheticVision gen(smallConfig());
+    const Dataset a = gen.generate(8, 1);
+    const Dataset b = gen.generate(8, 1);
+    ASSERT_EQ(a.images.numel(), b.images.numel());
+    for (std::size_t i = 0; i < a.images.numel(); ++i)
+        EXPECT_EQ(a.images[i], b.images[i]);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SyntheticVision, DifferentSaltsDiffer)
+{
+    SyntheticVision gen(smallConfig());
+    const Dataset a = gen.generate(4, 1);
+    const Dataset b = gen.generate(4, 2);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.images.numel(); ++i)
+        diff += std::abs(a.images[i] - b.images[i]);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticVision, BalancedLabels)
+{
+    SyntheticVision gen(smallConfig());
+    const Dataset ds = gen.generate(40, 3);
+    std::vector<int> counts(4, 0);
+    for (int label : ds.labels)
+        ++counts[static_cast<std::size_t>(label)];
+    for (int c : counts)
+        EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticVision, PixelsInUnitRange)
+{
+    SyntheticVision gen(smallConfig());
+    const Dataset ds = gen.generate(8, 5);
+    for (std::size_t i = 0; i < ds.images.numel(); ++i) {
+        EXPECT_GE(ds.images[i], 0.0f);
+        EXPECT_LE(ds.images[i], 1.0f);
+    }
+}
+
+TEST(SyntheticVision, ClassesAreSeparableByTexture)
+{
+    // Images of the same class must correlate more with each other than
+    // with other classes on average (sanity of the generative factors).
+    SyntheticVision gen(smallConfig());
+    const Dataset ds = gen.generate(32, 11);
+    const int hw = 16;
+    const std::size_t img = 3u * hw * hw;
+    auto dot = [&](int a, int b) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < img; ++i)
+            s += static_cast<double>(ds.images[a * img + i])
+                 * ds.images[b * img + i];
+        return s;
+    };
+    double same = 0.0, other = 0.0;
+    int same_n = 0, other_n = 0;
+    for (int a = 0; a < 32; ++a)
+        for (int b = a + 1; b < 32; ++b) {
+            if (ds.labels[static_cast<std::size_t>(a)] ==
+                ds.labels[static_cast<std::size_t>(b)]) {
+                same += dot(a, b);
+                ++same_n;
+            } else {
+                other += dot(a, b);
+                ++other_n;
+            }
+        }
+    EXPECT_GT(same / same_n, other / other_n);
+}
+
+TEST(ImageIo, PpmRoundTrip)
+{
+    SyntheticVision gen(smallConfig());
+    Rng rng(3);
+    const Tensor img = gen.renderImage(1, rng);
+    const std::string path = "/tmp/leca_test_roundtrip.ppm";
+    writePpm(img, path);
+    const Tensor back = readPpm(path);
+    ASSERT_TRUE(back.sameShape(img));
+    for (std::size_t i = 0; i < img.numel(); ++i)
+        EXPECT_NEAR(back[i], img[i], 1.0f / 255.0f + 1e-4f);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmWritesFile)
+{
+    Tensor img = Tensor::full({8, 8}, 0.5f);
+    const std::string path = "/tmp/leca_test_gray.pgm";
+    writePgm(img, path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_GT(std::filesystem::file_size(path), 64u);
+    std::remove(path.c_str());
+}
+
+TEST(Augment, FlipIsInvolution)
+{
+    SyntheticVision gen(smallConfig());
+    Dataset ds = gen.generate(2, 17);
+    Tensor orig = ds.images;
+    flipHorizontal(ds.images, 0);
+    flipHorizontal(ds.images, 0);
+    for (std::size_t i = 0; i < orig.numel(); ++i)
+        EXPECT_EQ(ds.images[i], orig[i]);
+}
+
+TEST(Augment, FlipOnlyTouchesTarget)
+{
+    SyntheticVision gen(smallConfig());
+    Dataset ds = gen.generate(2, 19);
+    Tensor orig = ds.images;
+    flipHorizontal(ds.images, 0);
+    const std::size_t img = ds.images.numel() / 2;
+    for (std::size_t i = img; i < 2 * img; ++i)
+        EXPECT_EQ(ds.images[i], orig[i]);
+}
+
+TEST(Augment, ZeroRotationIsIdentity)
+{
+    SyntheticVision gen(smallConfig());
+    Dataset ds = gen.generate(1, 23);
+    Tensor orig = ds.images;
+    rotateImage(ds.images, 0, 0.0);
+    for (std::size_t i = 0; i < orig.numel(); ++i)
+        EXPECT_NEAR(ds.images[i], orig[i], 1e-5f);
+}
+
+TEST(Augment, RotationPreservesRange)
+{
+    SyntheticVision gen(smallConfig());
+    Dataset ds = gen.generate(1, 29);
+    rotateImage(ds.images, 0, 15.0);
+    for (std::size_t i = 0; i < ds.images.numel(); ++i) {
+        EXPECT_GE(ds.images[i], 0.0f);
+        EXPECT_LE(ds.images[i], 1.0f);
+    }
+}
+
+TEST(TrainLoop, SliceDataset)
+{
+    SyntheticVision gen(smallConfig());
+    const Dataset ds = gen.generate(10, 31);
+    const Dataset s = sliceDataset(ds, 4, 3);
+    EXPECT_EQ(s.count(), 3);
+    EXPECT_EQ(s.labels[0], ds.labels[4]);
+    EXPECT_EQ(s.images[0],
+              ds.images[4u * ds.images.numel() / 10]);
+}
+
+TEST(TrainLoop, BackboneLearnsSyntheticVision)
+{
+    // End-to-end: a proxy backbone must reach well-above-chance
+    // accuracy on a small SyntheticVision problem within a few epochs.
+    SyntheticVision::Config cfg;
+    cfg.resolution = 16;
+    cfg.numClasses = 4;
+    cfg.seed = 99;
+    SyntheticVision gen(cfg);
+    const Dataset train = gen.generate(160, 1);
+    const Dataset val = gen.generate(64, 2);
+
+    Rng rng(5);
+    auto net = makeBackbone(BackboneStyle::Proxy, 3, 4, rng);
+    TrainOptions options;
+    options.epochs = 6;
+    options.batchSize = 16;
+    options.learningRate = 3e-3;
+    options.seed = 1;
+    const double acc = trainClassifier(*net, train, val, options);
+    EXPECT_GT(acc, 0.7); // chance is 0.25
+}
+
+TEST(Serialize, SaveLoadRoundTrip)
+{
+    Rng rng(7);
+    Conv2d a(2, 3, 3, 1, 1, true, rng);
+    Conv2d b(2, 3, 3, 1, 1, true, rng);
+    const std::string path = "/tmp/leca_test_params.bin";
+    saveParams(a.params(), path);
+    ASSERT_TRUE(loadParams(b.params(), path));
+    for (std::size_t i = 0; i < a.weight().value.numel(); ++i)
+        EXPECT_EQ(a.weight().value[i], b.weight().value[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsShapeMismatch)
+{
+    Rng rng(7);
+    Conv2d a(2, 3, 3, 1, 1, true, rng);
+    Linear wrong(4, 4, rng);
+    const std::string path = "/tmp/leca_test_params2.bin";
+    saveParams(a.params(), path);
+    EXPECT_FALSE(loadParams(wrong.params(), path));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileReturnsFalse)
+{
+    Rng rng(7);
+    Linear fc(2, 2, rng);
+    EXPECT_FALSE(loadParams(fc.params(), "/tmp/leca_does_not_exist.bin"));
+}
+
+TEST(Backbone, OutputShapeMatchesClasses)
+{
+    Rng rng(13);
+    auto proxy = makeBackbone(BackboneStyle::Proxy, 3, 8, rng);
+    Tensor y = proxy->forward(Tensor({2, 3, 32, 32}), Mode::Eval);
+    EXPECT_EQ(y.shape(), (std::vector<int>{2, 8}));
+
+    auto full = makeBackbone(BackboneStyle::Full, 3, 8, rng);
+    Tensor y2 = full->forward(Tensor({1, 3, 32, 32}), Mode::Eval);
+    EXPECT_EQ(y2.shape(), (std::vector<int>{1, 8}));
+}
+
+TEST(Backbone, FullHasMoreParamsThanProxy)
+{
+    Rng rng(13);
+    auto proxy = makeBackbone(BackboneStyle::Proxy, 3, 8, rng);
+    auto full = makeBackbone(BackboneStyle::Full, 3, 8, rng);
+    auto count = [](Layer &l) {
+        std::size_t n = 0;
+        for (Param *p : l.params())
+            n += p->value.numel();
+        return n;
+    };
+    EXPECT_GT(count(*full), 2 * count(*proxy));
+}
+
+} // namespace
+} // namespace leca

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the energy/area models and CIS survey: ADC energy scaling,
+ * per-component accounting, the qualitative Fig. 13 ordering on the
+ * full 448x448 geometry (via analytic activity models), area overhead,
+ * and the Fig. 2(c) survey aggregates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area.hh"
+#include "energy/baseline_activity.hh"
+#include "energy/energy_model.hh"
+#include "energy/survey.hh"
+
+namespace leca {
+namespace {
+
+TEST(EnergyModel, AdcEnergyMonotoneInBits)
+{
+    EnergyModel model;
+    double prev = 0.0;
+    for (double bits : {2.0, 3.0, 4.0, 6.0, 8.0, 10.0}) {
+        const double e = model.adcConversionPj(bits);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(EnergyModel, TernaryComparatorCheapest)
+{
+    EnergyModel model;
+    EXPECT_LT(model.adcConversionPj(1.5), model.adcConversionPj(2.0));
+}
+
+TEST(EnergyModel, EightToThreeBitRatioNearFive)
+{
+    // The calibration behind the paper's "ADC reduced by 10.1x" at
+    // CR = 4 (2x fewer conversions x ~5x cheaper conversions).
+    EnergyModel model;
+    const double ratio =
+        model.adcConversionPj(8.0) / model.adcConversionPj(3.0);
+    EXPECT_NEAR(ratio, 5.05, 0.5);
+}
+
+TEST(EnergyModel, FromStatsComponents)
+{
+    EnergyModel model;
+    ChipStats stats;
+    stats.pixelReads = 1000;
+    stats.macOps = 500;
+    stats.iBufferWrites = 200;
+    stats.adcConversions[8.0] = 100;
+    stats.outputLinkBits = 800;
+    stats.globalSramWriteBits = 400;
+    const EnergyBreakdown e = model.fromStats(stats);
+    EXPECT_NEAR(e.pixelNj, 1000 * 12.1e-3, 1e-9);
+    EXPECT_NEAR(e.analogPeNj, (500 * 0.10 + 200 * 0.10) * 1e-3, 1e-9);
+    EXPECT_NEAR(e.adcNj, 100 * model.adcConversionPj(8.0) * 1e-3, 1e-9);
+    EXPECT_NEAR(e.commNj, 800 * 19.8e-3, 1e-9);
+    EXPECT_GT(e.totalNj(), e.pixelNj);
+}
+
+TEST(EnergyModel, ExtraDigitalAccounted)
+{
+    EnergyModel model;
+    ChipStats stats;
+    const EnergyBreakdown base = model.fromStats(stats);
+    const EnergyBreakdown extra = model.fromStats(stats, 5000.0);
+    EXPECT_NEAR(extra.digitalNj - base.digitalNj, 5.0, 1e-9);
+}
+
+class Fig13Ordering : public ::testing::Test
+{
+  protected:
+    static constexpr int kRows = 448, kCols = 448;
+    EnergyModel model;
+
+    double
+    totalOf(const SensorActivity &a) const
+    {
+        return model.fromStats(a.stats, a.extraDigitalPj).totalNj();
+    }
+
+    /** Analytic LeCA activity (counts match the chip simulation). */
+    SensorActivity
+    lecaActivity(int nch, double qbits) const
+    {
+        const std::int64_t p = static_cast<std::int64_t>(kRows) * kCols;
+        const int passes = (nch + 3) / 4;
+        SensorActivity a;
+        a.name = "LeCA";
+        a.compressionRatio = 2 * 2 * 3 * 8.0 / (nch * qbits);
+        a.stats.pixelReads = p * passes;
+        a.stats.iBufferWrites = p * passes;
+        a.stats.macOps = p * nch;
+        a.stats.adcConversions[qbits] = p / 16 * nch;
+        const auto out_bits = static_cast<std::int64_t>(
+            p / 16 * nch * qbits);
+        a.stats.globalSramWriteBits = out_bits;
+        a.stats.globalSramReadBits = out_bits;
+        a.stats.outputLinkBits = out_bits;
+        a.stats.localSramReadBits = p * nch * 5;
+        return a;
+    }
+};
+
+TEST_F(Fig13Ordering, CnvIsMostExpensive)
+{
+    const double cnv = totalOf(cnvActivity(kRows, kCols));
+    for (const auto &a :
+         {sdActivity(kRows, kCols), lrActivity(kRows, kCols, 3.0),
+          csActivity(kRows, kCols), msActivity(kRows, kCols),
+          agtActivity(kRows, kCols)}) {
+        EXPECT_GT(cnv, totalOf(a)) << a.name;
+    }
+    EXPECT_GT(cnv, totalOf(lecaActivity(8, 3.0)));
+}
+
+TEST_F(Fig13Ordering, LecaCr8Beats6point3xOverCnv)
+{
+    const double cnv = totalOf(cnvActivity(kRows, kCols));
+    const double leca8 = totalOf(lecaActivity(4, 3.0));
+    EXPECT_NEAR(cnv / leca8, 6.3, 0.8);
+}
+
+TEST_F(Fig13Ordering, LecaCr8Beats2point2xOverCs)
+{
+    const double cs = totalOf(csActivity(kRows, kCols));
+    const double leca8 = totalOf(lecaActivity(4, 3.0));
+    EXPECT_NEAR(cs / leca8, 2.2, 0.4);
+}
+
+TEST_F(Fig13Ordering, AdcReduction10xVsCnvAtCr4)
+{
+    const auto cnv = model.fromStats(cnvActivity(kRows, kCols).stats);
+    const auto leca4 = model.fromStats(lecaActivity(8, 3.0).stats);
+    EXPECT_NEAR(cnv.adcNj / leca4.adcNj, 10.1, 1.0);
+}
+
+TEST_F(Fig13Ordering, CommReduction5xVsCnvAtCr4)
+{
+    const auto cnv = model.fromStats(cnvActivity(kRows, kCols).stats);
+    const auto leca4 = model.fromStats(lecaActivity(8, 3.0).stats);
+    EXPECT_NEAR(cnv.commNj / leca4.commNj, 5.0, 0.5);
+}
+
+TEST_F(Fig13Ordering, CompressiveBaselinesCostMoreThanLecaCr4)
+{
+    // Fig. 13: CS, MS, AGT consume 11%, 57%, 31% more than LeCA CR 4.
+    const double leca4 = totalOf(lecaActivity(8, 3.0));
+    const double cs = totalOf(csActivity(kRows, kCols));
+    const double ms = totalOf(msActivity(kRows, kCols));
+    const double agt = totalOf(agtActivity(kRows, kCols));
+    EXPECT_NEAR(cs / leca4, 1.11, 0.15);
+    EXPECT_NEAR(ms / leca4, 1.57, 0.2);
+    EXPECT_NEAR(agt / leca4, 1.31, 0.2);
+    // And the ordering MS > AGT > CS > LeCA holds.
+    EXPECT_GT(ms, agt);
+    EXPECT_GT(agt, cs);
+    EXPECT_GT(cs, leca4);
+}
+
+TEST_F(Fig13Ordering, HigherCrSavesEnergy)
+{
+    const double cr4 = totalOf(lecaActivity(8, 3.0));
+    const double cr6 = totalOf(lecaActivity(4, 4.0));
+    const double cr8 = totalOf(lecaActivity(4, 3.0));
+    EXPECT_GT(cr4, cr6);
+    EXPECT_GT(cr6, cr8);
+}
+
+TEST(Area, PixelArrayFiveSquareMm)
+{
+    AreaModel area;
+    EXPECT_NEAR(area.pixelArrayMm2(), 5.0, 0.05);
+}
+
+TEST(Area, EncoderArea1point1Mm2)
+{
+    AreaModel area;
+    EXPECT_NEAR(area.encoderMm2(), 1.1, 1e-9);
+}
+
+TEST(Area, OverheadBelowFivePercent)
+{
+    AreaModel area;
+    EXPECT_LT(area.overheadFraction(), 0.05);
+    EXPECT_GT(area.overheadFraction(), 0.0);
+}
+
+TEST(Survey, ThirtySevenEntries)
+{
+    CisSurvey survey;
+    EXPECT_EQ(survey.size(), 37u);
+}
+
+TEST(Survey, AggregatesMatchFig2c)
+{
+    CisSurvey survey;
+    EXPECT_NEAR(survey.meanPowerShare(), 0.69, 0.02);
+    EXPECT_NEAR(survey.meanReadoutTimeShare(), 0.34, 0.02);
+    EXPECT_GT(survey.meanAreaShare(), 0.60);
+}
+
+TEST(Survey, CitedDesignsPresent)
+{
+    CisSurvey survey;
+    int cited = 0;
+    for (const auto &entry : survey.entries())
+        if (entry.key.find('[') != std::string::npos)
+            ++cited;
+    EXPECT_EQ(cited, 12);
+}
+
+TEST(Survey, SharesAreFractions)
+{
+    CisSurvey survey;
+    for (const auto &entry : survey.entries()) {
+        EXPECT_GT(entry.adcBufferPowerShare, 0.0);
+        EXPECT_LT(entry.adcBufferPowerShare, 1.0);
+        EXPECT_GT(entry.readoutTimeShare, 0.0);
+        EXPECT_LT(entry.readoutTimeShare, 1.0);
+        EXPECT_GE(entry.year, 2010);
+        EXPECT_LE(entry.year, 2022);
+    }
+}
+
+} // namespace
+} // namespace leca
