@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cout"
+  "../bench/ablation_cout.pdb"
+  "CMakeFiles/ablation_cout.dir/ablation_cout.cc.o"
+  "CMakeFiles/ablation_cout.dir/ablation_cout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_accuracy"
+  "../bench/fig10_accuracy.pdb"
+  "CMakeFiles/fig10_accuracy.dir/fig10_accuracy.cc.o"
+  "CMakeFiles/fig10_accuracy.dir/fig10_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

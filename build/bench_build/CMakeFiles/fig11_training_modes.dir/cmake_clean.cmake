@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_training_modes"
+  "../bench/fig11_training_modes.pdb"
+  "CMakeFiles/fig11_training_modes.dir/fig11_training_modes.cc.o"
+  "CMakeFiles/fig11_training_modes.dir/fig11_training_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_training_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

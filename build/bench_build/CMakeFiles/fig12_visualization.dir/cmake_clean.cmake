@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_visualization"
+  "../bench/fig12_visualization.pdb"
+  "CMakeFiles/fig12_visualization.dir/fig12_visualization.cc.o"
+  "CMakeFiles/fig12_visualization.dir/fig12_visualization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

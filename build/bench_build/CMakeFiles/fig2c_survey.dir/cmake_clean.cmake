@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2c_survey"
+  "../bench/fig2c_survey.pdb"
+  "CMakeFiles/fig2c_survey.dir/fig2c_survey.cc.o"
+  "CMakeFiles/fig2c_survey.dir/fig2c_survey.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_encoder_design"
+  "../bench/fig4_encoder_design.pdb"
+  "CMakeFiles/fig4_encoder_design.dir/fig4_encoder_design.cc.o"
+  "CMakeFiles/fig4_encoder_design.dir/fig4_encoder_design.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_encoder_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_circuit"
+  "../bench/fig8_circuit.pdb"
+  "CMakeFiles/fig8_circuit.dir/fig8_circuit.cc.o"
+  "CMakeFiles/fig8_circuit.dir/fig8_circuit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

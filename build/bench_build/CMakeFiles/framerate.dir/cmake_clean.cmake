@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/framerate"
+  "../bench/framerate.pdb"
+  "CMakeFiles/framerate.dir/framerate.cc.o"
+  "CMakeFiles/framerate.dir/framerate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for framerate.
+# This may be replaced when dependencies are built.

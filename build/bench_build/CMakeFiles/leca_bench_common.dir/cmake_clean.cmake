@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_bench_common.dir/common.cc.o"
+  "CMakeFiles/leca_bench_common.dir/common.cc.o.d"
+  "libleca_bench_common.a"
+  "libleca_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleca_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_structure"
+  "../bench/table2_structure.pdb"
+  "CMakeFiles/table2_structure.dir/table2_structure.cc.o"
+  "CMakeFiles/table2_structure.dir/table2_structure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

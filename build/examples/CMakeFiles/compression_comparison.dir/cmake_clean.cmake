@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_comparison.dir/compression_comparison.cpp.o"
+  "CMakeFiles/compression_comparison.dir/compression_comparison.cpp.o.d"
+  "compression_comparison"
+  "compression_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

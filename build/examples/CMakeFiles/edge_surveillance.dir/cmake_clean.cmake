@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_surveillance.dir/edge_surveillance.cpp.o"
+  "CMakeFiles/edge_surveillance.dir/edge_surveillance.cpp.o.d"
+  "edge_surveillance"
+  "edge_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

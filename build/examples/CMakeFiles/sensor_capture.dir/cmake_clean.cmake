@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_capture.dir/sensor_capture.cpp.o"
+  "CMakeFiles/sensor_capture.dir/sensor_capture.cpp.o.d"
+  "sensor_capture"
+  "sensor_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

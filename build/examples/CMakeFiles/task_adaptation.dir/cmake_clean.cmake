@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_adaptation.dir/task_adaptation.cpp.o"
+  "CMakeFiles/task_adaptation.dir/task_adaptation.cpp.o.d"
+  "task_adaptation"
+  "task_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

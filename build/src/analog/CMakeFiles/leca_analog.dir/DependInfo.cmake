@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/adc.cc" "src/analog/CMakeFiles/leca_analog.dir/adc.cc.o" "gcc" "src/analog/CMakeFiles/leca_analog.dir/adc.cc.o.d"
+  "/root/repo/src/analog/buffers.cc" "src/analog/CMakeFiles/leca_analog.dir/buffers.cc.o" "gcc" "src/analog/CMakeFiles/leca_analog.dir/buffers.cc.o.d"
+  "/root/repo/src/analog/chain.cc" "src/analog/CMakeFiles/leca_analog.dir/chain.cc.o" "gcc" "src/analog/CMakeFiles/leca_analog.dir/chain.cc.o.d"
+  "/root/repo/src/analog/lut.cc" "src/analog/CMakeFiles/leca_analog.dir/lut.cc.o" "gcc" "src/analog/CMakeFiles/leca_analog.dir/lut.cc.o.d"
+  "/root/repo/src/analog/mismatch.cc" "src/analog/CMakeFiles/leca_analog.dir/mismatch.cc.o" "gcc" "src/analog/CMakeFiles/leca_analog.dir/mismatch.cc.o.d"
+  "/root/repo/src/analog/scm.cc" "src/analog/CMakeFiles/leca_analog.dir/scm.cc.o" "gcc" "src/analog/CMakeFiles/leca_analog.dir/scm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/leca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/leca_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_analog.dir/adc.cc.o"
+  "CMakeFiles/leca_analog.dir/adc.cc.o.d"
+  "CMakeFiles/leca_analog.dir/buffers.cc.o"
+  "CMakeFiles/leca_analog.dir/buffers.cc.o.d"
+  "CMakeFiles/leca_analog.dir/chain.cc.o"
+  "CMakeFiles/leca_analog.dir/chain.cc.o.d"
+  "CMakeFiles/leca_analog.dir/lut.cc.o"
+  "CMakeFiles/leca_analog.dir/lut.cc.o.d"
+  "CMakeFiles/leca_analog.dir/mismatch.cc.o"
+  "CMakeFiles/leca_analog.dir/mismatch.cc.o.d"
+  "CMakeFiles/leca_analog.dir/scm.cc.o"
+  "CMakeFiles/leca_analog.dir/scm.cc.o.d"
+  "libleca_analog.a"
+  "libleca_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleca_analog.a"
+)

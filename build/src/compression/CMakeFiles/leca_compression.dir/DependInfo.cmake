@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/agt.cc" "src/compression/CMakeFiles/leca_compression.dir/agt.cc.o" "gcc" "src/compression/CMakeFiles/leca_compression.dir/agt.cc.o.d"
+  "/root/repo/src/compression/compressive_sensing.cc" "src/compression/CMakeFiles/leca_compression.dir/compressive_sensing.cc.o" "gcc" "src/compression/CMakeFiles/leca_compression.dir/compressive_sensing.cc.o.d"
+  "/root/repo/src/compression/dct.cc" "src/compression/CMakeFiles/leca_compression.dir/dct.cc.o" "gcc" "src/compression/CMakeFiles/leca_compression.dir/dct.cc.o.d"
+  "/root/repo/src/compression/jpeg.cc" "src/compression/CMakeFiles/leca_compression.dir/jpeg.cc.o" "gcc" "src/compression/CMakeFiles/leca_compression.dir/jpeg.cc.o.d"
+  "/root/repo/src/compression/learned_codec.cc" "src/compression/CMakeFiles/leca_compression.dir/learned_codec.cc.o" "gcc" "src/compression/CMakeFiles/leca_compression.dir/learned_codec.cc.o.d"
+  "/root/repo/src/compression/microshift.cc" "src/compression/CMakeFiles/leca_compression.dir/microshift.cc.o" "gcc" "src/compression/CMakeFiles/leca_compression.dir/microshift.cc.o.d"
+  "/root/repo/src/compression/simple_methods.cc" "src/compression/CMakeFiles/leca_compression.dir/simple_methods.cc.o" "gcc" "src/compression/CMakeFiles/leca_compression.dir/simple_methods.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/leca_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/leca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/leca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

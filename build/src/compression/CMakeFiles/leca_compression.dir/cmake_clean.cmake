@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_compression.dir/agt.cc.o"
+  "CMakeFiles/leca_compression.dir/agt.cc.o.d"
+  "CMakeFiles/leca_compression.dir/compressive_sensing.cc.o"
+  "CMakeFiles/leca_compression.dir/compressive_sensing.cc.o.d"
+  "CMakeFiles/leca_compression.dir/dct.cc.o"
+  "CMakeFiles/leca_compression.dir/dct.cc.o.d"
+  "CMakeFiles/leca_compression.dir/jpeg.cc.o"
+  "CMakeFiles/leca_compression.dir/jpeg.cc.o.d"
+  "CMakeFiles/leca_compression.dir/learned_codec.cc.o"
+  "CMakeFiles/leca_compression.dir/learned_codec.cc.o.d"
+  "CMakeFiles/leca_compression.dir/microshift.cc.o"
+  "CMakeFiles/leca_compression.dir/microshift.cc.o.d"
+  "CMakeFiles/leca_compression.dir/simple_methods.cc.o"
+  "CMakeFiles/leca_compression.dir/simple_methods.cc.o.d"
+  "libleca_compression.a"
+  "libleca_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_core.dir/decoder.cc.o"
+  "CMakeFiles/leca_core.dir/decoder.cc.o.d"
+  "CMakeFiles/leca_core.dir/encoder.cc.o"
+  "CMakeFiles/leca_core.dir/encoder.cc.o.d"
+  "CMakeFiles/leca_core.dir/leca_config.cc.o"
+  "CMakeFiles/leca_core.dir/leca_config.cc.o.d"
+  "CMakeFiles/leca_core.dir/pipeline.cc.o"
+  "CMakeFiles/leca_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/leca_core.dir/trainer.cc.o"
+  "CMakeFiles/leca_core.dir/trainer.cc.o.d"
+  "libleca_core.a"
+  "libleca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cc" "src/data/CMakeFiles/leca_data.dir/augment.cc.o" "gcc" "src/data/CMakeFiles/leca_data.dir/augment.cc.o.d"
+  "/root/repo/src/data/backbone.cc" "src/data/CMakeFiles/leca_data.dir/backbone.cc.o" "gcc" "src/data/CMakeFiles/leca_data.dir/backbone.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/leca_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/leca_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/image_io.cc" "src/data/CMakeFiles/leca_data.dir/image_io.cc.o" "gcc" "src/data/CMakeFiles/leca_data.dir/image_io.cc.o.d"
+  "/root/repo/src/data/serialize.cc" "src/data/CMakeFiles/leca_data.dir/serialize.cc.o" "gcc" "src/data/CMakeFiles/leca_data.dir/serialize.cc.o.d"
+  "/root/repo/src/data/trainloop.cc" "src/data/CMakeFiles/leca_data.dir/trainloop.cc.o" "gcc" "src/data/CMakeFiles/leca_data.dir/trainloop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/leca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/leca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_data.dir/augment.cc.o"
+  "CMakeFiles/leca_data.dir/augment.cc.o.d"
+  "CMakeFiles/leca_data.dir/backbone.cc.o"
+  "CMakeFiles/leca_data.dir/backbone.cc.o.d"
+  "CMakeFiles/leca_data.dir/dataset.cc.o"
+  "CMakeFiles/leca_data.dir/dataset.cc.o.d"
+  "CMakeFiles/leca_data.dir/image_io.cc.o"
+  "CMakeFiles/leca_data.dir/image_io.cc.o.d"
+  "CMakeFiles/leca_data.dir/serialize.cc.o"
+  "CMakeFiles/leca_data.dir/serialize.cc.o.d"
+  "CMakeFiles/leca_data.dir/trainloop.cc.o"
+  "CMakeFiles/leca_data.dir/trainloop.cc.o.d"
+  "libleca_data.a"
+  "libleca_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

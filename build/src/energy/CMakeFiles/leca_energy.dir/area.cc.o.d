@@ -1,0 +1,3 @@
+src/energy/CMakeFiles/leca_energy.dir/area.cc.o: \
+ /root/repo/src/energy/area.cc /usr/include/stdc-predef.h \
+ /root/repo/src/energy/area.hh

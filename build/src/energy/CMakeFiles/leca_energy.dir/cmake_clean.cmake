@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_energy.dir/area.cc.o"
+  "CMakeFiles/leca_energy.dir/area.cc.o.d"
+  "CMakeFiles/leca_energy.dir/baseline_activity.cc.o"
+  "CMakeFiles/leca_energy.dir/baseline_activity.cc.o.d"
+  "CMakeFiles/leca_energy.dir/energy_model.cc.o"
+  "CMakeFiles/leca_energy.dir/energy_model.cc.o.d"
+  "CMakeFiles/leca_energy.dir/survey.cc.o"
+  "CMakeFiles/leca_energy.dir/survey.cc.o.d"
+  "libleca_energy.a"
+  "libleca_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/controller.cc" "src/hw/CMakeFiles/leca_hw.dir/controller.cc.o" "gcc" "src/hw/CMakeFiles/leca_hw.dir/controller.cc.o.d"
+  "/root/repo/src/hw/pe.cc" "src/hw/CMakeFiles/leca_hw.dir/pe.cc.o" "gcc" "src/hw/CMakeFiles/leca_hw.dir/pe.cc.o.d"
+  "/root/repo/src/hw/sensor_chip.cc" "src/hw/CMakeFiles/leca_hw.dir/sensor_chip.cc.o" "gcc" "src/hw/CMakeFiles/leca_hw.dir/sensor_chip.cc.o.d"
+  "/root/repo/src/hw/timing.cc" "src/hw/CMakeFiles/leca_hw.dir/timing.cc.o" "gcc" "src/hw/CMakeFiles/leca_hw.dir/timing.cc.o.d"
+  "/root/repo/src/hw/weights.cc" "src/hw/CMakeFiles/leca_hw.dir/weights.cc.o" "gcc" "src/hw/CMakeFiles/leca_hw.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analog/CMakeFiles/leca_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/leca_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/leca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/leca_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

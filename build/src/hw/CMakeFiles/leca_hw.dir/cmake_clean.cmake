@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_hw.dir/controller.cc.o"
+  "CMakeFiles/leca_hw.dir/controller.cc.o.d"
+  "CMakeFiles/leca_hw.dir/pe.cc.o"
+  "CMakeFiles/leca_hw.dir/pe.cc.o.d"
+  "CMakeFiles/leca_hw.dir/sensor_chip.cc.o"
+  "CMakeFiles/leca_hw.dir/sensor_chip.cc.o.d"
+  "CMakeFiles/leca_hw.dir/timing.cc.o"
+  "CMakeFiles/leca_hw.dir/timing.cc.o.d"
+  "CMakeFiles/leca_hw.dir/weights.cc.o"
+  "CMakeFiles/leca_hw.dir/weights.cc.o.d"
+  "libleca_hw.a"
+  "libleca_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

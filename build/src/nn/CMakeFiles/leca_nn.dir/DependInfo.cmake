@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/leca_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/nn/CMakeFiles/leca_nn.dir/batchnorm.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/leca_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/conv_transpose.cc" "src/nn/CMakeFiles/leca_nn.dir/conv_transpose.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/conv_transpose.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/leca_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/leca_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/leca_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/leca_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "src/nn/CMakeFiles/leca_nn.dir/pool.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/pool.cc.o.d"
+  "/root/repo/src/nn/quantize.cc" "src/nn/CMakeFiles/leca_nn.dir/quantize.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/quantize.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/leca_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/leca_nn.dir/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/leca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_nn.dir/activation.cc.o"
+  "CMakeFiles/leca_nn.dir/activation.cc.o.d"
+  "CMakeFiles/leca_nn.dir/batchnorm.cc.o"
+  "CMakeFiles/leca_nn.dir/batchnorm.cc.o.d"
+  "CMakeFiles/leca_nn.dir/conv.cc.o"
+  "CMakeFiles/leca_nn.dir/conv.cc.o.d"
+  "CMakeFiles/leca_nn.dir/conv_transpose.cc.o"
+  "CMakeFiles/leca_nn.dir/conv_transpose.cc.o.d"
+  "CMakeFiles/leca_nn.dir/init.cc.o"
+  "CMakeFiles/leca_nn.dir/init.cc.o.d"
+  "CMakeFiles/leca_nn.dir/linear.cc.o"
+  "CMakeFiles/leca_nn.dir/linear.cc.o.d"
+  "CMakeFiles/leca_nn.dir/loss.cc.o"
+  "CMakeFiles/leca_nn.dir/loss.cc.o.d"
+  "CMakeFiles/leca_nn.dir/optimizer.cc.o"
+  "CMakeFiles/leca_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/leca_nn.dir/pool.cc.o"
+  "CMakeFiles/leca_nn.dir/pool.cc.o.d"
+  "CMakeFiles/leca_nn.dir/quantize.cc.o"
+  "CMakeFiles/leca_nn.dir/quantize.cc.o.d"
+  "CMakeFiles/leca_nn.dir/sequential.cc.o"
+  "CMakeFiles/leca_nn.dir/sequential.cc.o.d"
+  "libleca_nn.a"
+  "libleca_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_sensor.dir/bayer.cc.o"
+  "CMakeFiles/leca_sensor.dir/bayer.cc.o.d"
+  "CMakeFiles/leca_sensor.dir/noise.cc.o"
+  "CMakeFiles/leca_sensor.dir/noise.cc.o.d"
+  "CMakeFiles/leca_sensor.dir/pixel_array.cc.o"
+  "CMakeFiles/leca_sensor.dir/pixel_array.cc.o.d"
+  "libleca_sensor.a"
+  "libleca_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

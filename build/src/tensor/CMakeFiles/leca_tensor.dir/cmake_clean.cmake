@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_tensor.dir/ops.cc.o"
+  "CMakeFiles/leca_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/leca_tensor.dir/tensor.cc.o"
+  "CMakeFiles/leca_tensor.dir/tensor.cc.o.d"
+  "libleca_tensor.a"
+  "libleca_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leca_util.dir/rng.cc.o"
+  "CMakeFiles/leca_util.dir/rng.cc.o.d"
+  "CMakeFiles/leca_util.dir/table.cc.o"
+  "CMakeFiles/leca_util.dir/table.cc.o.d"
+  "libleca_util.a"
+  "libleca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

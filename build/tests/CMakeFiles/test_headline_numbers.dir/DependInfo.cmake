@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_headline_numbers.cc" "tests/CMakeFiles/test_headline_numbers.dir/test_headline_numbers.cc.o" "gcc" "tests/CMakeFiles/test_headline_numbers.dir/test_headline_numbers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/leca_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/leca_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/leca_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/leca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/leca_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/leca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

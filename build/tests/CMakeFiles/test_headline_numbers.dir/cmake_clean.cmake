@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_headline_numbers.dir/test_headline_numbers.cc.o"
+  "CMakeFiles/test_headline_numbers.dir/test_headline_numbers.cc.o.d"
+  "test_headline_numbers"
+  "test_headline_numbers.pdb"
+  "test_headline_numbers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_headline_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
