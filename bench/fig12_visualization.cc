@@ -46,7 +46,8 @@ main()
         const Tensor decoded =
             pipeline->decodeImages(sample.images, Mode::Eval);
 
-        const std::string tag = "q" + Table::num(qbits, 1);
+        std::string tag = "q";
+        tag += Table::num(qbits, 1);
         // Last 4 encoded channels (the paper shows 4 feature maps).
         for (int ch = 0; ch < features.size(1); ++ch) {
             Tensor plane({features.size(2), features.size(3)});

@@ -1,5 +1,7 @@
 #include "adc.hh"
 
+#include "util/check.hh"
+
 namespace leca {
 
 VariableResolutionAdc::VariableResolutionAdc(const CircuitConfig &config)
@@ -17,6 +19,12 @@ VariableResolutionAdc::VariableResolutionAdc(const CircuitConfig &config,
 void
 VariableResolutionAdc::configure(QBits qbits, double full_scale)
 {
+    // levels() validates the bit depth itself (1.5 ternary or 1..16).
+    LECA_CHECK(qbits.levels() >= 2, "ADC needs at least 2 levels");
+    LECA_CHECK(qbits.bits() <= 8.0, "ADC resolution ", qbits.bits(),
+               " bits exceeds the 8-bit SAR design (Sec. 4.3)");
+    LECA_CHECK(full_scale > 0.0, "ADC full scale ", full_scale,
+               " V must be positive");
     _qbits = qbits;
     _fullScale = full_scale;
 }
@@ -37,6 +45,8 @@ VariableResolutionAdc::convert(double v_diff, Rng *noise_rng) const
 double
 VariableResolutionAdc::dequantize(int code) const
 {
+    LECA_CHECK(code >= 0 && code < levels(), "ADC code ", code,
+               " outside [0, ", levels(), ")");
     return dequantizeCode(code, static_cast<float>(-_fullScale),
                           static_cast<float>(_fullScale), levels());
 }

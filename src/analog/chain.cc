@@ -1,6 +1,6 @@
 #include "chain.hh"
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -26,7 +26,8 @@ AnalogChain::analogOutput(const std::vector<double> &v_pixels,
                           const std::vector<ScmWeight> &weights, bool ideal,
                           Rng *noise_rng) const
 {
-    LECA_ASSERT(v_pixels.size() == weights.size(), "chain input mismatch");
+    LECA_CHECK(v_pixels.size() == weights.size(), "chain input mismatch: ",
+               v_pixels.size(), " pixels vs ", weights.size(), " weights");
     std::vector<double> v_in(v_pixels.size());
     for (std::size_t i = 0; i < v_pixels.size(); ++i) {
         if (ideal) {

@@ -13,6 +13,8 @@
 #ifndef LECA_ANALOG_CIRCUIT_CONFIG_HH
 #define LECA_ANALOG_CIRCUIT_CONFIG_HH
 
+#include "util/check.hh"
+
 namespace leca {
 
 /** First-order behavioural parameters of a source-follower buffer. */
@@ -55,6 +57,37 @@ struct CircuitConfig
 
     /** Capacitance of one DAC step (fF). */
     double unitCapFf() const { return cSampleTotFf / dacSteps(); }
+
+    /** Cap ratio C_sample,tot / C_out governing the Eq. (3) recurrence. */
+    double capRatio() const { return cSampleTotFf / cOutFf; }
+
+    /**
+     * Validate electrical ranges before a model is built from this
+     * config. Throws leca::CheckError on violation.
+     */
+    void
+    validate() const
+    {
+        LECA_CHECK(vCm > 0.0, "common-mode voltage ", vCm, " V must be > 0");
+        LECA_CHECK(cSampleTotFf > 0.0 && cOutFf > 0.0,
+                   "capacitances must be positive: C_sample,tot = ",
+                   cSampleTotFf, " fF, C_out = ", cOutFf, " fF");
+        // The paper's design point is ratio = 1; the recurrence stays
+        // well-conditioned for moderate ratios but diverges from the
+        // modelled hardware outside this window.
+        LECA_CHECK(capRatio() > 0.01 && capRatio() < 100.0,
+                   "cap ratio C_sample,tot/C_out = ", capRatio(),
+                   " outside the modelled window (0.01, 100)");
+        LECA_CHECK(weightMagBits >= 1 && weightMagBits <= 8,
+                   "weight magnitude bits ", weightMagBits,
+                   " outside [1, 8]");
+        LECA_CHECK(chargeTransferEta > 0.0 && chargeTransferEta <= 1.0,
+                   "charge-transfer eta ", chargeTransferEta,
+                   " outside (0, 1]");
+        LECA_CHECK(capMismatchSigma >= 0.0 && scmNoiseSigma >= 0.0
+                       && adcOffsetSigma >= 0.0 && adcNoiseSigma >= 0.0,
+                   "noise sigmas must be non-negative");
+    }
 };
 
 } // namespace leca

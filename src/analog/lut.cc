@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -11,7 +11,7 @@ Lut1d::Lut1d(double lo, double hi, int samples,
              const std::function<double(double)> &fn)
     : _lo(lo), _hi(hi)
 {
-    LECA_ASSERT(samples >= 2 && hi > lo, "bad LUT domain");
+    LECA_CHECK(samples >= 2 && hi > lo, "bad LUT domain");
     _values.resize(static_cast<std::size_t>(samples));
     for (int i = 0; i < samples; ++i) {
         const double x = lo + (hi - lo) * i / (samples - 1);
@@ -22,13 +22,13 @@ Lut1d::Lut1d(double lo, double hi, int samples,
 Lut1d::Lut1d(double lo, double hi, std::vector<double> values)
     : _lo(lo), _hi(hi), _values(std::move(values))
 {
-    LECA_ASSERT(_values.size() >= 2 && hi > lo, "bad LUT data");
+    LECA_CHECK(_values.size() >= 2 && hi > lo, "bad LUT data");
 }
 
 double
 Lut1d::operator()(double x) const
 {
-    LECA_ASSERT(!_values.empty(), "lookup on empty LUT");
+    LECA_DCHECK(!_values.empty(), "lookup on empty LUT");
     const int n = static_cast<int>(_values.size());
     const double t = (x - _lo) / (_hi - _lo) * (n - 1);
     if (t <= 0.0)
@@ -44,7 +44,7 @@ Lut1d::operator()(double x) const
 double
 Lut1d::slope(double x) const
 {
-    LECA_ASSERT(_values.size() >= 2, "slope on empty LUT");
+    LECA_DCHECK(_values.size() >= 2, "slope on empty LUT");
     const int n = static_cast<int>(_values.size());
     const double step = (_hi - _lo) / (n - 1);
     double t = (x - _lo) / step;
@@ -58,7 +58,7 @@ Lut2d::Lut2d(double x_lo, double x_hi, int nx, double y_lo, double y_hi,
              int ny, const std::function<double(double, double)> &fn)
     : _xLo(x_lo), _xHi(x_hi), _yLo(y_lo), _yHi(y_hi), _nx(nx), _ny(ny)
 {
-    LECA_ASSERT(nx >= 2 && ny >= 2 && x_hi > x_lo && y_hi > y_lo,
+    LECA_CHECK(nx >= 2 && ny >= 2 && x_hi > x_lo && y_hi > y_lo,
                 "bad 2-D LUT domain");
     _values.resize(static_cast<std::size_t>(nx) * ny);
     for (int j = 0; j < ny; ++j) {
@@ -73,7 +73,7 @@ Lut2d::Lut2d(double x_lo, double x_hi, int nx, double y_lo, double y_hi,
 double
 Lut2d::operator()(double x, double y) const
 {
-    LECA_ASSERT(!_values.empty(), "lookup on empty 2-D LUT");
+    LECA_DCHECK(!_values.empty(), "lookup on empty 2-D LUT");
     double tx = (x - _xLo) / (_xHi - _xLo) * (_nx - 1);
     double ty = (y - _yLo) / (_yHi - _yLo) * (_ny - 1);
     tx = std::clamp(tx, 0.0, static_cast<double>(_nx - 1));

@@ -4,7 +4,8 @@
 
 #include "analog/buffers.hh"
 #include "analog/scm.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
+#include "util/numeric.hh"
 
 namespace leca {
 
@@ -46,7 +47,9 @@ extractStage(const BufferParams &params, double lo, double hi, int grid,
 AnalogNoiseModel
 extractNoiseModel(const CircuitConfig &config, int samples, Rng &mc_rng)
 {
-    LECA_ASSERT(samples >= 2, "need at least 2 Monte-Carlo samples");
+    LECA_CHECK(samples >= 2, "need at least 2 Monte-Carlo samples, got ",
+               samples);
+    config.validate();
     AnalogNoiseModel model;
 
     // Buffer stages over their realistic operating ranges.
@@ -98,7 +101,7 @@ extractNoiseModel(const CircuitConfig &config, int samples, Rng &mc_rng)
     model.scm.epsSurface = Lut2d(
         0.4, 1.4, 21, 1.0, static_cast<double>(steps), steps,
         [&](double v_in, double code_real) {
-            const int code = static_cast<int>(std::lround(code_real));
+            const int code = roundToInt(code_real);
             double sum = 0.0;
             int count = 0;
             for (int a = 0; a < op_grid; ++a) {

@@ -1,17 +1,19 @@
 #include "scm.hh"
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
 ScMultiplier::ScMultiplier(const CircuitConfig &config) : _config(config)
 {
+    config.validate();
     _capDeltas.assign(static_cast<std::size_t>(config.dacSteps()), 0.0);
 }
 
 ScMultiplier::ScMultiplier(const CircuitConfig &config, Rng &mc_rng)
     : _config(config)
 {
+    config.validate();
     _capDeltas.resize(static_cast<std::size_t>(config.dacSteps()));
     for (double &d : _capDeltas)
         d = mc_rng.gaussian(0.0, config.capMismatchSigma);
@@ -20,16 +22,16 @@ ScMultiplier::ScMultiplier(const CircuitConfig &config, Rng &mc_rng)
 double
 ScMultiplier::idealCapFf(int magnitude) const
 {
-    LECA_ASSERT(magnitude >= 0 && magnitude <= _config.dacSteps(),
-                "cap code ", magnitude, " out of range");
+    LECA_CHECK(magnitude >= 0 && magnitude <= _config.dacSteps(), "cap code ",
+               magnitude, " outside [0, ", _config.dacSteps(), "]");
     return _config.unitCapFf() * magnitude;
 }
 
 double
 ScMultiplier::capFf(int magnitude) const
 {
-    LECA_ASSERT(magnitude >= 0 && magnitude <= _config.dacSteps(),
-                "cap code ", magnitude, " out of range");
+    LECA_CHECK(magnitude >= 0 && magnitude <= _config.dacSteps(), "cap code ",
+               magnitude, " outside [0, ", _config.dacSteps(), "]");
     // Thermometer-coded DAC: unit caps 0..magnitude-1 are connected.
     double cap = 0.0;
     for (int u = 0; u < magnitude; ++u)
@@ -68,8 +70,8 @@ ScMultiplier::runSequence(const std::vector<double> &v_in,
                           const std::vector<ScmWeight> &weights, bool ideal,
                           Rng *noise_rng) const
 {
-    LECA_ASSERT(v_in.size() == weights.size(),
-                "MAC sequence length mismatch");
+    LECA_CHECK(v_in.size() == weights.size(), "MAC sequence length mismatch: ",
+               v_in.size(), " inputs vs ", weights.size(), " weights");
     DiffBuffer buffer(_config.vCm);
     for (std::size_t i = 0; i < v_in.size(); ++i) {
         const ScmWeight &w = weights[i];

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "nn/quantize.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -49,9 +49,9 @@ AccumGradientThreshold::processRow(const float *src, float *dst,
 }
 
 Tensor
-AccumGradientThreshold::process(const Tensor &batch)
+AccumGradientThreshold::processImpl(const Tensor &batch)
 {
-    LECA_ASSERT(batch.dim() == 4, "AGT expects [N,C,H,W]");
+    LECA_CHECK(batch.dim() == 4, "AGT expects [N,C,H,W]");
     const int n = batch.size(0), c = batch.size(1);
     const int h = batch.size(2), w = batch.size(3);
     Tensor out(batch.shape());

@@ -22,7 +22,7 @@ class AccumGradientThreshold : public CompressionMethod
 
     std::string name() const override { return "AGT"; }
     double compressionRatio() const override { return _lastRatio; }
-    Tensor process(const Tensor &batch) override;
+    Tensor processImpl(const Tensor &batch) override;
     EncodingDomain domain() const override { return EncodingDomain::Mixed; }
     Objective objective() const override { return Objective::TaskAgnostic; }
     std::string hardwareOverhead() const override { return "Medium"; }

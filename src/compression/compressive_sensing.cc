@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "nn/quantize.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 #include "util/rng.hh"
 
 namespace leca {
@@ -13,7 +13,7 @@ CompressiveSensing::CompressiveSensing(int ratio, std::uint64_t seed,
                                        int ista_iters)
     : _ratio(ratio), _m(64 / ratio), _istaIters(ista_iters)
 {
-    LECA_ASSERT(64 % ratio == 0, "CS ratio must divide 64");
+    LECA_CHECK(64 % ratio == 0, "CS ratio must divide 64");
     Rng rng(seed);
     const float scale = 1.0f / std::sqrt(static_cast<float>(_m));
     _phi.resize(static_cast<std::size_t>(_m) * 64);
@@ -155,12 +155,12 @@ CompressiveSensing::reconstructBlock(const std::vector<float> &y,
 }
 
 Tensor
-CompressiveSensing::process(const Tensor &batch)
+CompressiveSensing::processImpl(const Tensor &batch)
 {
-    LECA_ASSERT(batch.dim() == 4, "CS expects [N,C,H,W]");
+    LECA_CHECK(batch.dim() == 4, "CS expects [N,C,H,W]");
     const int n = batch.size(0), c = batch.size(1);
     const int h = batch.size(2), w = batch.size(3);
-    LECA_ASSERT(h % 8 == 0 && w % 8 == 0, "CS needs 8x8-divisible frames");
+    LECA_CHECK(h % 8 == 0 && w % 8 == 0, "CS needs 8x8-divisible frames");
 
     Tensor out(batch.shape());
     float block[64];

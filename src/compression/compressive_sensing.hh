@@ -36,7 +36,7 @@ class CompressiveSensing : public CompressionMethod
     {
         return static_cast<double>(_ratio);
     }
-    Tensor process(const Tensor &batch) override;
+    Tensor processImpl(const Tensor &batch) override;
     EncodingDomain domain() const override { return EncodingDomain::Analog; }
     Objective objective() const override { return Objective::TaskAgnostic; }
     std::string hardwareOverhead() const override { return "Low"; }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -65,7 +65,7 @@ ycbcrToRgb(float y, float cb, float cr, float &r, float &g, float &b)
 
 JpegCodec::JpegCodec(int quality) : _quality(quality)
 {
-    LECA_ASSERT(quality >= 1 && quality <= 100, "quality in [1,100]");
+    LECA_CHECK(quality >= 1 && quality <= 100, "quality in [1,100]");
 }
 
 float
@@ -96,12 +96,12 @@ JpegCodec::blockBits(const int *coeffs, int prev_dc)
 }
 
 Tensor
-JpegCodec::process(const Tensor &batch)
+JpegCodec::processImpl(const Tensor &batch)
 {
-    LECA_ASSERT(batch.dim() == 4 && batch.size(1) == 3,
+    LECA_CHECK(batch.dim() == 4 && batch.size(1) == 3,
                 "JPEG expects [N,3,H,W]");
     const int n = batch.size(0), h = batch.size(2), w = batch.size(3);
-    LECA_ASSERT(h % 8 == 0 && w % 8 == 0, "JPEG needs 8x8 tiles");
+    LECA_CHECK(h % 8 == 0 && w % 8 == 0, "JPEG needs 8x8 tiles");
 
     Tensor out(batch.shape());
     long total_bits = 0;

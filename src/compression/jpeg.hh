@@ -25,7 +25,7 @@ class JpegCodec : public CompressionMethod
     /** Achieved ratio of the last process() call. */
     double compressionRatio() const override { return _lastRatio; }
 
-    Tensor process(const Tensor &batch) override;
+    Tensor processImpl(const Tensor &batch) override;
     EncodingDomain domain() const override
     {
         return EncodingDomain::Digital;

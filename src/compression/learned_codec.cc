@@ -9,7 +9,7 @@
 #include "nn/loss.hh"
 #include "nn/optimizer.hh"
 #include "nn/quantize.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 #include "util/rng.hh"
 
 namespace leca {
@@ -19,7 +19,7 @@ LearnedCodec::LearnedCodec(int latent_channels, std::uint64_t seed)
       _encoder(std::make_unique<Sequential>()),
       _decoder(std::make_unique<Sequential>())
 {
-    LECA_ASSERT(latent_channels >= 1, "need at least one latent channel");
+    LECA_CHECK(latent_channels >= 1, "need at least one latent channel");
     Rng rng(seed);
     // Two-stage strided encoder (total stride 4) — already far more
     // computation than a CIS column circuit could host.
@@ -59,9 +59,9 @@ LearnedCodec::encodeQuantized(const Tensor &batch, Mode mode)
 }
 
 Tensor
-LearnedCodec::process(const Tensor &batch)
+LearnedCodec::processImpl(const Tensor &batch)
 {
-    LECA_ASSERT(_trained,
+    LECA_CHECK(_trained,
                 "LearnedCodec::process before train() — the learned "
                 "baseline must be fitted first");
     const Tensor latent = encodeQuantized(batch, Mode::Eval);
@@ -104,7 +104,7 @@ LearnedCodec::train(const Dataset &data, int epochs, double learning_rate,
 Tensor
 LearnedCodec::processAtLatentLevels(const Tensor &batch, int levels)
 {
-    LECA_ASSERT(_trained, "processAtLatentLevels before train()");
+    LECA_CHECK(_trained, "processAtLatentLevels before train()");
     Tensor latent = _encoder->forward(batch, Mode::Eval);
     for (std::size_t i = 0; i < latent.numel(); ++i)
         latent[i] = quantizeUniform(latent[i], -4.0f, 4.0f, levels);
@@ -117,7 +117,7 @@ LearnedCodec::processAtLatentLevels(const Tensor &batch, int levels)
 double
 LearnedCodec::reconstructionMse(const Dataset &data)
 {
-    LECA_ASSERT(_trained, "reconstructionMse before train()");
+    LECA_CHECK(_trained, "reconstructionMse before train()");
     const Tensor recon = process(data.images);
     double acc = 0.0;
     for (std::size_t i = 0; i < recon.numel(); ++i) {

@@ -54,7 +54,7 @@ class LearnedCodec : public CompressionMethod
 
     std::string name() const override { return "Learned"; }
     double compressionRatio() const override;
-    Tensor process(const Tensor &batch) override;
+    Tensor processImpl(const Tensor &batch) override;
     EncodingDomain domain() const override
     {
         return EncodingDomain::Digital;

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "tensor/tensor.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -37,14 +38,38 @@ class CompressionMethod
     /**
      * Encode + decode a batch [N,3,H,W] in [0,1]; the result has the
      * same shape and feeds the frozen downstream model.
+     *
+     * Non-virtual: enforces the interface contract (4-D RGB input,
+     * shape-preserving output, sane compression ratio) around the
+     * method-specific processImpl().
      */
-    virtual Tensor process(const Tensor &batch) = 0;
+    Tensor
+    process(const Tensor &batch)
+    {
+        LECA_CHECK(batch.dim() == 4 && batch.size(1) == 3,
+                   name(), " expects an [N,3,H,W] batch, got ",
+                   detail::formatShape(batch.shape()));
+        LECA_CHECK(batch.size(0) > 0 && batch.size(2) > 0
+                       && batch.size(3) > 0,
+                   name(), " given a degenerate batch ",
+                   detail::formatShape(batch.shape()));
+        Tensor result = processImpl(batch);
+        LECA_CHECK_SAME_SHAPE(result, batch);
+        LECA_CHECK(compressionRatio() > 0.0, name(),
+                   " reports non-positive compression ratio ",
+                   compressionRatio());
+        return result;
+    }
 
     /** Table 1 metadata. */
     virtual EncodingDomain domain() const = 0;
     virtual Objective objective() const = 0;
     virtual std::string qualityMetric() const { return "PSNR"; }
     virtual std::string hardwareOverhead() const = 0;
+
+  protected:
+    /** Method-specific encode + decode; contract enforced by process(). */
+    virtual Tensor processImpl(const Tensor &batch) = 0;
 };
 
 using CompressionMethodPtr = std::unique_ptr<CompressionMethod>;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "nn/quantize.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -22,7 +22,7 @@ constexpr int kPattern[4][4] = {
 
 Microshift::Microshift(int bits) : _bits(bits), _levels(1 << bits)
 {
-    LECA_ASSERT(bits >= 1 && bits <= 4, "Microshift expects 1..4 bits");
+    LECA_CHECK(bits >= 1 && bits <= 4, "Microshift expects 1..4 bits");
 }
 
 float
@@ -34,9 +34,9 @@ Microshift::shiftAt(int y, int x) const
 }
 
 Tensor
-Microshift::process(const Tensor &batch)
+Microshift::processImpl(const Tensor &batch)
 {
-    LECA_ASSERT(batch.dim() == 4, "MS expects [N,C,H,W]");
+    LECA_CHECK(batch.dim() == 4, "MS expects [N,C,H,W]");
     const int n = batch.size(0), c = batch.size(1);
     const int h = batch.size(2), w = batch.size(3);
     const float step = 1.0f / static_cast<float>(_levels - 1);

@@ -27,7 +27,7 @@ class Microshift : public CompressionMethod
         // Image dependent 4x..5x in the paper; nominal bit ratio here.
         return 8.0 / _bits;
     }
-    Tensor process(const Tensor &batch) override;
+    Tensor processImpl(const Tensor &batch) override;
     EncodingDomain domain() const override
     {
         return EncodingDomain::Digital;

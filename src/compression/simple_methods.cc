@@ -1,24 +1,24 @@
 #include "simple_methods.hh"
 
 #include "tensor/ops.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
 Tensor
-ConventionalSensor::process(const Tensor &batch)
+ConventionalSensor::processImpl(const Tensor &batch)
 {
     return quantizeTensor(batch, 0.0f, 1.0f, 256);
 }
 
 Tensor
-SpatialDownsample::process(const Tensor &batch)
+SpatialDownsample::processImpl(const Tensor &batch)
 {
-    LECA_ASSERT(batch.dim() == 4, "SD expects [N,C,H,W]");
+    LECA_CHECK(batch.dim() == 4, "SD expects [N,C,H,W]");
     const int n = batch.size(0), c = batch.size(1);
     const int h = batch.size(2), w = batch.size(3);
     const int oh = h / _kh, ow = w / _kw;
-    LECA_ASSERT(oh > 0 && ow > 0, "SD kernel larger than image");
+    LECA_CHECK(oh > 0 && ow > 0, "SD kernel larger than image");
 
     Tensor pooled({n, c, oh, ow});
     const float inv = 1.0f / static_cast<float>(_kh * _kw);
@@ -39,7 +39,7 @@ SpatialDownsample::process(const Tensor &batch)
 }
 
 Tensor
-LowResQuantizer::process(const Tensor &batch)
+LowResQuantizer::processImpl(const Tensor &batch)
 {
     return quantizeTensor(batch, 0.0f, 1.0f, _qbits.levels());
 }

@@ -19,7 +19,7 @@ class ConventionalSensor : public CompressionMethod
   public:
     std::string name() const override { return "CNV"; }
     double compressionRatio() const override { return 1.0; }
-    Tensor process(const Tensor &batch) override;
+    Tensor processImpl(const Tensor &batch) override;
     EncodingDomain domain() const override { return EncodingDomain::Analog; }
     Objective objective() const override { return Objective::TaskAgnostic; }
     std::string hardwareOverhead() const override { return "None"; }
@@ -41,7 +41,7 @@ class SpatialDownsample : public CompressionMethod
     {
         return static_cast<double>(_kh * _kw);
     }
-    Tensor process(const Tensor &batch) override;
+    Tensor processImpl(const Tensor &batch) override;
     EncodingDomain domain() const override { return EncodingDomain::Mixed; }
     Objective objective() const override { return Objective::TaskAgnostic; }
     std::string hardwareOverhead() const override { return "Low"; }
@@ -62,7 +62,7 @@ class LowResQuantizer : public CompressionMethod
     {
         return 8.0 / _qbits.bits();
     }
-    Tensor process(const Tensor &batch) override;
+    Tensor processImpl(const Tensor &batch) override;
     EncodingDomain domain() const override { return EncodingDomain::Analog; }
     Objective objective() const override { return Objective::TaskAgnostic; }
     std::string hardwareOverhead() const override { return "None"; }

@@ -9,6 +9,7 @@ namespace leca {
 
 LecaDecoder::LecaDecoder(const LecaConfig &config, Rng &init_rng)
 {
+    config.validate();
     const int c = config.inChannels;
     const int f = config.decoderFilters;
     const int kd = config.decoderKernel;

@@ -7,7 +7,9 @@
 #include "analog/scm.hh"
 #include "nn/init.hh"
 #include "tensor/ops.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
+#include "util/numeric.hh"
 
 namespace leca {
 
@@ -19,6 +21,8 @@ LecaEncoder::LecaEncoder(const LecaConfig &config,
                       config.kernel})),
       _outScale(Tensor({1}))
 {
+    config.validate();
+    circuit.validate();
     kaimingInit(_weight.value,
                 config.inChannels * config.kernel * config.kernel,
                 init_rng);
@@ -35,8 +39,9 @@ void
 LecaEncoder::setModality(EncoderModality modality)
 {
     if (modality != EncoderModality::Soft) {
-        LECA_ASSERT(_config.kernel == 2,
-                    "hardware modalities require K = 2 (Sec. 3.3)");
+        LECA_CHECK(_config.kernel == 2,
+                   "hardware modalities require K = 2 (Sec. 3.3), got K = ",
+                   _config.kernel);
     }
     if (modality != _modality) {
         // The output scale lives in different units per modality
@@ -98,8 +103,9 @@ LecaEncoder::backward(const Tensor &grad_out)
 Tensor
 LecaEncoder::forwardSoft(const Tensor &x, Mode mode)
 {
-    LECA_ASSERT(x.dim() == 4 && x.size(1) == _config.inChannels,
-                "encoder input shape");
+    LECA_CHECK(x.dim() == 4 && x.size(1) == _config.inChannels,
+               "soft encoder expects [N,", _config.inChannels,
+               ",H,W] input, got ", detail::formatShape(x.shape()));
     const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
     const int k = _config.kernel;
     const int oh = h / k, ow = w / k;
@@ -136,7 +142,7 @@ LecaEncoder::forwardSoft(const Tensor &x, Mode mode)
 Tensor
 LecaEncoder::backwardSoft(const Tensor &grad_out)
 {
-    LECA_ASSERT(_softPre.numel() > 0,
+    LECA_CHECK(_softPre.numel() > 0,
                 "soft encoder backward without forward");
     const int n = _inShape[0], c = _inShape[1];
     const int h = _inShape[2], w = _inShape[3];
@@ -185,9 +191,14 @@ LecaEncoder::backwardSoft(const Tensor &grad_out)
 Tensor
 LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
 {
-    LECA_ASSERT(x.dim() == 4 && x.size(1) == 3, "encoder input shape");
-    LECA_ASSERT(!noisy || (_hasNoiseModel && _noiseRng),
-                "noisy modality needs a noise model and rng");
+    LECA_CHECK(x.dim() == 4 && x.size(1) == 3,
+               "hard encoder expects [N,3,H,W] input, got ",
+               detail::formatShape(x.shape()));
+    LECA_CHECK(x.size(2) % 2 == 0 && x.size(3) % 2 == 0,
+               "hard encoder needs even spatial extents for the 2x2 Bayer "
+               "flattening, got ", x.size(2), "x", x.size(3));
+    LECA_CHECK(!noisy || (_hasNoiseModel && _noiseRng),
+               "noisy modality needs a noise model and rng installed");
     const int n = x.size(0), h = x.size(2), w = x.size(3);
     const int oh = h / 2, ow = w / 2;
     const int nch = _config.nch;
@@ -225,8 +236,8 @@ LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
                         const float w_tap =
                             _weight.value.at(kch, tap.channel, tap.py,
                                              tap.px) * tap.factor;
-                        int mag = static_cast<int>(std::lround(
-                            std::abs(w_tap) / wscale * steps));
+                        int mag = roundToInt(
+                            std::abs(w_tap) / wscale * steps);
                         mag = std::clamp(mag, 0, steps);
                         const bool neg = w_tap < 0.0f;
                         const double cap = unit * mag;
@@ -310,7 +321,7 @@ LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
 Tensor
 LecaEncoder::backwardHard(const Tensor &grad_out)
 {
-    LECA_ASSERT(!_diff.empty(), "hard encoder backward without forward");
+    LECA_CHECK(!_diff.empty(), "hard encoder backward without forward");
     const int n = _inShape[0];
     const int oh = _inShape[2] / 2, ow = _inShape[3] / 2;
     const int nch = _config.nch;

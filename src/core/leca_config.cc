@@ -9,6 +9,8 @@ designPointsForCr(double target_cr, int max_nch)
 {
     static const double candidate_bits[] = {1.0, 1.5, 2.0, 3.0, 4.0,
                                             6.0, 8.0};
+    LECA_CHECK(target_cr > 0.0, "target compression ratio ", target_cr);
+    LECA_CHECK(max_nch >= 1, "max_nch ", max_nch);
     std::vector<LecaConfig> points;
     for (int nch = 1; nch <= max_nch; ++nch) {
         for (double bits : candidate_bits) {

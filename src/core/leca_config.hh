@@ -9,6 +9,7 @@
 #define LECA_CORE_LECA_CONFIG_HH
 
 #include "nn/quantize.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -37,6 +38,31 @@ struct LecaConfig
     {
         return static_cast<double>(kernel) * kernel * inChannels * qFull
                / (static_cast<double>(nch) * qbits.bits());
+    }
+
+    /**
+     * Validate the design point before building encoder/decoder models
+     * from it. Throws leca::CheckError on violation.
+     */
+    void
+    validate() const
+    {
+        LECA_CHECK(kernel >= 1 && kernel <= 16, "encoder kernel ", kernel,
+                   " outside [1, 16]");
+        LECA_CHECK(nch >= 1 && nch <= 256, "encoder channels ", nch,
+                   " outside [1, 256]");
+        LECA_CHECK(inChannels >= 1, "input channels ", inChannels);
+        // levels() validates the Q_bit value itself.
+        LECA_CHECK(qbits.levels() >= 2, "quantizer needs >= 2 levels");
+        LECA_CHECK(decoderDncnnLayers >= 0, "decoder DnCNN layers ",
+                   decoderDncnnLayers);
+        LECA_CHECK(decoderFilters >= 1, "decoder filters ", decoderFilters);
+        LECA_CHECK(decoderKernel >= 1 && decoderKernel % 2 == 1,
+                   "decoder kernel ", decoderKernel,
+                   " must be odd and positive");
+        LECA_CHECK(compressionRatio() >= 1.0,
+                   "design point expands instead of compressing: CR = ",
+                   compressionRatio());
     }
 };
 

@@ -4,7 +4,8 @@
 #include "data/serialize.hh"
 #include "data/trainloop.hh"
 #include "nn/loss.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
+#include "util/numeric.hh"
 
 namespace leca {
 
@@ -14,11 +15,13 @@ LecaPipeline::LecaPipeline(const Options &options,
       _pixelNoise(options.sensor),
       _noiseRng(options.seed * 0x2545F4914F6CDD1DULL + 99)
 {
+    options.leca.validate();
+    options.circuit.validate();
     Rng init(options.seed);
     _encoder = std::make_unique<LecaEncoder>(options.leca, options.circuit,
                                              options.sensor, init);
     _decoder = std::make_unique<LecaDecoder>(options.leca, init);
-    LECA_ASSERT(_backbone, "pipeline needs a backbone");
+    LECA_CHECK(_backbone != nullptr, "pipeline needs a backbone");
     _backbone->freeze(true);
 
     // Extract the Sec. 5.3 noise model once so the Noisy modality is
@@ -151,6 +154,7 @@ LecaPipeline::load(const std::string &path)
 void
 LecaPipeline::refreshStats(const Dataset &ds, int batch_size)
 {
+    LECA_CHECK(batch_size > 0, "refreshStats batch size ", batch_size);
     _decoder->setStatsRefresh(true);
     _backbone->setStatsRefresh(true);
     for (int begin = 0; begin < ds.count(); begin += batch_size) {
@@ -165,6 +169,7 @@ LecaPipeline::refreshStats(const Dataset &ds, int batch_size)
 double
 LecaPipeline::evalAccuracy(const Dataset &ds, int batch_size)
 {
+    LECA_CHECK(batch_size > 0, "evalAccuracy batch size ", batch_size);
     const int n = ds.count();
     if (n == 0)
         return 0.0;
@@ -173,8 +178,7 @@ LecaPipeline::evalAccuracy(const Dataset &ds, int batch_size)
         const int count = std::min(batch_size, n - begin);
         const Dataset batch = sliceDataset(ds, begin, count);
         const Tensor logits = forward(batch.images, Mode::Eval);
-        correct += static_cast<int>(
-            accuracy(logits, batch.labels) * count + 0.5);
+        correct += roundToInt(accuracy(logits, batch.labels) * count);
     }
     return static_cast<double>(correct) / static_cast<double>(n);
 }

@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
 void
 flipHorizontal(Tensor &batch, int index)
 {
-    LECA_ASSERT(batch.dim() == 4, "flipHorizontal expects [N,C,H,W]");
+    LECA_CHECK(batch.dim() == 4, "flipHorizontal expects [N,C,H,W]");
     const int c = batch.size(1), h = batch.size(2), w = batch.size(3);
     for (int ch = 0; ch < c; ++ch)
         for (int y = 0; y < h; ++y)
@@ -22,7 +22,7 @@ flipHorizontal(Tensor &batch, int index)
 void
 rotateImage(Tensor &batch, int index, double degrees)
 {
-    LECA_ASSERT(batch.dim() == 4, "rotateImage expects [N,C,H,W]");
+    LECA_CHECK(batch.dim() == 4, "rotateImage expects [N,C,H,W]");
     const int c = batch.size(1), h = batch.size(2), w = batch.size(3);
     const double rad = degrees * M_PI / 180.0;
     const double cs = std::cos(rad), sn = std::sin(rad);

@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
 SyntheticVision::SyntheticVision(Config config) : _config(config)
 {
-    LECA_ASSERT(_config.resolution >= 8, "resolution too small");
-    LECA_ASSERT(_config.numClasses >= 2, "need at least two classes");
+    LECA_CHECK(_config.resolution >= 8, "resolution too small");
+    LECA_CHECK(_config.numClasses >= 2, "need at least two classes");
 }
 
 namespace {

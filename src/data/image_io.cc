@@ -4,6 +4,7 @@
 #include <fstream>
 #include <limits>
 
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace leca {
@@ -22,7 +23,7 @@ toByte(float v)
 void
 writePpm(const Tensor &image, const std::string &path)
 {
-    LECA_ASSERT(image.dim() == 3 && image.size(0) == 3,
+    LECA_CHECK(image.dim() == 3 && image.size(0) == 3,
                 "writePpm expects [3,H,W]");
     const int h = image.size(1), w = image.size(2);
     std::ofstream os(path, std::ios::binary);
@@ -44,10 +45,10 @@ writePgm(const Tensor &image, const std::string &path, bool normalize)
 {
     Tensor plane = image;
     if (plane.dim() == 3) {
-        LECA_ASSERT(plane.size(0) == 1, "writePgm expects one channel");
+        LECA_CHECK(plane.size(0) == 1, "writePgm expects one channel");
         plane = plane.reshape({plane.size(1), plane.size(2)});
     }
-    LECA_ASSERT(plane.dim() == 2, "writePgm expects [H,W]");
+    LECA_CHECK(plane.dim() == 2, "writePgm expects [H,W]");
     const int h = plane.size(0), w = plane.size(1);
 
     float lo = 0.0f, hi = 1.0f;
@@ -84,14 +85,14 @@ readPpm(const std::string &path)
     std::string magic;
     int w = 0, h = 0, maxval = 0;
     is >> magic >> w >> h >> maxval;
-    LECA_ASSERT(magic == "P6" && maxval == 255, "unsupported PPM ", path);
+    LECA_CHECK(magic == "P6" && maxval == 255, "unsupported PPM ", path);
     is.get(); // single whitespace after header
     Tensor img({3, h, w});
     for (int y = 0; y < h; ++y) {
         for (int x = 0; x < w; ++x) {
             for (int c = 0; c < 3; ++c) {
                 const int b = is.get();
-                LECA_ASSERT(b >= 0, "truncated PPM ", path);
+                LECA_CHECK(b >= 0, "truncated PPM ", path);
                 img.at(c, y, x) = static_cast<float>(b) / 255.0f;
             }
         }

@@ -6,6 +6,7 @@
 #include "data/augment.hh"
 #include "nn/loss.hh"
 #include "nn/optimizer.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -14,7 +15,7 @@ namespace leca {
 Dataset
 sliceDataset(const Dataset &ds, int begin, int count)
 {
-    LECA_ASSERT(begin >= 0 && begin + count <= ds.count(),
+    LECA_CHECK(begin >= 0 && begin + count <= ds.count(),
                 "slice out of range");
     const int c = ds.images.size(1), h = ds.images.size(2);
     const int w = ds.images.size(3);

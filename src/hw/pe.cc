@@ -1,6 +1,6 @@
 #include "pe.hh"
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -41,9 +41,9 @@ void
 Pe::loadWeights(const std::vector<FlatKernel> &kernels, int kernel_base,
                 int kernel_count, int row_in_block)
 {
-    LECA_ASSERT(kernel_count >= 1 && kernel_count <= 4,
+    LECA_CHECK(kernel_count >= 1 && kernel_count <= 4,
                 "PE supports at most 4 kernels per pass");
-    LECA_ASSERT(row_in_block >= 0 && row_in_block < 4, "bad block row");
+    LECA_CHECK(row_in_block >= 0 && row_in_block < 4, "bad block row");
     for (int k = 0; k < kernel_count; ++k) {
         const FlatKernel &kernel =
             kernels[static_cast<std::size_t>(kernel_base + k)];
@@ -66,7 +66,7 @@ Pe::applyPsf(double v_pixel, PeMode mode, Rng *noise_rng) const
       case PeMode::Real:
         return _chain.psf.transfer(v_pixel);
       case PeMode::RealNoisy:
-        LECA_ASSERT(noise_rng, "RealNoisy mode needs a noise stream");
+        LECA_CHECK(noise_rng, "RealNoisy mode needs a noise stream");
         return _chain.psf.transferNoisy(v_pixel, *noise_rng);
     }
     return v_pixel;
@@ -75,7 +75,7 @@ Pe::applyPsf(double v_pixel, PeMode mode, Rng *noise_rng) const
 void
 Pe::processRow(int kernel_count, PeMode mode, Rng *noise_rng)
 {
-    LECA_ASSERT(kernel_count >= 1 && kernel_count <= 4,
+    LECA_CHECK(kernel_count >= 1 && kernel_count <= 4,
                 "bad kernel count");
     // Kernels consecutively, i-buffer entries cyclically (Fig. 5(c)).
     for (int k = 0; k < kernel_count; ++k) {
@@ -121,7 +121,7 @@ Pe::readOfmap(int kernel_count, PeMode mode, Rng *noise_rng)
             minus = _chain.fvf.transfer(minus);
             break;
           case PeMode::RealNoisy:
-            LECA_ASSERT(noise_rng, "RealNoisy mode needs a noise stream");
+            LECA_CHECK(noise_rng, "RealNoisy mode needs a noise stream");
             plus = _chain.fvf.transferNoisy(plus, *noise_rng);
             minus = _chain.fvf.transferNoisy(minus, *noise_rng);
             break;
@@ -137,7 +137,7 @@ Pe::readOfmap(int kernel_count, PeMode mode, Rng *noise_rng)
 double
 Pe::obufferDiff(int k) const
 {
-    LECA_ASSERT(k >= 0 && k < 4, "o-buffer index out of range");
+    LECA_CHECK(k >= 0 && k < 4, "o-buffer index out of range");
     return _oBuffers[static_cast<std::size_t>(k)].diff();
 }
 

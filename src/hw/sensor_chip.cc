@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "sensor/bayer.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -11,7 +11,7 @@ LecaSensorChip::LecaSensorChip(const ChipConfig &config)
     : _config(config),
       _pixelArray(config.sensor, 2 * config.rgbHeight, 2 * config.rgbWidth)
 {
-    LECA_ASSERT(config.rgbHeight % 2 == 0 && config.rgbWidth % 2 == 0,
+    LECA_CHECK(config.rgbHeight % 2 == 0 && config.rgbWidth % 2 == 0,
                 "RGB frame extents must be even");
     const int pe_count = (2 * config.rgbWidth) / 4;
     _pes.reserve(static_cast<std::size_t>(pe_count));
@@ -29,7 +29,7 @@ LecaSensorChip::LecaSensorChip(const ChipConfig &config)
 void
 LecaSensorChip::loadKernels(std::vector<FlatKernel> kernels)
 {
-    LECA_ASSERT(!kernels.empty(), "need at least one kernel");
+    LECA_CHECK(!kernels.empty(), "need at least one kernel");
     _kernels = std::move(kernels);
     // Programming the encoder writes Nch x 16 x 5 bits of global SRAM.
     _chipStats.globalSramWriteBits +=
@@ -40,8 +40,8 @@ Tensor
 LecaSensorChip::encodeFrame(const Tensor &rgb_scene, PeMode mode, Rng &rng,
                             bool sensor_noise)
 {
-    LECA_ASSERT(!_kernels.empty(), "kernels not programmed");
-    LECA_ASSERT(rgb_scene.dim() == 3 && rgb_scene.size(0) == 3 &&
+    LECA_CHECK(!_kernels.empty(), "kernels not programmed");
+    LECA_CHECK(rgb_scene.dim() == 3 && rgb_scene.size(0) == 3 &&
                 rgb_scene.size(1) == _config.rgbHeight &&
                 rgb_scene.size(2) == _config.rgbWidth,
                 "scene shape mismatch");

@@ -1,6 +1,6 @@
 #include "timing.hh"
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -15,8 +15,8 @@ TimingModel::bandLatencyNs() const
 double
 TimingModel::frameLatencyUs(int raw_rows, int nch) const
 {
-    LECA_ASSERT(raw_rows % 4 == 0, "raw rows must be a multiple of 4");
-    LECA_ASSERT(nch >= 1, "need at least one channel");
+    LECA_CHECK(raw_rows % 4 == 0, "raw rows must be a multiple of 4");
+    LECA_CHECK(nch >= 1, "need at least one channel");
     const int bands = raw_rows / 4;
     const int passes = (nch + 3) / 4; // repetitive readout factor
     return bands * passes * bandLatencyNs() / 1000.0;

@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
 ScmWeight
 quantizeWeight(float w, float w_scale, int dac_steps)
 {
-    LECA_ASSERT(w_scale > 0.0f, "weight scale must be positive");
+    LECA_CHECK(w_scale > 0.0f, "weight scale must be positive");
     const float normalized = std::abs(w) / w_scale;
     int mag = static_cast<int>(
         std::lround(normalized * static_cast<float>(dac_steps)));
@@ -29,7 +29,7 @@ dequantizeWeight(const ScmWeight &w, float w_scale, int dac_steps)
 std::vector<FlatKernel>
 flattenKernels(const Tensor &rgb_weights, float w_scale)
 {
-    LECA_ASSERT(rgb_weights.dim() == 4 && rgb_weights.size(1) == 3 &&
+    LECA_CHECK(rgb_weights.dim() == 4 && rgb_weights.size(1) == 3 &&
                 rgb_weights.size(2) == 2 && rgb_weights.size(3) == 2,
                 "flattenKernels expects [Nch,3,2,2]");
     const int nch = rgb_weights.size(0);

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -26,8 +26,9 @@ Relu::forward(const Tensor &x, Mode mode)
 Tensor
 Relu::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(_mask.size() == grad_out.numel(),
-                "Relu backward without matching forward");
+    LECA_CHECK(_mask.size() == grad_out.numel(),
+               "Relu backward without matching forward: cached ",
+               _mask.size(), ", got ", grad_out.numel());
     Tensor dx(grad_out.shape());
     for (std::size_t i = 0; i < grad_out.numel(); ++i)
         dx[i] = _mask[i] ? grad_out[i] : 0.0f;
@@ -54,8 +55,9 @@ HardClamp::forward(const Tensor &x, Mode mode)
 Tensor
 HardClamp::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(_inside.size() == grad_out.numel(),
-                "HardClamp backward without matching forward");
+    LECA_CHECK(_inside.size() == grad_out.numel(),
+               "HardClamp backward without matching forward: cached ",
+               _inside.size(), ", got ", grad_out.numel());
     Tensor dx(grad_out.shape());
     for (std::size_t i = 0; i < grad_out.numel(); ++i)
         dx[i] = _inside[i] ? grad_out[i] : 0.0f;

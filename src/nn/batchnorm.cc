@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -13,12 +13,18 @@ BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
       _runningMean({channels}),
       _runningVar(Tensor::full({channels}, 1.0f))
 {
+    LECA_CHECK(channels > 0, "BatchNorm2d channels ", channels);
+    LECA_CHECK(momentum > 0.0f && momentum <= 1.0f, "BatchNorm2d momentum ",
+               momentum);
+    LECA_CHECK(eps > 0.0f, "BatchNorm2d eps ", eps);
 }
 
 Tensor
 BatchNorm2d::forward(const Tensor &x, Mode mode)
 {
-    LECA_ASSERT(x.dim() == 4 && x.size(1) == _channels, "BatchNorm2d shape");
+    LECA_CHECK(x.dim() == 4 && x.size(1) == _channels,
+               "BatchNorm2d(", _channels, ") input shape ",
+               detail::formatShape(x.shape()));
     const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
     const std::size_t plane = static_cast<std::size_t>(h) * w;
     const double count = static_cast<double>(n) * h * w;
@@ -94,7 +100,8 @@ BatchNorm2d::forward(const Tensor &x, Mode mode)
 Tensor
 BatchNorm2d::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(_xhat.numel() > 0, "BatchNorm2d backward without forward");
+    LECA_CHECK(_xhat.numel() > 0, "BatchNorm2d backward without forward");
+    LECA_CHECK_SAME_SHAPE(grad_out, _xhat);
     const int n = grad_out.size(0), c = grad_out.size(1);
     const int h = grad_out.size(2), w = grad_out.size(3);
     const std::size_t plane = static_cast<std::size_t>(h) * w;

@@ -2,7 +2,7 @@
 
 #include "nn/init.hh"
 #include "tensor/ops.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -13,13 +13,18 @@ Conv2d::Conv2d(int cin, int cout, int k, int stride, int pad, bool bias,
       _weight(Tensor({cout, cin, k, k})),
       _bias(Tensor({cout}))
 {
+    LECA_CHECK(cin > 0 && cout > 0, "Conv2d channels ", cin, " -> ", cout);
+    LECA_CHECK(k > 0 && stride > 0 && pad >= 0, "Conv2d k=", k, " stride=",
+               stride, " pad=", pad);
     kaimingInit(_weight.value, cin * k * k, rng);
 }
 
 Tensor
 Conv2d::forward(const Tensor &x, Mode mode)
 {
-    LECA_ASSERT(x.dim() == 4 && x.size(1) == _cin, "Conv2d input shape");
+    LECA_CHECK(x.dim() == 4 && x.size(1) == _cin, "Conv2d(", _cin, " -> ",
+               _cout, ", k=", _k, ") input shape ",
+               detail::formatShape(x.shape()));
     const int n = x.size(0), h = x.size(2), w = x.size(3);
     const int oh = convOutSize(h, _k, _stride, _pad);
     const int ow = convOutSize(w, _k, _stride, _pad);
@@ -55,11 +60,12 @@ Conv2d::forward(const Tensor &x, Mode mode)
 Tensor
 Conv2d::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(!_cols.empty(), "Conv2d backward without cached forward");
+    LECA_CHECK(!_cols.empty(), "Conv2d backward without cached forward");
     const int n = _inShape[0], h = _inShape[2], w = _inShape[3];
     const int oh = grad_out.size(2), ow = grad_out.size(3);
-    LECA_ASSERT(grad_out.size(0) == n && grad_out.size(1) == _cout,
-                "Conv2d grad shape");
+    LECA_CHECK(grad_out.size(0) == n && grad_out.size(1) == _cout,
+               "Conv2d grad shape ", detail::formatShape(grad_out.shape()),
+               " vs batch ", n, " x ", _cout, " channels");
 
     const Tensor wmat = _weight.value.reshape({_cout, _cin * _k * _k});
     Tensor dwmat({_cout, _cin * _k * _k});

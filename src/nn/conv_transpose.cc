@@ -2,7 +2,7 @@
 
 #include "nn/init.hh"
 #include "tensor/ops.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -12,14 +12,18 @@ ConvTranspose2d::ConvTranspose2d(int cin, int cout, int k, int stride,
       _weight(Tensor({cin, cout, k, k})),
       _bias(Tensor({cout}))
 {
+    LECA_CHECK(cin > 0 && cout > 0 && k > 0 && stride > 0,
+               "ConvTranspose2d config ", cin, " -> ", cout, " k=", k,
+               " stride=", stride);
     kaimingInit(_weight.value, cin * k * k, rng);
 }
 
 Tensor
 ConvTranspose2d::forward(const Tensor &x, Mode mode)
 {
-    LECA_ASSERT(x.dim() == 4 && x.size(1) == _cin,
-                "ConvTranspose2d input shape");
+    LECA_CHECK(x.dim() == 4 && x.size(1) == _cin, "ConvTranspose2d(", _cin,
+               " -> ", _cout, ") input shape ",
+               detail::formatShape(x.shape()));
     const int n = x.size(0), h = x.size(2), w = x.size(3);
     const int oh = (h - 1) * _stride + _k;
     const int ow = (w - 1) * _stride + _k;
@@ -52,8 +56,11 @@ ConvTranspose2d::forward(const Tensor &x, Mode mode)
 Tensor
 ConvTranspose2d::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(_input.numel() > 0,
-                "ConvTranspose2d backward without cached forward");
+    LECA_CHECK(_input.numel() > 0,
+               "ConvTranspose2d backward without cached forward");
+    LECA_CHECK(grad_out.dim() == 4 && grad_out.size(1) == _cout,
+               "ConvTranspose2d grad shape ",
+               detail::formatShape(grad_out.shape()));
     const int n = _input.size(0), h = _input.size(2), w = _input.size(3);
     const int oh = grad_out.size(2), ow = grad_out.size(3);
 

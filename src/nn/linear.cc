@@ -2,7 +2,7 @@
 
 #include "nn/init.hh"
 #include "tensor/ops.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -11,13 +11,16 @@ Linear::Linear(int in_features, int out_features, Rng &rng)
       _weight(Tensor({out_features, in_features})),
       _bias(Tensor({out_features}))
 {
+    LECA_CHECK(in_features > 0 && out_features > 0, "Linear features ",
+               in_features, " -> ", out_features);
     xavierInit(_weight.value, in_features, out_features, rng);
 }
 
 Tensor
 Linear::forward(const Tensor &x, Mode mode)
 {
-    LECA_ASSERT(x.dim() == 2 && x.size(1) == _in, "Linear input shape");
+    LECA_CHECK(x.dim() == 2 && x.size(1) == _in, "Linear(", _in, " -> ", _out,
+               ") input shape ", detail::formatShape(x.shape()));
     // y = x * W^T
     Tensor y = matmulTransB(x, _weight.value);
     const int n = y.size(0);
@@ -32,7 +35,10 @@ Linear::forward(const Tensor &x, Mode mode)
 Tensor
 Linear::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(_input.numel() > 0, "Linear backward without forward");
+    LECA_CHECK(_input.numel() > 0, "Linear backward without forward");
+    LECA_CHECK(grad_out.dim() == 2 && grad_out.size(1) == _out
+                   && grad_out.size(0) == _input.size(0),
+               "Linear grad shape ", detail::formatShape(grad_out.shape()));
     // dW = dY^T * X  -> [out, in]
     _weight.grad += matmulTransA(grad_out, _input);
     const int n = grad_out.size(0);

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "tensor/ops.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -11,10 +11,18 @@ double
 SoftmaxCrossEntropy::forward(const Tensor &logits,
                              const std::vector<int> &labels)
 {
-    LECA_ASSERT(logits.dim() == 2, "loss expects [N,K] logits");
+    LECA_CHECK(logits.dim() == 2, "loss expects [N,K] logits, got ",
+               detail::formatShape(logits.shape()));
     const int n = logits.size(0);
-    LECA_ASSERT(static_cast<std::size_t>(n) == labels.size(),
-                "label count mismatch");
+    LECA_CHECK(static_cast<std::size_t>(n) == labels.size(), "label count ",
+               labels.size(), " does not match batch ", n);
+    for (int i = 0; i < n; ++i) {
+        LECA_CHECK(labels[static_cast<std::size_t>(i)] >= 0
+                       && labels[static_cast<std::size_t>(i)]
+                              < logits.size(1),
+                   "label ", labels[static_cast<std::size_t>(i)],
+                   " out of range for ", logits.size(1), " classes");
+    }
     _probs = softmax(logits);
     _labels = labels;
     double loss = 0.0;
@@ -28,7 +36,7 @@ SoftmaxCrossEntropy::forward(const Tensor &logits,
 Tensor
 SoftmaxCrossEntropy::backward() const
 {
-    LECA_ASSERT(_probs.numel() > 0, "loss backward without forward");
+    LECA_CHECK(_probs.numel() > 0, "loss backward without forward");
     const int n = _probs.size(0), k = _probs.size(1);
     Tensor d(_probs.shape());
     const float inv = 1.0f / static_cast<float>(n);
@@ -47,7 +55,8 @@ double
 accuracy(const Tensor &logits, const std::vector<int> &labels)
 {
     const auto pred = argmaxRows(logits);
-    LECA_ASSERT(pred.size() == labels.size(), "accuracy label mismatch");
+    LECA_CHECK(pred.size() == labels.size(), "accuracy label count ",
+               labels.size(), " vs ", pred.size(), " predictions");
     if (pred.empty())
         return 0.0;
     std::size_t correct = 0;
@@ -60,7 +69,7 @@ accuracy(const Tensor &logits, const std::vector<int> &labels)
 double
 MseLoss::forward(const Tensor &prediction, const Tensor &target)
 {
-    LECA_ASSERT(prediction.sameShape(target), "MseLoss shape mismatch");
+    LECA_CHECK_SAME_SHAPE(prediction, target);
     _prediction = prediction;
     _target = target;
     double acc = 0.0;
@@ -74,7 +83,7 @@ MseLoss::forward(const Tensor &prediction, const Tensor &target)
 Tensor
 MseLoss::backward() const
 {
-    LECA_ASSERT(_prediction.numel() > 0, "MseLoss backward before forward");
+    LECA_CHECK(_prediction.numel() > 0, "MseLoss backward before forward");
     Tensor d(_prediction.shape());
     const float scale = 2.0f / static_cast<float>(_prediction.numel());
     for (std::size_t i = 0; i < d.numel(); ++i)

@@ -1,7 +1,7 @@
 #include "pool.hh"
 
 #include "tensor/ops.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -17,8 +17,9 @@ MaxPool2d::forward(const Tensor &x, Mode mode)
 Tensor
 MaxPool2d::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(_argmax.size() == grad_out.numel(),
-                "MaxPool2d backward without forward");
+    LECA_CHECK(_argmax.size() == grad_out.numel(),
+               "MaxPool2d backward without forward: cached ", _argmax.size(),
+               " argmaxes, got ", grad_out.numel(), " grads");
     Tensor dx(_inShape);
     for (std::size_t i = 0; i < grad_out.numel(); ++i)
         dx[static_cast<std::size_t>(_argmax[i])] += grad_out[i];
@@ -37,7 +38,7 @@ AvgPool2d::forward(const Tensor &x, Mode mode)
 Tensor
 AvgPool2d::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(!_inShape.empty(), "AvgPool2d backward without forward");
+    LECA_CHECK(!_inShape.empty(), "AvgPool2d backward without forward");
     const int n = _inShape[0], c = _inShape[1];
     const int h = _inShape[2], w = _inShape[3];
     const int oh = h / _k, ow = w / _k;
@@ -59,7 +60,8 @@ Tensor
 Flatten::forward(const Tensor &x, Mode mode)
 {
     (void)mode;
-    LECA_ASSERT(x.dim() >= 2, "Flatten expects rank >= 2");
+    LECA_CHECK(x.dim() >= 2, "Flatten expects rank >= 2, got ",
+               detail::formatShape(x.shape()));
     _inShape = x.shape();
     return x.reshape({x.size(0), -1});
 }
@@ -67,7 +69,7 @@ Flatten::forward(const Tensor &x, Mode mode)
 Tensor
 Flatten::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(!_inShape.empty(), "Flatten backward without forward");
+    LECA_CHECK(!_inShape.empty(), "Flatten backward without forward");
     return grad_out.reshape(_inShape);
 }
 
@@ -82,7 +84,7 @@ GlobalAvgPool::forward(const Tensor &x, Mode mode)
 Tensor
 GlobalAvgPool::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(!_inShape.empty(), "GlobalAvgPool backward without forward");
+    LECA_CHECK(!_inShape.empty(), "GlobalAvgPool backward without forward");
     const int n = _inShape[0], c = _inShape[1];
     const int h = _inShape[2], w = _inShape[3];
     const float inv = 1.0f / static_cast<float>(h * w);

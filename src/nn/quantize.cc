@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.hh"
+#include "util/check.hh"
+#include "util/numeric.hh"
 
 namespace leca {
 
@@ -12,19 +13,19 @@ QBits::levels() const
 {
     if (isTernary())
         return 3;
-    LECA_ASSERT(_bits == std::floor(_bits) && _bits >= 1.0 && _bits <= 16.0,
-                "unsupported bit depth ", _bits);
-    return 1 << static_cast<int>(_bits);
+    LECA_CHECK(_bits == std::floor(_bits) && _bits >= 1.0 && _bits <= 16.0,
+               "unsupported bit depth ", _bits);
+    return 1 << truncToInt(_bits);
 }
 
 int
 quantizeCode(float x, float lo, float hi, int levels)
 {
-    LECA_ASSERT(levels >= 2 && hi > lo, "bad quantizer configuration");
+    LECA_DCHECK(levels >= 2 && hi > lo, "bad quantizer configuration: levels=",
+                levels, " range [", lo, ", ", hi, ")");
     const float clamped = std::clamp(x, lo, hi);
     const float t = (clamped - lo) / (hi - lo);
-    const int code =
-        static_cast<int>(std::lround(t * static_cast<float>(levels - 1)));
+    const int code = roundToInt(t * static_cast<float>(levels - 1));
     return std::clamp(code, 0, levels - 1);
 }
 
@@ -73,8 +74,9 @@ SteQuantizer::forward(const Tensor &x, Mode mode)
 Tensor
 SteQuantizer::backward(const Tensor &grad_out)
 {
-    LECA_ASSERT(_inside.size() == grad_out.numel(),
-                "SteQuantizer backward without forward");
+    LECA_CHECK(_inside.size() == grad_out.numel(),
+               "SteQuantizer backward without forward: cached ",
+               _inside.size(), " flags, got ", grad_out.numel(), " grads");
     Tensor dx(grad_out.shape());
     for (std::size_t i = 0; i < grad_out.numel(); ++i)
         dx[i] = _inside[i] ? grad_out[i] : 0.0f;

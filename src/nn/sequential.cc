@@ -3,13 +3,14 @@
 #include "nn/activation.hh"
 #include "nn/batchnorm.hh"
 #include "nn/conv.hh"
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
 Sequential &
 Sequential::add(LayerPtr layer)
 {
+    LECA_CHECK(layer != nullptr, "Sequential::add given a null layer");
     _layers.push_back(std::move(layer));
     return *this;
 }
@@ -81,7 +82,7 @@ ResidualBlock::forward(const Tensor &x, Mode mode)
 {
     Tensor main = _main.forward(x, mode);
     Tensor skip = _hasProj ? _proj.forward(x, mode) : x;
-    LECA_ASSERT(main.sameShape(skip), "residual shape mismatch");
+    LECA_CHECK_SAME_SHAPE(main, skip);
     main += skip;
     return _finalRelu->forward(main, mode);
 }

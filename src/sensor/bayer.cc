@@ -1,6 +1,6 @@
 #include "bayer.hh"
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -19,7 +19,7 @@ bayerColorAt(int y, int x)
 Tensor
 mosaic(const Tensor &rgb)
 {
-    LECA_ASSERT(rgb.dim() == 3 && rgb.size(0) == 3, "mosaic expects [3,H,W]");
+    LECA_CHECK(rgb.dim() == 3 && rgb.size(0) == 3, "mosaic expects [3,H,W]");
     const int h = rgb.size(1), w = rgb.size(2);
     Tensor raw({2 * h, 2 * w});
     for (int y = 0; y < h; ++y) {
@@ -36,7 +36,7 @@ mosaic(const Tensor &rgb)
 Tensor
 demosaicCollapse(const Tensor &raw)
 {
-    LECA_ASSERT(raw.dim() == 2 && raw.size(0) % 2 == 0 &&
+    LECA_CHECK(raw.dim() == 2 && raw.size(0) % 2 == 0 &&
                 raw.size(1) % 2 == 0, "demosaicCollapse expects even [V,H]");
     const int h = raw.size(0) / 2, w = raw.size(1) / 2;
     Tensor rgb({3, h, w});
@@ -81,7 +81,7 @@ neighbourAverage(const Tensor &raw, int y, int x, BayerColor want)
 Tensor
 demosaicBilinear(const Tensor &raw)
 {
-    LECA_ASSERT(raw.dim() == 2, "demosaicBilinear expects [V,H]");
+    LECA_CHECK(raw.dim() == 2, "demosaicBilinear expects [V,H]");
     const int v = raw.size(0), h = raw.size(1);
     Tensor rgb({3, v, h});
     for (int y = 0; y < v; ++y) {

@@ -1,6 +1,6 @@
 #include "pixel_array.hh"
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -8,13 +8,13 @@ PixelArray::PixelArray(SensorConfig config, int rows, int cols)
     : _config(config), _noise(config), _rows(rows), _cols(cols),
       _frame({rows, cols})
 {
-    LECA_ASSERT(rows > 0 && cols > 0, "bad pixel array geometry");
+    LECA_CHECK(rows > 0 && cols > 0, "bad pixel array geometry");
 }
 
 void
 PixelArray::expose(const Tensor &raw_scene, Rng &rng, bool noisy)
 {
-    LECA_ASSERT(raw_scene.dim() == 2 && raw_scene.size(0) == _rows &&
+    LECA_CHECK(raw_scene.dim() == 2 && raw_scene.size(0) == _rows &&
                 raw_scene.size(1) == _cols,
                 "scene shape does not match pixel array");
     _frame = noisy ? _noise.apply(raw_scene, rng) : raw_scene;
@@ -24,8 +24,8 @@ PixelArray::expose(const Tensor &raw_scene, Rng &rng, bool noisy)
 std::vector<double>
 PixelArray::readRowVoltages(int row) const
 {
-    LECA_ASSERT(_exposed, "readRowVoltages before expose");
-    LECA_ASSERT(row >= 0 && row < _rows, "row ", row, " out of range");
+    LECA_CHECK(_exposed, "readRowVoltages before expose");
+    LECA_CHECK(row >= 0 && row < _rows, "row ", row, " out of range");
     std::vector<double> voltages(static_cast<std::size_t>(_cols));
     for (int x = 0; x < _cols; ++x)
         voltages[static_cast<std::size_t>(x)] =

@@ -4,16 +4,18 @@
 #include <cmath>
 #include <limits>
 
-#include "util/logging.hh"
+#include "util/check.hh"
+#include "util/numeric.hh"
 
 namespace leca {
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
 {
-    LECA_ASSERT(a.dim() == 2 && b.dim() == 2, "matmul expects matrices");
+    LECA_CHECK(a.dim() == 2 && b.dim() == 2, "matmul expects matrices, got ranks ",
+               a.dim(), " and ", b.dim());
     const int m = a.size(0), k = a.size(1), n = b.size(1);
-    LECA_ASSERT(b.size(0) == k, "matmul inner dims ", k, " vs ", b.size(0));
+    LECA_CHECK(b.size(0) == k, "matmul inner dims ", k, " vs ", b.size(0));
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -36,9 +38,9 @@ matmul(const Tensor &a, const Tensor &b)
 Tensor
 matmulTransA(const Tensor &a, const Tensor &b)
 {
-    LECA_ASSERT(a.dim() == 2 && b.dim() == 2, "matmulTransA expects matrices");
+    LECA_CHECK(a.dim() == 2 && b.dim() == 2, "matmulTransA expects matrices");
     const int k = a.size(0), m = a.size(1), n = b.size(1);
-    LECA_ASSERT(b.size(0) == k, "matmulTransA inner dims");
+    LECA_CHECK(b.size(0) == k, "matmulTransA inner dims ", k, " vs ", b.size(0));
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -61,9 +63,9 @@ matmulTransA(const Tensor &a, const Tensor &b)
 Tensor
 matmulTransB(const Tensor &a, const Tensor &b)
 {
-    LECA_ASSERT(a.dim() == 2 && b.dim() == 2, "matmulTransB expects matrices");
+    LECA_CHECK(a.dim() == 2 && b.dim() == 2, "matmulTransB expects matrices");
     const int m = a.size(0), k = a.size(1), n = b.size(0);
-    LECA_ASSERT(b.size(1) == k, "matmulTransB inner dims");
+    LECA_CHECK(b.size(1) == k, "matmulTransB inner dims ", k, " vs ", b.size(1));
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -91,7 +93,10 @@ convOutSize(int in, int k, int stride, int pad)
 Tensor
 im2col(const Tensor &image, int kh, int kw, int stride, int pad)
 {
-    LECA_ASSERT(image.dim() == 3, "im2col expects [C,H,W]");
+    LECA_CHECK(image.dim() == 3, "im2col expects [C,H,W], got ",
+               detail::formatShape(image.shape()));
+    LECA_CHECK(kh > 0 && kw > 0 && stride > 0 && pad >= 0,
+               "im2col kernel ", kh, "x", kw, " stride ", stride, " pad ", pad);
     const int c = image.size(0), h = image.size(1), w = image.size(2);
     const int oh = convOutSize(h, kh, stride, pad);
     const int ow = convOutSize(w, kw, stride, pad);
@@ -127,8 +132,10 @@ col2im(const Tensor &cols, int channels, int height, int width, int kh,
 {
     const int oh = convOutSize(height, kh, stride, pad);
     const int ow = convOutSize(width, kw, stride, pad);
-    LECA_ASSERT(cols.dim() == 2 && cols.size(0) == channels * kh * kw &&
-                cols.size(1) == oh * ow, "col2im shape mismatch");
+    LECA_CHECK(cols.dim() == 2 && cols.size(0) == channels * kh * kw
+                   && cols.size(1) == oh * ow,
+               "col2im shape mismatch: got ", detail::formatShape(cols.shape()),
+               ", expected [", channels * kh * kw, ", ", oh * ow, "]");
     Tensor image({channels, height, width});
     const float *src = cols.data();
     float *dst = image.data();
@@ -175,10 +182,13 @@ Tensor
 conv2d(const Tensor &x, const Tensor &weight, const Tensor &bias, int stride,
        int pad)
 {
-    LECA_ASSERT(x.dim() == 4 && weight.dim() == 4, "conv2d shapes");
+    LECA_CHECK(x.dim() == 4 && weight.dim() == 4, "conv2d shapes: input ",
+               detail::formatShape(x.shape()), ", weight ",
+               detail::formatShape(weight.shape()));
     const int n = x.size(0), cin = x.size(1), h = x.size(2), w = x.size(3);
     const int cout = weight.size(0), kh = weight.size(2), kw = weight.size(3);
-    LECA_ASSERT(weight.size(1) == cin, "conv2d channel mismatch");
+    LECA_CHECK(weight.size(1) == cin, "conv2d channel mismatch: input has ",
+               cin, ", weight expects ", weight.size(1));
     const int oh = convOutSize(h, kh, stride, pad);
     const int ow = convOutSize(w, kw, stride, pad);
     const Tensor wmat = weight.reshape({cout, cin * kh * kw});
@@ -203,9 +213,11 @@ conv2d(const Tensor &x, const Tensor &weight, const Tensor &bias, int stride,
 Tensor
 avgPool2d(const Tensor &x, int k)
 {
-    LECA_ASSERT(x.dim() == 4, "avgPool2d expects [N,C,H,W]");
+    LECA_CHECK(x.dim() == 4, "avgPool2d expects [N,C,H,W], got ",
+               detail::formatShape(x.shape()));
     const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
-    LECA_ASSERT(h % k == 0 && w % k == 0, "avgPool2d requires divisibility");
+    LECA_CHECK(h % k == 0 && w % k == 0, "avgPool2d requires ", h, "x", w,
+               " divisible by ", k);
     const int oh = h / k, ow = w / k;
     Tensor y({n, c, oh, ow});
     const float inv = 1.0f / static_cast<float>(k * k);
@@ -228,9 +240,11 @@ avgPool2d(const Tensor &x, int k)
 Tensor
 maxPool2d(const Tensor &x, int k, std::vector<int> *argmax)
 {
-    LECA_ASSERT(x.dim() == 4, "maxPool2d expects [N,C,H,W]");
+    LECA_CHECK(x.dim() == 4, "maxPool2d expects [N,C,H,W], got ",
+               detail::formatShape(x.shape()));
     const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
-    LECA_ASSERT(h % k == 0 && w % k == 0, "maxPool2d requires divisibility");
+    LECA_CHECK(h % k == 0 && w % k == 0, "maxPool2d requires ", h, "x", w,
+               " divisible by ", k);
     const int oh = h / k, ow = w / k;
     Tensor y({n, c, oh, ow});
     if (argmax)
@@ -265,7 +279,8 @@ maxPool2d(const Tensor &x, int k, std::vector<int> *argmax)
 Tensor
 globalAvgPool(const Tensor &x)
 {
-    LECA_ASSERT(x.dim() == 4, "globalAvgPool expects [N,C,H,W]");
+    LECA_CHECK(x.dim() == 4, "globalAvgPool expects [N,C,H,W], got ",
+               detail::formatShape(x.shape()));
     const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
     Tensor y({n, c});
     const float inv = 1.0f / static_cast<float>(h * w);
@@ -285,7 +300,10 @@ globalAvgPool(const Tensor &x)
 Tensor
 bilinearResize(const Tensor &x, int out_h, int out_w)
 {
-    LECA_ASSERT(x.dim() == 4, "bilinearResize expects [N,C,H,W]");
+    LECA_CHECK(x.dim() == 4, "bilinearResize expects [N,C,H,W], got ",
+               detail::formatShape(x.shape()));
+    LECA_CHECK(out_h > 0 && out_w > 0, "bilinearResize target ", out_h, "x",
+               out_w);
     const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
     Tensor y({n, c, out_h, out_w});
     const float sy = static_cast<float>(h) / static_cast<float>(out_h);
@@ -296,13 +314,13 @@ bilinearResize(const Tensor &x, int out_h, int out_w)
                 // align_corners=false sample positions.
                 float fy = (static_cast<float>(oy) + 0.5f) * sy - 0.5f;
                 fy = std::clamp(fy, 0.0f, static_cast<float>(h - 1));
-                const int y0 = static_cast<int>(fy);
+                const int y0 = truncToInt(fy);
                 const int y1 = std::min(y0 + 1, h - 1);
                 const float wy = fy - static_cast<float>(y0);
                 for (int ox = 0; ox < out_w; ++ox) {
                     float fx = (static_cast<float>(ox) + 0.5f) * sx - 0.5f;
                     fx = std::clamp(fx, 0.0f, static_cast<float>(w - 1));
-                    const int x0 = static_cast<int>(fx);
+                    const int x0 = truncToInt(fx);
                     const int x1 = std::min(x0 + 1, w - 1);
                     const float wx = fx - static_cast<float>(x0);
                     const float v00 = x.at(i, ch, y0, x0);
@@ -322,7 +340,8 @@ bilinearResize(const Tensor &x, int out_h, int out_w)
 Tensor
 softmax(const Tensor &logits)
 {
-    LECA_ASSERT(logits.dim() == 2, "softmax expects [N,K]");
+    LECA_CHECK(logits.dim() == 2, "softmax expects [N,K], got ",
+               detail::formatShape(logits.shape()));
     const int n = logits.size(0), k = logits.size(1);
     Tensor p({n, k});
     for (int i = 0; i < n; ++i) {
@@ -344,7 +363,8 @@ softmax(const Tensor &logits)
 std::vector<int>
 argmaxRows(const Tensor &m)
 {
-    LECA_ASSERT(m.dim() == 2, "argmaxRows expects [N,K]");
+    LECA_CHECK(m.dim() == 2, "argmaxRows expects [N,K], got ",
+               detail::formatShape(m.shape()));
     const int n = m.size(0), k = m.size(1);
     std::vector<int> out(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -371,7 +391,7 @@ mean(const Tensor &t)
 double
 mse(const Tensor &a, const Tensor &b)
 {
-    LECA_ASSERT(a.sameShape(b), "mse shape mismatch");
+    LECA_CHECK_SAME_SHAPE(a, b);
     double acc = 0.0;
     for (std::size_t i = 0; i < a.numel(); ++i) {
         const double d = static_cast<double>(a[i]) - b[i];

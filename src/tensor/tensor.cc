@@ -2,7 +2,7 @@
 
 #include <numeric>
 
-#include "util/logging.hh"
+#include "util/check.hh"
 
 namespace leca {
 
@@ -13,7 +13,7 @@ shapeProduct(const std::vector<int> &shape)
 {
     std::size_t n = 1;
     for (int d : shape) {
-        LECA_ASSERT(d >= 0, "negative tensor extent ", d);
+        LECA_CHECK(d >= 0, "negative tensor extent ", d);
         n *= static_cast<std::size_t>(d);
     }
     return n;
@@ -48,8 +48,9 @@ Tensor::full(std::vector<int> shape, float value)
 Tensor
 Tensor::fromData(std::vector<int> shape, std::vector<float> data)
 {
-    LECA_ASSERT(shapeProduct(shape) == data.size(),
-                "data size ", data.size(), " does not match shape");
+    LECA_CHECK(shapeProduct(shape) == data.size(),
+               "data size ", data.size(), " does not match shape ",
+               detail::formatShape(shape));
     Tensor t;
     t._shape = std::move(shape);
     t._data = std::move(data);
@@ -61,14 +62,16 @@ Tensor::size(int d) const
 {
     if (d < 0)
         d += dim();
-    LECA_ASSERT(d >= 0 && d < dim(), "dimension ", d, " out of range");
+    LECA_CHECK(d >= 0 && d < dim(), "dimension ", d, " out of range for rank-",
+               dim(), " tensor");
     return _shape[static_cast<std::size_t>(d)];
 }
 
 float &
 Tensor::at(int i)
 {
-    LECA_ASSERT(dim() == 1, "rank-1 access on rank-", dim(), " tensor");
+    LECA_DCHECK(dim() == 1, "rank-1 access on rank-", dim(), " tensor");
+    LECA_DCHECK(i >= 0 && i < _shape[0], "index ", i, " out of range");
     return _data[static_cast<std::size_t>(i)];
 }
 
@@ -81,7 +84,9 @@ Tensor::at(int i) const
 float &
 Tensor::at(int i, int j)
 {
-    LECA_ASSERT(dim() == 2, "rank-2 access on rank-", dim(), " tensor");
+    LECA_DCHECK(dim() == 2, "rank-2 access on rank-", dim(), " tensor");
+    LECA_DCHECK(i >= 0 && i < _shape[0] && j >= 0 && j < _shape[1],
+                "index (", i, ", ", j, ") out of range");
     return _data[static_cast<std::size_t>(i) * _shape[1] + j];
 }
 
@@ -94,7 +99,10 @@ Tensor::at(int i, int j) const
 float &
 Tensor::at(int i, int j, int k)
 {
-    LECA_ASSERT(dim() == 3, "rank-3 access on rank-", dim(), " tensor");
+    LECA_DCHECK(dim() == 3, "rank-3 access on rank-", dim(), " tensor");
+    LECA_DCHECK(i >= 0 && i < _shape[0] && j >= 0 && j < _shape[1] && k >= 0
+                    && k < _shape[2],
+                "index (", i, ", ", j, ", ", k, ") out of range");
     return _data[(static_cast<std::size_t>(i) * _shape[1] + j) * _shape[2]
                  + k];
 }
@@ -115,7 +123,10 @@ Tensor::flatIndex(int n, int c, int h, int w) const
 float &
 Tensor::at(int n, int c, int h, int w)
 {
-    LECA_ASSERT(dim() == 4, "rank-4 access on rank-", dim(), " tensor");
+    LECA_DCHECK(dim() == 4, "rank-4 access on rank-", dim(), " tensor");
+    LECA_DCHECK(n >= 0 && n < _shape[0] && c >= 0 && c < _shape[1] && h >= 0
+                    && h < _shape[2] && w >= 0 && w < _shape[3],
+                "index (", n, ", ", c, ", ", h, ", ", w, ") out of range");
     return _data[flatIndex(n, c, h, w)];
 }
 
@@ -138,20 +149,23 @@ Tensor::reshape(std::vector<int> new_shape) const
     std::size_t known = 1;
     for (std::size_t i = 0; i < new_shape.size(); ++i) {
         if (new_shape[i] == -1) {
-            LECA_ASSERT(infer < 0, "multiple -1 extents in reshape");
+            LECA_CHECK(infer < 0, "multiple -1 extents in reshape ",
+                       detail::formatShape(new_shape));
             infer = static_cast<int>(i);
         } else {
             known *= static_cast<std::size_t>(new_shape[i]);
         }
     }
     if (infer >= 0) {
-        LECA_ASSERT(known > 0 && numel() % known == 0,
-                    "cannot infer reshape extent");
+        LECA_CHECK(known > 0 && numel() % known == 0,
+                   "cannot infer reshape extent: ", numel(),
+                   " elements over ", known);
         new_shape[static_cast<std::size_t>(infer)] =
             static_cast<int>(numel() / known);
     }
-    LECA_ASSERT(shapeProduct(new_shape) == numel(),
-                "reshape changes element count");
+    LECA_CHECK(shapeProduct(new_shape) == numel(),
+               "reshape to ", detail::formatShape(new_shape),
+               " changes element count from ", numel());
     Tensor t;
     t._shape = std::move(new_shape);
     t._data = _data;
@@ -161,7 +175,7 @@ Tensor::reshape(std::vector<int> new_shape) const
 Tensor &
 Tensor::operator+=(const Tensor &other)
 {
-    LECA_ASSERT(sameShape(other), "shape mismatch in +=");
+    LECA_CHECK_SAME_SHAPE(*this, other);
     for (std::size_t i = 0; i < _data.size(); ++i)
         _data[i] += other._data[i];
     return *this;

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Runtime contracts for the simulator.
+ *
+ * The repository distinguishes two failure channels:
+ *
+ *  - LECA_CHECK   always-on precondition/postcondition validation on
+ *                 load-bearing interfaces (shape agreement, config
+ *                 ranges, codec round-trip invariants). Violations
+ *                 throw leca::CheckError so tests can assert on them
+ *                 and callers can recover from bad configurations.
+ *  - LECA_DCHECK  debug-only invariants on hot paths (per-element
+ *                 bounds checks). Compiles to nothing under NDEBUG so
+ *                 the -O3 -march=native Release kernels are unchanged;
+ *                 the condition and message stay type-checked in every
+ *                 build.
+ *
+ * The older panic()-based LECA_ASSERT (util/logging.hh) remains for
+ * "impossible" states where unwinding is meaningless (corrupt internal
+ * caches). New validation code should prefer the macros here.
+ */
+
+#ifndef LECA_UTIL_CHECK_HH
+#define LECA_UTIL_CHECK_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leca {
+
+/**
+ * Thrown by LECA_CHECK on contract violation. what() carries the
+ * failed condition, file:line, and the formatted context message.
+ */
+class CheckError : public std::runtime_error
+{
+  public:
+    CheckError(std::string condition, std::string file, int line,
+               std::string message)
+        : std::runtime_error(file + ":" + std::to_string(line)
+                             + ": check '" + condition + "' failed"
+                             + (message.empty() ? "" : ": " + message)),
+          _condition(std::move(condition)), _file(std::move(file)),
+          _line(line), _message(std::move(message))
+    {
+    }
+
+    const std::string &condition() const { return _condition; }
+    const std::string &file() const { return _file; }
+    int line() const { return _line; }
+    const std::string &message() const { return _message; }
+
+  private:
+    std::string _condition;
+    std::string _file;
+    int _line;
+    std::string _message;
+};
+
+namespace detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+checkConcat(Args &&...args)
+{
+    std::ostringstream os;
+    ((os << std::forward<Args>(args)), ...);
+    return os.str();
+}
+
+/** Render a shape vector as "[n, c, h, w]" for check messages. */
+inline std::string
+formatShape(const std::vector<int> &shape)
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << shape[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+[[noreturn]] inline void
+throwCheckError(const char *condition, const char *file, int line,
+                std::string message)
+{
+    throw CheckError(condition, file, line, std::move(message));
+}
+
+} // namespace detail
+
+/**
+ * Always-on contract: throws leca::CheckError when @p cond is false.
+ * Extra arguments are streamed into the error message.
+ */
+#define LECA_CHECK(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::leca::detail::throwCheckError(                                 \
+                #cond, __FILE__, __LINE__,                                   \
+                ::leca::detail::checkConcat(__VA_ARGS__));                   \
+        }                                                                    \
+    } while (false)
+
+/**
+ * Debug-only contract for hot paths. Identical to LECA_CHECK in Debug
+ * builds; under NDEBUG the condition sits behind `if (false)` so the
+ * optimizer removes it entirely while the expression (and any variables
+ * it names) stays type-checked and odr-used.
+ */
+#ifdef NDEBUG
+#define LECA_DCHECK(cond, ...)                                               \
+    do {                                                                     \
+        if (false) {                                                         \
+            LECA_CHECK(cond, ##__VA_ARGS__);                                 \
+        }                                                                    \
+    } while (false)
+#else
+#define LECA_DCHECK(cond, ...) LECA_CHECK(cond, ##__VA_ARGS__)
+#endif
+
+/** Check that a Tensor-like object has exactly the expected shape. */
+#define LECA_CHECK_SHAPE(tensor, ...)                                        \
+    do {                                                                     \
+        const std::vector<int> leca_check_expected_ = __VA_ARGS__;           \
+        if ((tensor).shape() != leca_check_expected_) {                      \
+            ::leca::detail::throwCheckError(                                 \
+                #tensor " has expected shape", __FILE__, __LINE__,           \
+                ::leca::detail::checkConcat(                                 \
+                    "got ", ::leca::detail::formatShape((tensor).shape()),   \
+                    ", expected ",                                           \
+                    ::leca::detail::formatShape(leca_check_expected_)));     \
+        }                                                                    \
+    } while (false)
+
+/** Check that two Tensor-like objects agree in shape. */
+#define LECA_CHECK_SAME_SHAPE(a, b)                                          \
+    do {                                                                     \
+        if ((a).shape() != (b).shape()) {                                    \
+            ::leca::detail::throwCheckError(                                 \
+                #a " same shape as " #b, __FILE__, __LINE__,                 \
+                ::leca::detail::checkConcat(                                 \
+                    #a " is ", ::leca::detail::formatShape((a).shape()),     \
+                    ", " #b " is ",                                          \
+                    ::leca::detail::formatShape((b).shape())));              \
+        }                                                                    \
+    } while (false)
+
+} // namespace leca
+
+#endif // LECA_UTIL_CHECK_HH

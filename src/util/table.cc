@@ -1,5 +1,7 @@
 #include "table.hh"
 
+#include "util/check.hh"
+
 #include <algorithm>
 #include <iomanip>
 #include <sstream>
@@ -16,7 +18,7 @@ Table::Table(std::vector<std::string> headers)
 void
 Table::addRow(std::vector<std::string> cells)
 {
-    LECA_ASSERT(cells.size() == _headers.size(),
+    LECA_CHECK(cells.size() == _headers.size(),
                 "row width ", cells.size(), " != header width ",
                 _headers.size());
     _rows.push_back(std::move(cells));

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "core/decoder.hh"
 #include "core/encoder.hh"
@@ -23,6 +24,7 @@
 #include "hw/weights.hh"
 #include "nn/loss.hh"
 #include "tensor/ops.hh"
+#include "util/check.hh"
 
 namespace leca {
 namespace {
@@ -111,7 +113,12 @@ TEST(Encoder, HardRequiresK2)
     LecaConfig cfg = tinyConfig();
     cfg.kernel = 4;
     LecaEncoder enc(cfg, CircuitConfig{}, SensorConfig{}, rng);
-    EXPECT_DEATH(enc.setModality(EncoderModality::Hard), "K = 2");
+    try {
+        enc.setModality(EncoderModality::Hard);
+        FAIL() << "expected CheckError";
+    } catch (const CheckError &err) {
+        EXPECT_NE(std::string(err.what()).find("K = 2"), std::string::npos);
+    }
 }
 
 TEST(Encoder, HardMatchesSensorChip)

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "analog/lut.hh"
 #include "analog/mismatch.hh"
@@ -22,6 +23,7 @@
 #include "data/trainloop.hh"
 #include "hw/controller.hh"
 #include "tensor/ops.hh"
+#include "util/check.hh"
 
 namespace leca {
 namespace {
@@ -51,7 +53,13 @@ TEST(LearnedCodec, RequiresTrainingBeforeUse)
 {
     LearnedCodec codec(12);
     const Dataset ds = codecData(4);
-    EXPECT_DEATH(codec.process(ds.images), "before train");
+    try {
+        codec.process(ds.images);
+        FAIL() << "expected CheckError";
+    } catch (const CheckError &err) {
+        EXPECT_NE(std::string(err.what()).find("before train"),
+                  std::string::npos);
+    }
 }
 
 TEST(LearnedCodec, TrainingImprovesReconstruction)

@@ -262,8 +262,9 @@ TEST_P(AdcBits, ConversionEnergyPositiveAndBelow8bitSar)
     const double bits = GetParam();
     const double e = model.adcConversionPj(bits);
     EXPECT_GT(e, 0.0);
-    if (bits < 8.0)
+    if (bits < 8.0) {
         EXPECT_LT(e, model.adcConversionPj(8.0));
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Bits, AdcBits,

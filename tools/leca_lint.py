@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the LeCA simulator (stdlib only).
+
+Enforces invariants clang-tidy cannot express:
+
+  raw-allocation     no raw `new` / `malloc` / `free` in src/ — the
+                     simulator owns everything through containers and
+                     smart pointers (scoped to src/ only; tests may
+                     exercise whatever they need).
+  nondeterminism     no `std::rand`, bare `rand()`, `srand`,
+                     `time(nullptr)` seeds, or `std::random_device` —
+                     every stochastic component draws from leca::Rng so
+                     experiments replay bit-for-bit.
+  narrowing-cast     no float->int narrowing via `static_cast<int>` or
+                     C-style casts wrapped around std::round/lround/
+                     floor/ceil/trunc — use the leca:: rounding helpers
+                     in util/numeric.hh, which name the rounding mode
+                     and bound the value in Debug builds.
+  header-guard       include guards follow LECA_<PATH>_<FILE>_HH
+                     derived from the file location.
+  build-include      no #include of anything under build/ — generated
+                     trees are not part of the source interface.
+
+Usage:  tools/leca_lint.py [DIR-or-FILE ...]
+        (defaults to: src tests bench examples)
+
+Exits 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
+HEADER_SUFFIXES = {".hh", ".hpp", ".h"}
+
+# Rule name -> (regex, message, src_only, scan_raw)
+LINE_RULES = [
+    (
+        "raw-allocation",
+        re.compile(r"(?<![\w.])new\s+[A-Za-z_:][\w:<>, ]*[({]"
+                   r"|(?<![\w.])new\s+[A-Za-z_:][\w:]*\s*\["
+                   r"|\bstd::malloc\b|(?<![\w.:])malloc\s*\("
+                   r"|\bstd::free\b|(?<![\w.:])free\s*\("
+                   r"|(?<![\w.])delete\s"),
+        "raw allocation; use containers or std::unique_ptr",
+        True,
+        False,
+    ),
+    (
+        "nondeterminism",
+        re.compile(r"\bstd::rand\b|(?<![\w.:])s?rand\s*\("
+                   r"|\btime\s*\(\s*(nullptr|NULL|0)\s*\)"
+                   r"|\bstd::random_device\b|\bstd::mt19937"),
+        "nondeterministic source; draw from leca::Rng (util/rng.hh)",
+        False,
+        False,
+    ),
+    (
+        "narrowing-cast",
+        re.compile(r"static_cast<\s*(?:unsigned\s+)?(?:int|long|short)"
+                   r"(?:\s+long)?\s*>\s*\(\s*"
+                   r"(?:std::)?l?l?(?:round|floor|ceil|trunc)\b"
+                   r"|\(\s*(?:unsigned\s+)?(?:int|long|short)\s*\)\s*"
+                   r"(?:std::)?l?l?(?:round|floor|ceil|trunc)\b"),
+        "float->int narrowing; use leca::roundToInt / floorToInt / "
+        "ceilToInt / truncToInt (util/numeric.hh)",
+        False,
+        False,
+    ),
+    (
+        "build-include",
+        re.compile(r"#\s*include\s*[\"<][^\">]*\bbuild/"),
+        "do not include generated files from build/",
+        False,
+        True,  # the include path is a string literal strip_noise blanks
+    ),
+]
+
+COMMENT_OR_STRING = re.compile(
+    r"//[^\n]*"                 # line comment
+    r"|/\*.*?\*/"               # one-line block comment
+    r"|\"(?:[^\"\\]|\\.)*\""    # string literal
+    r"|'(?:[^'\\]|\\.)*'"       # char literal
+)
+
+
+def strip_noise(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blank out comments and string literals so rules see only code.
+
+    Tracks /* ... */ continuation across lines via in_block_comment.
+    """
+    if in_block_comment:
+        end = line.find("*/")
+        if end < 0:
+            return "", True
+        line = " " * (end + 2) + line[end + 2:]
+    line = COMMENT_OR_STRING.sub(lambda m: " " * len(m.group(0)), line)
+    start = line.find("/*")
+    if start >= 0:
+        return line[:start], True
+    return line, False
+
+
+def repo_relative(path: pathlib.Path) -> pathlib.Path | None:
+    """Path relative to the repo root, or None for external files."""
+    try:
+        return path.resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        return None
+
+
+def expected_guard(path: pathlib.Path) -> str:
+    """LECA_<PATH>_<FILE>_HH with the leading src/ component dropped."""
+    rel = repo_relative(path)
+    if rel is None:
+        # Outside the repo (ad-hoc invocation): only the file name is
+        # meaningful.
+        rel = pathlib.Path(path.name)
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    parts[-1] = rel.stem
+    cleaned = "_".join(re.sub(r"[^A-Za-z0-9]", "_", p) for p in parts)
+    return "LECA_" + cleaned.upper() + "_HH"
+
+
+def check_header_guard(path: pathlib.Path, lines: list[str]) -> list[str]:
+    guard = expected_guard(path)
+    ifndef = f"#ifndef {guard}"
+    define = f"#define {guard}"
+    stripped = [ln.strip() for ln in lines]
+    if ifndef not in stripped:
+        return [f"{path}:1: [header-guard] expected '{ifndef}'"]
+    idx = stripped.index(ifndef)
+    if idx + 1 >= len(stripped) or stripped[idx + 1] != define:
+        return [f"{path}:{idx + 2}: [header-guard] expected '{define}' "
+                f"directly after '{ifndef}'"]
+    return []
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    findings: list[str] = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{path}:0: [io] cannot read: {err}"]
+    lines = text.splitlines()
+
+    rel = repo_relative(path)
+    in_src = rel is not None and rel.parts[0] == "src"
+
+    in_block = False
+    for lineno, raw in enumerate(lines, start=1):
+        code, in_block = strip_noise(raw, in_block)
+        if not code.strip() and "#" not in raw:
+            continue
+        for name, pattern, message, src_only, scan_raw in LINE_RULES:
+            if src_only and not in_src:
+                continue
+            match = pattern.search(raw if scan_raw else code)
+            if match:
+                findings.append(f"{path}:{lineno}: [{name}] "
+                                f"'{match.group(0).strip()}': {message}")
+
+    if path.suffix in HEADER_SUFFIXES:
+        findings.extend(check_header_guard(path, lines))
+    return findings
+
+
+def collect(targets: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for target in targets:
+        path = pathlib.Path(target)
+        if not path.is_absolute():
+            path = REPO_ROOT / path
+        if path.is_dir():
+            files.extend(p for p in sorted(path.rglob("*"))
+                         if p.suffix in CXX_SUFFIXES and p.is_file())
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"leca_lint: no such target: {target}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or ["src", "tests", "bench", "examples"]
+    files = collect(targets)
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"leca_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"leca_lint: OK ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
