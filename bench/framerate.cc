@@ -8,13 +8,52 @@
 #include <iostream>
 
 #include "hw/controller.hh"
+#include "hw/sensor_chip.hh"
 #include "hw/timing.hh"
+#include "hw/weights.hh"
+#include "json_report.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
 #include "util/table.hh"
 
-int
-main()
+namespace {
+
+/** Wall-clock simulator throughput (not the analytic silicon model). */
+void
+measureSimulatorThroughput(leca::bench::JsonReport &report)
 {
     using namespace leca;
+    ChipConfig cfg;
+    cfg.rgbHeight = 64;
+    cfg.rgbWidth = 64;
+    cfg.monteCarlo = false;
+    LecaSensorChip chip(cfg);
+    Rng wrng(8);
+    Tensor w({4, 3, 2, 2});
+    for (std::size_t i = 0; i < w.numel(); ++i)
+        w[i] = static_cast<float>(wrng.uniform(-1, 1));
+    chip.loadKernels(flattenKernels(w, 1.0f));
+    Tensor scene({3, 64, 64});
+    for (std::size_t i = 0; i < scene.numel(); ++i)
+        scene[i] = static_cast<float>(wrng.uniform(0.1, 0.9));
+    Rng frame_rng(1);
+    const double ms = bench::timeWallMs([&] {
+        Tensor codes = chip.encodeFrame(scene, PeMode::Ideal, frame_rng,
+                                        false);
+    }, 5);
+    report.add("sim_frame_encode_64", ms, 1000.0 / ms);
+    std::cout << "\nsimulator wall-clock (64x64 ideal encode, "
+              << threadCount() << " threads): "
+              << Table::num(1000.0 / ms, 1) << " frames/s\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace leca;
+    bench::JsonReport report(argc, argv);
     TimingModel timing;
 
     printBanner(std::cout,
@@ -68,5 +107,12 @@ main()
                  "recording: "
               << (timing.framesPerSecond(1080, 4) >= 60.0 ? "yes" : "NO")
               << "\n";
+
+    report.add("model_448_nch4_fps", timing.frameLatencyUs(448, 4) / 1000.0,
+               timing.framesPerSecond(448, 4));
+    report.add("model_1080p_nch4_fps",
+               timing.frameLatencyUs(1080, 4) / 1000.0,
+               timing.framesPerSecond(1080, 4));
+    measureSimulatorThroughput(report);
     return 0;
 }

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Machine-readable benchmark output. Every bench harness can emit a
+ * JSON report of wall-time and throughput so the perf trajectory is
+ * tracked across PRs.
+ *
+ * The output path comes from `--json <path>` on the command line
+ * (consumed from argv) or, failing that, the LECA_BENCH_JSON
+ * environment variable. When neither is set the report is disabled
+ * and add() calls are no-ops.
+ */
+
+#ifndef LECA_BENCH_JSON_REPORT_HH
+#define LECA_BENCH_JSON_REPORT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace leca::bench {
+
+/** Collects named timing entries and writes them as one JSON file. */
+class JsonReport
+{
+  public:
+    /**
+     * Parse `--json <path>` out of argv (removing it so downstream
+     * flag parsers never see it) and fall back to LECA_BENCH_JSON.
+     */
+    JsonReport(int &argc, char **argv);
+
+    /** Writes the report if a path was configured. */
+    ~JsonReport();
+
+    bool enabled() const { return !_path.empty(); }
+    const std::string &path() const { return _path; }
+
+    /**
+     * Record one benchmark: wall time per iteration in milliseconds
+     * and throughput in images (or frames / items) per second. Pass
+     * 0 for images_per_sec when throughput has no meaning.
+     */
+    void add(const std::string &name, double wall_ms,
+             double images_per_sec);
+
+    /** Force the write now (also happens in the destructor). */
+    void write();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        double wallMs;
+        double imagesPerSec;
+    };
+
+    std::string _path;
+    std::vector<Entry> _entries;
+    bool _written = false;
+};
+
+/**
+ * Average wall-clock milliseconds of @p fn over @p iters runs (one
+ * warm-up run excluded).
+ */
+double timeWallMs(const std::function<void()> &fn, int iters);
+
+} // namespace leca::bench
+
+#endif // LECA_BENCH_JSON_REPORT_HH

@@ -3,6 +3,9 @@
  * google-benchmark micro-benchmarks of the hot substrate operations:
  * matmul, im2col convolution, the SCM MAC chain, a full-frame chip
  * encode, and CS block reconstruction.
+ *
+ * Pass --json <path> (or set LECA_BENCH_JSON) to additionally emit a
+ * machine-readable wall-time/throughput report of the key kernels.
  */
 
 #include <benchmark/benchmark.h>
@@ -11,6 +14,7 @@
 #include "compression/compressive_sensing.hh"
 #include "hw/sensor_chip.hh"
 #include "hw/weights.hh"
+#include "json_report.hh"
 #include "tensor/ops.hh"
 #include "util/rng.hh"
 
@@ -127,6 +131,63 @@ BM_CsBlockReconstruction(benchmark::State &state)
 }
 BENCHMARK(BM_CsBlockReconstruction);
 
+/** Wall-clock timing of the key kernels for the JSON report. */
+void
+reportJson(leca::bench::JsonReport &report)
+{
+    using leca::bench::timeWallMs;
+    {
+        const Tensor a = randomTensor({256, 256}, 1);
+        const Tensor b = randomTensor({256, 256}, 2);
+        const double ms = timeWallMs([&] {
+            Tensor c = matmul(a, b);
+            benchmark::DoNotOptimize(c.data());
+        }, 20);
+        report.add("matmul_256", ms, 1000.0 / ms);
+    }
+    {
+        const Tensor x = randomTensor({8, 16, 32, 32}, 3);
+        const Tensor w = randomTensor({32, 16, 3, 3}, 4);
+        const Tensor b = randomTensor({32}, 5);
+        const double ms = timeWallMs([&] {
+            Tensor y = conv2d(x, w, b, 1, 1);
+            benchmark::DoNotOptimize(y.data());
+        }, 20);
+        report.add("conv2d_batch8", ms, 8.0 * 1000.0 / ms);
+    }
+    {
+        ChipConfig cfg;
+        cfg.rgbHeight = 64;
+        cfg.rgbWidth = 64;
+        cfg.monteCarlo = false;
+        LecaSensorChip chip(cfg);
+        Tensor w = randomTensor({4, 3, 2, 2}, 8);
+        chip.loadKernels(flattenKernels(w, 1.0f));
+        Tensor scene = randomTensor({3, 64, 64}, 9);
+        for (std::size_t i = 0; i < scene.numel(); ++i)
+            scene[i] = 0.5f + 0.4f * scene[i];
+        Rng rng(1);
+        const double ms = timeWallMs([&] {
+            Tensor codes =
+                chip.encodeFrame(scene, PeMode::Ideal, rng, false);
+            benchmark::DoNotOptimize(codes.data());
+        }, 5);
+        report.add("chip_frame_encode_64", ms, 1000.0 / ms);
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    leca::bench::JsonReport report(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (report.enabled())
+        reportJson(report);
+    return 0;
+}

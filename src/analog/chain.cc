@@ -1,6 +1,7 @@
 #include "chain.hh"
 
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -29,14 +30,21 @@ AnalogChain::analogOutput(const std::vector<double> &v_pixels,
     LECA_CHECK(v_pixels.size() == weights.size(), "chain input mismatch: ",
                v_pixels.size(), " pixels vs ", weights.size(), " weights");
     std::vector<double> v_in(v_pixels.size());
-    for (std::size_t i = 0; i < v_pixels.size(); ++i) {
-        if (ideal) {
-            v_in[i] = psf.linearModel(v_pixels[i]);
-        } else if (noise_rng) {
+    if (noise_rng && !ideal) {
+        // The noisy path consumes a single noise stream in column
+        // order, so it must stay serial to remain deterministic.
+        for (std::size_t i = 0; i < v_pixels.size(); ++i)
             v_in[i] = psf.transferNoisy(v_pixels[i], *noise_rng);
-        } else {
-            v_in[i] = psf.transfer(v_pixels[i]);
-        }
+    } else {
+        // Per-column PSF transfers are independent const lookups.
+        const auto n = static_cast<std::int64_t>(v_pixels.size());
+        parallelFor(0, n, 64, [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
+                const std::size_t c = static_cast<std::size_t>(i);
+                v_in[c] = ideal ? psf.linearModel(v_pixels[c])
+                                : psf.transfer(v_pixels[c]);
+            }
+        });
     }
     const DiffBuffer buffer =
         scm.runSequence(v_in, weights, ideal, ideal ? nullptr : noise_rng);

@@ -6,6 +6,7 @@
 
 #include "nn/quantize.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -55,19 +56,31 @@ AccumGradientThreshold::processImpl(const Tensor &batch)
     const int n = batch.size(0), c = batch.size(1);
     const int h = batch.size(2), w = batch.size(3);
     Tensor out(batch.shape());
-    std::int64_t kept = 0, total = 0;
-    for (int i = 0; i < n; ++i)
-        for (int ch = 0; ch < c; ++ch)
-            for (int y = 0; y < h; ++y) {
-                const float *src =
-                    batch.data()
-                    + ((static_cast<std::size_t>(i) * c + ch) * h + y) * w;
-                float *dst =
-                    out.data()
-                    + ((static_cast<std::size_t>(i) * c + ch) * h + y) * w;
-                kept += processRow(src, dst, w);
-                total += w;
-            }
+    // Rows are independent; kept-sample counts are integers, so the
+    // per-image partial sums below are order-insensitive.
+    std::vector<std::int64_t> kept_per_image(static_cast<std::size_t>(n), 0);
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            std::int64_t image_kept = 0;
+            for (int ch = 0; ch < c; ++ch)
+                for (int y = 0; y < h; ++y) {
+                    const float *src =
+                        batch.data()
+                        + ((static_cast<std::size_t>(i) * c + ch) * h + y)
+                              * w;
+                    float *dst =
+                        out.data()
+                        + ((static_cast<std::size_t>(i) * c + ch) * h + y)
+                              * w;
+                    image_kept += processRow(src, dst, w);
+                }
+            kept_per_image[static_cast<std::size_t>(i)] = image_kept;
+        }
+    });
+    std::int64_t kept = 0;
+    for (std::int64_t image_kept : kept_per_image)
+        kept += image_kept;
+    const std::int64_t total = static_cast<std::int64_t>(n) * c * h * w;
     _lastKept = static_cast<double>(kept) / static_cast<double>(total);
     _lastRatio = 1.0 / std::max(1e-9, _lastKept);
     return out;

@@ -5,6 +5,7 @@
 
 #include "nn/quantize.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace leca {
@@ -163,23 +164,28 @@ CompressiveSensing::processImpl(const Tensor &batch)
     LECA_CHECK(h % 8 == 0 && w % 8 == 0, "CS needs 8x8-divisible frames");
 
     Tensor out(batch.shape());
-    float block[64];
-    float recon[64];
-    for (int i = 0; i < n; ++i)
-        for (int ch = 0; ch < c; ++ch)
-            for (int by = 0; by < h / 8; ++by)
-                for (int bx = 0; bx < w / 8; ++bx) {
-                    for (int y = 0; y < 8; ++y)
-                        for (int x = 0; x < 8; ++x)
-                            block[y * 8 + x] = batch.at(
-                                i, ch, by * 8 + y, bx * 8 + x);
-                    const auto y_meas = measureBlock(block);
-                    reconstructBlock(y_meas, recon);
-                    for (int y = 0; y < 8; ++y)
-                        for (int x = 0; x < 8; ++x)
-                            out.at(i, ch, by * 8 + y, bx * 8 + x) =
-                                std::clamp(recon[y * 8 + x], 0.0f, 1.0f);
-                }
+    // measureBlock/reconstructBlock are const and every block writes a
+    // disjoint 8x8 tile, so the batch parallelizes with per-image
+    // scratch.
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        float block[64];
+        float recon[64];
+        for (int i = static_cast<int>(n0); i < n1; ++i)
+            for (int ch = 0; ch < c; ++ch)
+                for (int by = 0; by < h / 8; ++by)
+                    for (int bx = 0; bx < w / 8; ++bx) {
+                        for (int y = 0; y < 8; ++y)
+                            for (int x = 0; x < 8; ++x)
+                                block[y * 8 + x] = batch.at(
+                                    i, ch, by * 8 + y, bx * 8 + x);
+                        const auto y_meas = measureBlock(block);
+                        reconstructBlock(y_meas, recon);
+                        for (int y = 0; y < 8; ++y)
+                            for (int x = 0; x < 8; ++x)
+                                out.at(i, ch, by * 8 + y, bx * 8 + x) =
+                                    std::clamp(recon[y * 8 + x], 0.0f, 1.0f);
+                    }
+    });
     return out;
 }
 

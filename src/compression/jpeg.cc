@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -104,14 +105,18 @@ JpegCodec::processImpl(const Tensor &batch)
     LECA_CHECK(h % 8 == 0 && w % 8 == 0, "JPEG needs 8x8 tiles");
 
     Tensor out(batch.shape());
-    long total_bits = 0;
 
+    // Images are independent: each gets its own scratch planes and
+    // contributes an integer bit count (order-insensitive sum).
+    std::vector<long> image_bits(static_cast<std::size_t>(n), 0);
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
     std::vector<float> planes(static_cast<std::size_t>(3) * h * w);
     std::vector<float> recon_planes(planes.size());
     float block[64], coeffs[64];
     int quant[64];
 
-    for (int i = 0; i < n; ++i) {
+    for (int i = static_cast<int>(n0); i < n1; ++i) {
+        long total_bits = 0;
         // Colour transform.
         for (int y = 0; y < h; ++y)
             for (int x = 0; x < w; ++x) {
@@ -170,8 +175,13 @@ JpegCodec::processImpl(const Tensor &batch)
                 out.at(i, 1, y, x) = std::clamp(g, 0.0f, 1.0f);
                 out.at(i, 2, y, x) = std::clamp(b, 0.0f, 1.0f);
             }
+        image_bits[static_cast<std::size_t>(i)] = total_bits;
     }
+    });
 
+    long total_bits = 0;
+    for (long bits : image_bits)
+        total_bits += bits;
     const double raw_bits = static_cast<double>(n) * 3 * h * w * 8;
     _lastRatio = raw_bits / static_cast<double>(std::max(1L, total_bits));
     return out;

@@ -10,6 +10,7 @@
 #include "nn/optimizer.hh"
 #include "nn/quantize.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace leca {
@@ -53,8 +54,13 @@ LearnedCodec::encodeQuantized(const Tensor &batch, Mode mode)
 {
     Tensor latent = _encoder->forward(batch, mode);
     // 8-bit uniform quantization of the clamped latent.
-    for (std::size_t i = 0; i < latent.numel(); ++i)
-        latent[i] = quantizeUniform(latent[i], -4.0f, 4.0f, 256);
+    parallelFor(0, static_cast<std::int64_t>(latent.numel()), 4096,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        latent[static_cast<std::size_t>(i)] = quantizeUniform(
+                            latent[static_cast<std::size_t>(i)], -4.0f, 4.0f,
+                            256);
+                });
     return latent;
 }
 
@@ -66,8 +72,12 @@ LearnedCodec::processImpl(const Tensor &batch)
                 "baseline must be fitted first");
     const Tensor latent = encodeQuantized(batch, Mode::Eval);
     Tensor out = _decoder->forward(latent, Mode::Eval);
-    for (std::size_t i = 0; i < out.numel(); ++i)
-        out[i] = std::clamp(out[i], 0.0f, 1.0f);
+    parallelFor(0, static_cast<std::int64_t>(out.numel()), 4096,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        out[static_cast<std::size_t>(i)] = std::clamp(
+                            out[static_cast<std::size_t>(i)], 0.0f, 1.0f);
+                });
     return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "nn/quantize.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -42,39 +43,45 @@ Microshift::processImpl(const Tensor &batch)
     const float step = 1.0f / static_cast<float>(_levels - 1);
 
     Tensor dequant(batch.shape());
-    for (int i = 0; i < n; ++i)
-        for (int ch = 0; ch < c; ++ch)
-            for (int y = 0; y < h; ++y)
-                for (int x = 0; x < w; ++x) {
-                    const float shift = shiftAt(y, x) * step;
-                    const float q = quantizeUniform(
-                        batch.at(i, ch, y, x) + shift, 0.0f, 1.0f,
-                        _levels);
-                    dequant.at(i, ch, y, x) =
-                        std::clamp(q - shift, 0.0f, 1.0f);
-                }
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i)
+            for (int ch = 0; ch < c; ++ch)
+                for (int y = 0; y < h; ++y)
+                    for (int x = 0; x < w; ++x) {
+                        const float shift = shiftAt(y, x) * step;
+                        const float q = quantizeUniform(
+                            batch.at(i, ch, y, x) + shift, 0.0f, 1.0f,
+                            _levels);
+                        dequant.at(i, ch, y, x) =
+                            std::clamp(q - shift, 0.0f, 1.0f);
+                    }
+    });
 
     // Decoder smoothing: neighbouring pixels carry different shifts, so
-    // a local average recovers intermediate intensities.
+    // a local average recovers intermediate intensities. The smoothing
+    // pass reads only `dequant` (fully materialised above) and writes
+    // only `out`, so it parallelizes per image too.
     Tensor out(batch.shape());
-    for (int i = 0; i < n; ++i)
-        for (int ch = 0; ch < c; ++ch)
-            for (int y = 0; y < h; ++y)
-                for (int x = 0; x < w; ++x) {
-                    float acc = 0.0f;
-                    int count = 0;
-                    for (int dy = -1; dy <= 1; ++dy)
-                        for (int dx = -1; dx <= 1; ++dx) {
-                            const int yy = y + dy, xx = x + dx;
-                            if (yy < 0 || yy >= h || xx < 0 || xx >= w)
-                                continue;
-                            acc += dequant.at(i, ch, yy, xx);
-                            ++count;
-                        }
-                    const float smooth = acc / static_cast<float>(count);
-                    out.at(i, ch, y, x) =
-                        0.5f * dequant.at(i, ch, y, x) + 0.5f * smooth;
-                }
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i)
+            for (int ch = 0; ch < c; ++ch)
+                for (int y = 0; y < h; ++y)
+                    for (int x = 0; x < w; ++x) {
+                        float acc = 0.0f;
+                        int count = 0;
+                        for (int dy = -1; dy <= 1; ++dy)
+                            for (int dx = -1; dx <= 1; ++dx) {
+                                const int yy = y + dy, xx = x + dx;
+                                if (yy < 0 || yy >= h || xx < 0 || xx >= w)
+                                    continue;
+                                acc += dequant.at(i, ch, yy, xx);
+                                ++count;
+                            }
+                        const float smooth = acc / static_cast<float>(count);
+                        out.at(i, ch, y, x) =
+                            0.5f * dequant.at(i, ch, y, x) + 0.5f * smooth;
+                    }
+    });
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include "tensor/ops.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -22,17 +23,19 @@ SpatialDownsample::processImpl(const Tensor &batch)
 
     Tensor pooled({n, c, oh, ow});
     const float inv = 1.0f / static_cast<float>(_kh * _kw);
-    for (int i = 0; i < n; ++i)
-        for (int ch = 0; ch < c; ++ch)
-            for (int oy = 0; oy < oh; ++oy)
-                for (int ox = 0; ox < ow; ++ox) {
-                    float acc = 0.0f;
-                    for (int ky = 0; ky < _kh; ++ky)
-                        for (int kx = 0; kx < _kw; ++kx)
-                            acc += batch.at(i, ch, oy * _kh + ky,
-                                            ox * _kw + kx);
-                    pooled.at(i, ch, oy, ox) = acc * inv;
-                }
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i)
+            for (int ch = 0; ch < c; ++ch)
+                for (int oy = 0; oy < oh; ++oy)
+                    for (int ox = 0; ox < ow; ++ox) {
+                        float acc = 0.0f;
+                        for (int ky = 0; ky < _kh; ++ky)
+                            for (int kx = 0; kx < _kw; ++kx)
+                                acc += batch.at(i, ch, oy * _kh + ky,
+                                                ox * _kw + kx);
+                        pooled.at(i, ch, oy, ox) = acc * inv;
+                    }
+    });
     // 8-bit quantization of the pooled samples, then upsampling.
     pooled = quantizeTensor(pooled, 0.0f, 1.0f, 256);
     return bilinearResize(pooled, h, w);

@@ -10,6 +10,7 @@
 #include "util/check.hh"
 #include "util/logging.hh"
 #include "util/numeric.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -115,25 +116,30 @@ LecaEncoder::forwardSoft(const Tensor &x, Mode mode)
     _inShape = x.shape();
 
     const Tensor wmat = _weight.value.reshape({nch, c * k * k});
+    const Tensor no_bias;
     Tensor pre({n, nch, oh, ow});
-    for (int i = 0; i < n; ++i) {
-        const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
-        Tensor img = Tensor::fromData(
-            {c, h, w}, std::vector<float>(x.data() + i * img_sz,
-                                          x.data() + (i + 1) * img_sz));
-        Tensor cols = im2col(img, k, k, k, 0);
-        const Tensor out = matmul(wmat, cols);
-        std::copy(out.data(), out.data() + out.numel(),
-                  pre.data() + static_cast<std::size_t>(i) * nch * oh * ow);
-        if (mode == Mode::Train)
-            _softCols.push_back(std::move(cols));
-    }
+    // Pre-sized cache slots instead of push_back so images parallelize.
+    if (mode == Mode::Train)
+        _softCols.resize(static_cast<std::size_t>(n));
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            Tensor cols = conv2dImage(x, i, wmat, no_bias, k, k, k, 0, pre);
+            if (mode == Mode::Train)
+                _softCols[static_cast<std::size_t>(i)] = std::move(cols);
+        }
+    });
 
     const float s = std::max(_outScale.value[0], 0.05f);
     const int levels = _config.qbits.levels();
     Tensor features(pre.shape());
-    for (std::size_t i = 0; i < pre.numel(); ++i)
-        features[i] = quantizeUniform(pre[i] / s, -1.0f, 1.0f, levels);
+    parallelFor(0, static_cast<std::int64_t>(pre.numel()), 4096,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) {
+                        const std::size_t q = static_cast<std::size_t>(i);
+                        features[q] =
+                            quantizeUniform(pre[q] / s, -1.0f, 1.0f, levels);
+                    }
+                });
     if (mode == Mode::Train)
         _softPre = std::move(pre);
     return features;
@@ -168,14 +174,22 @@ LecaEncoder::backwardSoft(const Tensor &grad_out)
     _outScale.grad[0] += static_cast<float>(g_s);
 
     Tensor dwmat({nch, c * k * k});
-    for (int i = 0; i < n; ++i) {
-        const std::size_t go_sz = static_cast<std::size_t>(nch) * oh * ow;
-        const Tensor dy = Tensor::fromData(
-            {nch, oh * ow},
-            std::vector<float>(g_pre.data() + i * go_sz,
-                               g_pre.data() + (i + 1) * go_sz));
-        dwmat += matmulTransB(dy, _softCols[static_cast<std::size_t>(i)]);
-    }
+    // Per-image dW partials, folded in ascending image order: the same
+    // per-image tensors the serial loop added, in the same order.
+    std::vector<Tensor> dws(static_cast<std::size_t>(n));
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            const std::size_t go_sz = static_cast<std::size_t>(nch) * oh * ow;
+            const Tensor dy = Tensor::fromData(
+                {nch, oh * ow},
+                std::vector<float>(g_pre.data() + i * go_sz,
+                                   g_pre.data() + (i + 1) * go_sz));
+            dws[static_cast<std::size_t>(i)] =
+                matmulTransB(dy, _softCols[static_cast<std::size_t>(i)]);
+        }
+    });
+    for (int i = 0; i < n; ++i)
+        dwmat += dws[static_cast<std::size_t>(i)];
     _weight.grad += dwmat.reshape({nch, c, k, k});
 
     _softCols.clear();
@@ -225,8 +239,18 @@ LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
     }
 
     Tensor features({n, nch, oh, ow});
-    std::size_t e = 0;
-    for (int i = 0; i < n; ++i) {
+    // One pre-split noise stream per image (forked before the parallel
+    // region), so noise draws depend only on the image index and the
+    // output is bit-identical at every thread count.
+    std::vector<Rng> noise_rngs;
+    if (noisy)
+        noise_rngs = Rng::split(*_noiseRng, static_cast<std::size_t>(n));
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (int i = static_cast<int>(n0); i < n1; ++i) {
+        Rng *rng = noisy ? &noise_rngs[static_cast<std::size_t>(i)] : nullptr;
+        // Element index derived from the loop indices, not a running
+        // counter, so images write disjoint cache slices.
+        std::size_t e = static_cast<std::size_t>(i) * nch * oh * ow;
         for (int kch = 0; kch < nch; ++kch) {
             for (int by = 0; by < oh; ++by) {
                 for (int bx = 0; bx < ow; ++bx, ++e) {
@@ -249,7 +273,7 @@ LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
                             _sensor.digitalToVoltage(x_val);
                         double vin;
                         if (noisy) {
-                            vin = _noiseRng->gaussian(
+                            vin = rng->gaussian(
                                 _noiseModel.psf.meanTransfer(vpix),
                                 _noiseModel.psf.sigma(vpix));
                         } else {
@@ -279,7 +303,7 @@ LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
                                                   mag)]
                                         : _noiseModel.scm.epsSurface(
                                               vin, mag);
-                                next -= _noiseRng->gaussian(
+                                next -= rng->gaussian(
                                     eps_mean,
                                     _noiseModel.scm.epsSigma[
                                         static_cast<std::size_t>(mag)]);
@@ -289,10 +313,10 @@ LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
                     }
                     double p, m;
                     if (noisy) {
-                        p = _noiseRng->gaussian(
+                        p = rng->gaussian(
                             _noiseModel.fvf.meanTransfer(v_plus),
                             _noiseModel.fvf.sigma(v_plus));
-                        m = _noiseRng->gaussian(
+                        m = rng->gaussian(
                             _noiseModel.fvf.meanTransfer(v_minus),
                             _noiseModel.fvf.sigma(v_minus));
                     } else {
@@ -301,7 +325,7 @@ LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
                     }
                     double diff = p - m;
                     if (noisy) {
-                        diff += _noiseRng->gaussian(
+                        diff += rng->gaussian(
                             0.0, _noiseModel.adcOffsetSigma);
                     }
                     const int code = quantizeCode(
@@ -315,6 +339,7 @@ LecaEncoder::forwardHard(const Tensor &x, Mode mode, bool noisy)
             }
         }
     }
+    });
     return features;
 }
 
@@ -334,10 +359,17 @@ LecaEncoder::backwardHard(const Tensor &grad_out)
     const double fvf_gain = _circuit.fvf.gain;
     const auto &taps = rawTaps();
 
-    double g_fs_total = 0.0;
+    const std::size_t elems = _diff.size();
+    // Per-element gradient contributions, computed in parallel and
+    // folded serially below in exactly the order the serial loop used
+    // (ascending element, descending tap), so the accumulated weight
+    // and scale gradients stay bit-identical at every thread count.
+    std::vector<float> tap_grads(elems * 16, 0.0f);
+    std::vector<double> fs_grads(elems, 0.0);
 
-    std::size_t e = 0;
-    for (int i = 0; i < n; ++i) {
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (int i = static_cast<int>(n0); i < n1; ++i) {
+        std::size_t e = static_cast<std::size_t>(i) * nch * oh * ow;
         for (int kch = 0; kch < nch; ++kch) {
             for (int by = 0; by < oh; ++by) {
                 for (int bx = 0; bx < ow; ++bx, ++e) {
@@ -349,7 +381,7 @@ LecaEncoder::backwardHard(const Tensor &grad_out)
                         continue; // clipped STE region
                     // feature ~= diff / fs under the STE.
                     const double g_diff = g_feat / fs;
-                    g_fs_total += g_feat * (-diff / (fs * fs));
+                    fs_grads[e] = g_feat * (-diff / (fs * fs));
 
                     double g_plus = g_diff * fvf_gain;
                     double g_minus = -g_diff * fvf_gain;
@@ -390,12 +422,28 @@ LecaEncoder::backwardHard(const Tensor &grad_out)
                         const double dcap_dwtap =
                             (neg ? -1.0 : 1.0) * unit * steps / wscale;
                         const double g_wtap = g_cap * dcap_dwtap;
-                        _weight.grad.at(kch, tap.channel, tap.py,
-                                        tap.px) +=
+                        tap_grads[e * 16 + static_cast<std::size_t>(t)] =
                             static_cast<float>(g_wtap * tap.factor);
                     }
                 }
             }
+        }
+    }
+    });
+
+    // Serial fold in the serial loop's accumulation order.
+    double g_fs_total = 0.0;
+    for (std::size_t e = 0; e < elems; ++e) {
+        g_fs_total += fs_grads[e];
+        const int kch = static_cast<int>(e / (static_cast<std::size_t>(oh)
+                                              * ow))
+                        % nch;
+        for (int t = 15; t >= 0; --t) {
+            const float g = tap_grads[e * 16 + static_cast<std::size_t>(t)];
+            if (g == 0.0f)
+                continue;
+            const Tap &tap = taps[static_cast<std::size_t>(t)];
+            _weight.grad.at(kch, tap.channel, tap.py, tap.px) += g;
         }
     }
     _outScale.grad[0] += static_cast<float>(g_fs_total);

@@ -174,6 +174,9 @@ LecaPipeline::evalAccuracy(const Dataset &ds, int batch_size)
     if (n == 0)
         return 0.0;
     int correct = 0;
+    // Batches stay sequential — the encoder/decoder/backbone layers
+    // cache per-call state, so parallelism lives inside each forward
+    // (per-image conv, GEMM row panels) instead of across batches.
     for (int begin = 0; begin < n; begin += batch_size) {
         const int count = std::min(batch_size, n - begin);
         const Dataset batch = sliceDataset(ds, begin, count);

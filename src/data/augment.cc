@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -60,13 +62,21 @@ void
 augmentBatch(Tensor &batch, Rng &rng, double max_degrees)
 {
     const int n = batch.size(0);
-    for (int i = 0; i < n; ++i) {
-        if (rng.uniform() < 0.5)
-            flipHorizontal(batch, i);
-        const double deg = rng.uniform(-max_degrees, max_degrees);
-        if (std::abs(deg) > 0.5)
-            rotateImage(batch, i, deg);
-    }
+    // One pre-split stream per image: the draws an image consumes
+    // depend only on its index, so augmentation is deterministic for
+    // every thread count.
+    std::vector<Rng> image_rngs =
+        Rng::split(rng, static_cast<std::size_t>(n));
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            Rng &image_rng = image_rngs[static_cast<std::size_t>(i)];
+            if (image_rng.uniform() < 0.5)
+                flipHorizontal(batch, i);
+            const double deg = image_rng.uniform(-max_degrees, max_degrees);
+            if (std::abs(deg) > 0.5)
+                rotateImage(batch, i, deg);
+        }
+    });
 }
 
 } // namespace leca

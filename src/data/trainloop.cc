@@ -8,6 +8,7 @@
 #include "nn/optimizer.hh"
 #include "util/check.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace leca {
@@ -40,14 +41,16 @@ gatherBatch(const Dataset &ds, const std::vector<int> &order, int begin,
     Dataset batch;
     batch.images = Tensor({count, c, h, w});
     batch.labels.resize(static_cast<std::size_t>(count));
-    for (int i = 0; i < count; ++i) {
-        const int src = order[static_cast<std::size_t>(begin + i)];
-        std::copy(ds.images.data() + src * img_sz,
-                  ds.images.data() + (src + 1) * img_sz,
-                  batch.images.data() + i * img_sz);
-        batch.labels[static_cast<std::size_t>(i)] =
-            ds.labels[static_cast<std::size_t>(src)];
-    }
+    parallelFor(0, count, 8, [&](std::int64_t i0, std::int64_t i1) {
+        for (int i = static_cast<int>(i0); i < i1; ++i) {
+            const int src = order[static_cast<std::size_t>(begin + i)];
+            std::copy(ds.images.data() + src * img_sz,
+                      ds.images.data() + (src + 1) * img_sz,
+                      batch.images.data() + i * img_sz);
+            batch.labels[static_cast<std::size_t>(i)] =
+                ds.labels[static_cast<std::size_t>(src)];
+        }
+    });
     return batch;
 }
 
@@ -58,6 +61,9 @@ evalAccuracy(Layer &net, const Dataset &ds, int batch_size)
     if (n == 0)
         return 0.0;
     int correct = 0;
+    // Batches stay sequential: layers cache activations in member
+    // state, so the parallelism lives inside each forward (GEMM row
+    // panels, per-image conv) rather than across batches.
     for (int begin = 0; begin < n; begin += batch_size) {
         const int count = std::min(batch_size, n - begin);
         const Dataset batch = sliceDataset(ds, begin, count);

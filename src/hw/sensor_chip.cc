@@ -1,9 +1,13 @@
 #include "sensor_chip.hh"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <vector>
 
 #include "sensor/bayer.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -59,35 +63,56 @@ LecaSensorChip::encodeFrame(const Tensor &rgb_scene, PeMode mode, Rng &rng,
     Tensor ofmap({nch, of_h, of_w});
     Rng *noise_rng = mode == PeMode::RealNoisy ? &rng : nullptr;
 
+    const int pe_count = static_cast<int>(_pes.size());
     for (int band = 0; band < of_h; ++band) {
         for (int pass = 0; pass < passes; ++pass) {
             const int kernel_base = pass * 4;
             const int kernel_count = std::min(4, nch - kernel_base);
-            for (auto &pe : _pes)
-                pe.startBlock();
+            // Prefetch the band's four rows so the per-PE column sweep
+            // below has no shared readout state.
+            std::array<std::vector<double>, 4> band_voltages;
             for (int r = 0; r < 4; ++r) {
-                const int row = band * 4 + r;
-                const auto voltages = _pixelArray.readRowVoltages(row);
+                band_voltages[static_cast<std::size_t>(r)] =
+                    _pixelArray.readRowVoltages(band * 4 + r);
                 _chipStats.pixelReads += raw_cols;
-                for (int p = 0; p < static_cast<int>(_pes.size()); ++p) {
+            }
+            // One noise stream per PE, forked serially before the
+            // parallel region: the stream a PE consumes depends only on
+            // its column index, keeping noisy captures bit-identical
+            // for every thread count.
+            std::vector<Rng> pe_rngs;
+            if (noise_rng)
+                pe_rngs = Rng::split(
+                    *noise_rng, static_cast<std::size_t>(pe_count));
+            parallelFor(0, pe_count, 1,
+                        [&](std::int64_t p0, std::int64_t p1) {
+                for (int p = static_cast<int>(p0); p < p1; ++p) {
                     Pe &pe = _pes[static_cast<std::size_t>(p)];
-                    pe.loadWeights(_kernels, kernel_base, kernel_count, r);
-                    pe.loadRow({voltages[static_cast<std::size_t>(4 * p)],
-                                voltages[static_cast<std::size_t>(4 * p + 1)],
-                                voltages[static_cast<std::size_t>(4 * p + 2)],
-                                voltages[static_cast<std::size_t>(4 * p + 3)]});
-                    pe.processRow(kernel_count, mode, noise_rng);
+                    Rng *pe_rng = noise_rng
+                                      ? &pe_rngs[static_cast<std::size_t>(p)]
+                                      : nullptr;
+                    pe.startBlock();
+                    for (int r = 0; r < 4; ++r) {
+                        const auto &voltages =
+                            band_voltages[static_cast<std::size_t>(r)];
+                        pe.loadWeights(_kernels, kernel_base, kernel_count,
+                                       r);
+                        pe.loadRow(
+                            {voltages[static_cast<std::size_t>(4 * p)],
+                             voltages[static_cast<std::size_t>(4 * p + 1)],
+                             voltages[static_cast<std::size_t>(4 * p + 2)],
+                             voltages[static_cast<std::size_t>(4 * p + 3)]});
+                        pe.processRow(kernel_count, mode, pe_rng);
+                    }
+                    const auto codes =
+                        pe.readOfmap(kernel_count, mode, pe_rng);
+                    for (int k = 0; k < kernel_count; ++k) {
+                        ofmap.at(kernel_base + k, band, p) =
+                            static_cast<float>(
+                                codes[static_cast<std::size_t>(k)]);
+                    }
                 }
-            }
-            for (int p = 0; p < static_cast<int>(_pes.size()); ++p) {
-                Pe &pe = _pes[static_cast<std::size_t>(p)];
-                const auto codes =
-                    pe.readOfmap(kernel_count, mode, noise_rng);
-                for (int k = 0; k < kernel_count; ++k) {
-                    ofmap.at(kernel_base + k, band, p) =
-                        static_cast<float>(codes[static_cast<std::size_t>(k)]);
-                }
-            }
+            });
         }
     }
 
@@ -110,17 +135,19 @@ LecaSensorChip::normalModeCapture(const Tensor &rgb_scene, Rng &rng,
     const int rows = _pixelArray.rows(), cols = _pixelArray.cols();
     Tensor out({rows, cols});
     const SensorConfig &sc = _config.sensor;
-    for (int r = 0; r < rows; ++r) {
-        const auto voltages = _pixelArray.readRowVoltages(r);
-        _chipStats.pixelReads += cols;
-        for (int c = 0; c < cols; ++c) {
-            const int code = quantizeCode(
-                static_cast<float>(sc.voltageToDigital(
-                    voltages[static_cast<std::size_t>(c)])),
-                0.0f, 1.0f, 256);
-            out.at(r, c) = static_cast<float>(code) / 255.0f;
+    parallelFor(0, rows, 1, [&](std::int64_t r0, std::int64_t r1) {
+        for (int r = static_cast<int>(r0); r < r1; ++r) {
+            const auto voltages = _pixelArray.readRowVoltages(r);
+            for (int c = 0; c < cols; ++c) {
+                const int code = quantizeCode(
+                    static_cast<float>(sc.voltageToDigital(
+                        voltages[static_cast<std::size_t>(c)])),
+                    0.0f, 1.0f, 256);
+                out.at(r, c) = static_cast<float>(code) / 255.0f;
+            }
         }
-    }
+    });
+    _chipStats.pixelReads += static_cast<std::int64_t>(rows) * cols;
     // All pixels digitized at 8 bits, stored, and streamed out.
     const std::int64_t pixels = static_cast<std::int64_t>(rows) * cols;
     _chipStats.adcConversions[8.0] += pixels;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -35,7 +36,12 @@ BatchNorm2d::forward(const Tensor &x, Mode mode)
     if (mode == Mode::Train) {
         _xhat = Tensor(x.shape());
         _batchStd.assign(static_cast<std::size_t>(c), 0.0f);
-        for (int ch = 0; ch < c; ++ch) {
+        // Channels are independent (stats, running buffers, outputs all
+        // indexed by ch) and each channel's accumulation stays serial,
+        // so the per-channel numbers are bit-identical at any thread
+        // count.
+        parallelFor(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (int ch = static_cast<int>(c0); ch < c1; ++ch) {
             double sum = 0.0, sq = 0.0;
             for (int i = 0; i < n; ++i) {
                 const float *src =
@@ -77,8 +83,10 @@ BatchNorm2d::forward(const Tensor &x, Mode mode)
                 }
             }
         }
+        });
     } else {
-        for (int ch = 0; ch < c; ++ch) {
+        parallelFor(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (int ch = static_cast<int>(c0); ch < c1; ++ch) {
             const float m = _runningMean[static_cast<std::size_t>(ch)];
             const float std = std::sqrt(
                 _runningVar[static_cast<std::size_t>(ch)] + _eps);
@@ -93,6 +101,7 @@ BatchNorm2d::forward(const Tensor &x, Mode mode)
                     dst[p] = g * (src[p] - m) / std + b;
             }
         }
+        });
     }
     return y;
 }
@@ -108,7 +117,8 @@ BatchNorm2d::backward(const Tensor &grad_out)
     const double count = static_cast<double>(n) * h * w;
 
     Tensor dx(grad_out.shape());
-    for (int ch = 0; ch < c; ++ch) {
+    parallelFor(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (int ch = static_cast<int>(c0); ch < c1; ++ch) {
         const float g = _gamma.value[static_cast<std::size_t>(ch)];
         const float std = _batchStd[static_cast<std::size_t>(ch)];
         double sum_dy = 0.0, sum_dy_xhat = 0.0;
@@ -141,6 +151,7 @@ BatchNorm2d::backward(const Tensor &grad_out)
             }
         }
     }
+    });
     _xhat = Tensor();
     return dx;
 }

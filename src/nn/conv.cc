@@ -3,6 +3,7 @@
 #include "nn/init.hh"
 #include "tensor/ops.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -33,27 +34,21 @@ Conv2d::forward(const Tensor &x, Mode mode)
     _inShape = x.shape();
 
     const Tensor wmat = _weight.value.reshape({_cout, _cin * _k * _k});
+    const Tensor no_bias;
     Tensor y({n, _cout, oh, ow});
-    for (int i = 0; i < n; ++i) {
-        const std::size_t img_sz =
-            static_cast<std::size_t>(_cin) * h * w;
-        Tensor img = Tensor::fromData(
-            {_cin, h, w},
-            std::vector<float>(x.data() + i * img_sz,
-                               x.data() + (i + 1) * img_sz));
-        Tensor cols = im2col(img, _k, _k, _stride, _pad);
-        const Tensor out = matmul(wmat, cols);
-        float *dst = y.data() + static_cast<std::size_t>(i) * _cout * oh * ow;
-        const float *src = out.data();
-        for (int co = 0; co < _cout; ++co) {
-            const float b =
-                _hasBias ? _bias.value[static_cast<std::size_t>(co)] : 0.0f;
-            for (int p = 0; p < oh * ow; ++p)
-                dst[co * oh * ow + p] = src[co * oh * ow + p] + b;
+    // Pre-sized cache slots instead of push_back in the loop: each image
+    // writes only its own slot, so the batch parallelizes.
+    if (mode == Mode::Train)
+        _cols.resize(static_cast<std::size_t>(n));
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            Tensor cols = conv2dImage(x, i, wmat,
+                                      _hasBias ? _bias.value : no_bias, _k,
+                                      _k, _stride, _pad, y);
+            if (mode == Mode::Train)
+                _cols[static_cast<std::size_t>(i)] = std::move(cols);
         }
-        if (mode == Mode::Train)
-            _cols.push_back(std::move(cols));
-    }
+    });
     return y;
 }
 
@@ -71,30 +66,51 @@ Conv2d::backward(const Tensor &grad_out)
     Tensor dwmat({_cout, _cin * _k * _k});
     Tensor dx({n, _cin, h, w});
 
-    for (int i = 0; i < n; ++i) {
-        const std::size_t go_sz = static_cast<std::size_t>(_cout) * oh * ow;
-        Tensor dy = Tensor::fromData(
-            {_cout, oh * ow},
-            std::vector<float>(grad_out.data() + i * go_sz,
-                               grad_out.data() + (i + 1) * go_sz));
-        // dW += dY * cols^T
-        const Tensor dwi = matmulTransB(dy, _cols[static_cast<std::size_t>(i)]);
-        dwmat += dwi;
-        if (_hasBias) {
-            for (int co = 0; co < _cout; ++co) {
-                float acc = 0.0f;
-                for (int p = 0; p < oh * ow; ++p)
-                    acc += dy.at(co, p);
-                _bias.grad[static_cast<std::size_t>(co)] += acc;
+    // Per-image weight/bias gradient partials, combined serially in
+    // ascending image order below so the float summation order matches
+    // the serial loop this replaced bit for bit.
+    std::vector<Tensor> dws(static_cast<std::size_t>(n));
+    std::vector<std::vector<float>> dbs(
+        static_cast<std::size_t>(_hasBias ? n : 0));
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            const std::size_t go_sz =
+                static_cast<std::size_t>(_cout) * oh * ow;
+            Tensor dy = Tensor::fromData(
+                {_cout, oh * ow},
+                std::vector<float>(grad_out.data() + i * go_sz,
+                                   grad_out.data() + (i + 1) * go_sz));
+            // dW_i = dY * cols^T
+            dws[static_cast<std::size_t>(i)] =
+                matmulTransB(dy, _cols[static_cast<std::size_t>(i)]);
+            if (_hasBias) {
+                std::vector<float> db(static_cast<std::size_t>(_cout), 0.0f);
+                for (int co = 0; co < _cout; ++co) {
+                    float acc = 0.0f;
+                    for (int p = 0; p < oh * ow; ++p)
+                        acc += dy.at(co, p);
+                    db[static_cast<std::size_t>(co)] = acc;
+                }
+                dbs[static_cast<std::size_t>(i)] = std::move(db);
             }
+            // dX = col2im(W^T * dY); images write disjoint slabs.
+            const Tensor dcols = matmulTransA(wmat, dy);
+            const Tensor dimg =
+                col2im(dcols, _cin, h, w, _k, _k, _stride, _pad);
+            float *dst =
+                dx.data() + static_cast<std::size_t>(i) * _cin * h * w;
+            const float *src = dimg.data();
+            for (std::size_t p = 0; p < dimg.numel(); ++p)
+                dst[p] += src[p];
         }
-        // dX = col2im(W^T * dY)
-        const Tensor dcols = matmulTransA(wmat, dy);
-        const Tensor dimg = col2im(dcols, _cin, h, w, _k, _k, _stride, _pad);
-        float *dst = dx.data() + static_cast<std::size_t>(i) * _cin * h * w;
-        const float *src = dimg.data();
-        for (std::size_t p = 0; p < dimg.numel(); ++p)
-            dst[p] += src[p];
+    });
+    for (int i = 0; i < n; ++i) {
+        dwmat += dws[static_cast<std::size_t>(i)];
+        if (_hasBias)
+            for (int co = 0; co < _cout; ++co)
+                _bias.grad[static_cast<std::size_t>(co)] +=
+                    dbs[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(co)];
     }
     _weight.grad += dwmat.reshape({_cout, _cin, _k, _k});
     _cols.clear();

@@ -3,6 +3,7 @@
 #include "nn/init.hh"
 #include "tensor/ops.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -30,24 +31,29 @@ ConvTranspose2d::forward(const Tensor &x, Mode mode)
 
     const Tensor wmat = _weight.value.reshape({_cin, _cout * _k * _k});
     Tensor y({n, _cout, oh, ow});
-    for (int i = 0; i < n; ++i) {
-        const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
-        const Tensor xm = Tensor::fromData(
-            {_cin, h * w},
-            std::vector<float>(x.data() + i * in_sz,
-                               x.data() + (i + 1) * in_sz));
-        // cols = W^T * X : [Cout*K*K, H*W]
-        const Tensor cols = matmulTransA(wmat, xm);
-        const Tensor img = col2im(cols, _cout, oh, ow, _k, _k, _stride, 0);
-        float *dst = y.data() + static_cast<std::size_t>(i) * _cout * oh * ow;
-        const float *src = img.data();
-        for (int co = 0; co < _cout; ++co) {
-            const float b =
-                _hasBias ? _bias.value[static_cast<std::size_t>(co)] : 0.0f;
-            for (int p = 0; p < oh * ow; ++p)
-                dst[co * oh * ow + p] = src[co * oh * ow + p] + b;
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
+            const Tensor xm = Tensor::fromData(
+                {_cin, h * w},
+                std::vector<float>(x.data() + i * in_sz,
+                                   x.data() + (i + 1) * in_sz));
+            // cols = W^T * X : [Cout*K*K, H*W]
+            const Tensor cols = matmulTransA(wmat, xm);
+            const Tensor img =
+                col2im(cols, _cout, oh, ow, _k, _k, _stride, 0);
+            float *dst =
+                y.data() + static_cast<std::size_t>(i) * _cout * oh * ow;
+            const float *src = img.data();
+            for (int co = 0; co < _cout; ++co) {
+                const float b = _hasBias
+                                    ? _bias.value[static_cast<std::size_t>(co)]
+                                    : 0.0f;
+                for (int p = 0; p < oh * ow; ++p)
+                    dst[co * oh * ow + p] = src[co * oh * ow + p] + b;
+            }
         }
-    }
+    });
     if (mode == Mode::Train)
         _input = x;
     return y;
@@ -68,35 +74,54 @@ ConvTranspose2d::backward(const Tensor &grad_out)
     Tensor dwmat({_cin, _cout * _k * _k});
     Tensor dx({n, _cin, h, w});
 
-    for (int i = 0; i < n; ++i) {
-        const std::size_t go_sz = static_cast<std::size_t>(_cout) * oh * ow;
-        const Tensor dy = Tensor::fromData(
-            {_cout, oh, ow},
-            std::vector<float>(grad_out.data() + i * go_sz,
-                               grad_out.data() + (i + 1) * go_sz));
-        // dcols = im2col(dY) : [Cout*K*K, H*W]
-        const Tensor dcols = im2col(dy, _k, _k, _stride, 0);
-        // dX = W * dcols : [Cin, H*W]
-        const Tensor dxm = matmul(wmat, dcols);
-        float *dst = dx.data() + static_cast<std::size_t>(i) * _cin * h * w;
-        const float *src = dxm.data();
-        for (std::size_t p = 0; p < dxm.numel(); ++p)
-            dst[p] = src[p];
-        // dW = X * dcols^T : [Cin, Cout*K*K]
-        const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
-        const Tensor xm = Tensor::fromData(
-            {_cin, h * w},
-            std::vector<float>(_input.data() + i * in_sz,
-                               _input.data() + (i + 1) * in_sz));
-        dwmat += matmulTransB(xm, dcols);
-        if (_hasBias) {
-            for (int co = 0; co < _cout; ++co) {
-                float acc = 0.0f;
-                for (int p = 0; p < oh * ow; ++p)
-                    acc += dy[static_cast<std::size_t>(co) * oh * ow + p];
-                _bias.grad[static_cast<std::size_t>(co)] += acc;
+    // Per-image gradient partials, folded in ascending image order below
+    // so the float summation order matches the serial loop bit for bit.
+    std::vector<Tensor> dws(static_cast<std::size_t>(n));
+    std::vector<std::vector<float>> dbs(
+        static_cast<std::size_t>(_hasBias ? n : 0));
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            const std::size_t go_sz =
+                static_cast<std::size_t>(_cout) * oh * ow;
+            const Tensor dy = Tensor::fromData(
+                {_cout, oh, ow},
+                std::vector<float>(grad_out.data() + i * go_sz,
+                                   grad_out.data() + (i + 1) * go_sz));
+            // dcols = im2col(dY) : [Cout*K*K, H*W]
+            const Tensor dcols = im2col(dy, _k, _k, _stride, 0);
+            // dX = W * dcols : [Cin, H*W]
+            const Tensor dxm = matmul(wmat, dcols);
+            float *dst =
+                dx.data() + static_cast<std::size_t>(i) * _cin * h * w;
+            const float *src = dxm.data();
+            for (std::size_t p = 0; p < dxm.numel(); ++p)
+                dst[p] = src[p];
+            // dW_i = X * dcols^T : [Cin, Cout*K*K]
+            const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
+            const Tensor xm = Tensor::fromData(
+                {_cin, h * w},
+                std::vector<float>(_input.data() + i * in_sz,
+                                   _input.data() + (i + 1) * in_sz));
+            dws[static_cast<std::size_t>(i)] = matmulTransB(xm, dcols);
+            if (_hasBias) {
+                std::vector<float> db(static_cast<std::size_t>(_cout), 0.0f);
+                for (int co = 0; co < _cout; ++co) {
+                    float acc = 0.0f;
+                    for (int p = 0; p < oh * ow; ++p)
+                        acc += dy[static_cast<std::size_t>(co) * oh * ow + p];
+                    db[static_cast<std::size_t>(co)] = acc;
+                }
+                dbs[static_cast<std::size_t>(i)] = std::move(db);
             }
         }
+    });
+    for (int i = 0; i < n; ++i) {
+        dwmat += dws[static_cast<std::size_t>(i)];
+        if (_hasBias)
+            for (int co = 0; co < _cout; ++co)
+                _bias.grad[static_cast<std::size_t>(co)] +=
+                    dbs[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(co)];
     }
     _weight.grad += dwmat.reshape({_cin, _cout, _k, _k});
     _input = Tensor();

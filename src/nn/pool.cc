@@ -2,6 +2,7 @@
 
 #include "tensor/ops.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -21,8 +22,15 @@ MaxPool2d::backward(const Tensor &grad_out)
                "MaxPool2d backward without forward: cached ", _argmax.size(),
                " argmaxes, got ", grad_out.numel(), " grads");
     Tensor dx(_inShape);
-    for (std::size_t i = 0; i < grad_out.numel(); ++i)
-        dx[static_cast<std::size_t>(_argmax[i])] += grad_out[i];
+    // Pool windows are non-overlapping (kernel == stride), so distinct
+    // outputs scatter to distinct inputs and the loop parallelizes.
+    parallelFor(0, static_cast<std::int64_t>(grad_out.numel()), 4096,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        dx[static_cast<std::size_t>(
+                            _argmax[static_cast<std::size_t>(i)])] +=
+                            grad_out[static_cast<std::size_t>(i)];
+                });
     _argmax.clear();
     return dx;
 }
@@ -44,15 +52,17 @@ AvgPool2d::backward(const Tensor &grad_out)
     const int oh = h / _k, ow = w / _k;
     const float inv = 1.0f / static_cast<float>(_k * _k);
     Tensor dx(_inShape);
-    for (int i = 0; i < n; ++i)
-        for (int ch = 0; ch < c; ++ch)
-            for (int oy = 0; oy < oh; ++oy)
-                for (int ox = 0; ox < ow; ++ox) {
-                    const float g = grad_out.at(i, ch, oy, ox) * inv;
-                    for (int ky = 0; ky < _k; ++ky)
-                        for (int kx = 0; kx < _k; ++kx)
-                            dx.at(i, ch, oy * _k + ky, ox * _k + kx) = g;
-                }
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i)
+            for (int ch = 0; ch < c; ++ch)
+                for (int oy = 0; oy < oh; ++oy)
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const float g = grad_out.at(i, ch, oy, ox) * inv;
+                        for (int ky = 0; ky < _k; ++ky)
+                            for (int kx = 0; kx < _k; ++kx)
+                                dx.at(i, ch, oy * _k + ky, ox * _k + kx) = g;
+                    }
+    });
     return dx;
 }
 
@@ -89,15 +99,17 @@ GlobalAvgPool::backward(const Tensor &grad_out)
     const int h = _inShape[2], w = _inShape[3];
     const float inv = 1.0f / static_cast<float>(h * w);
     Tensor dx(_inShape);
-    for (int i = 0; i < n; ++i)
-        for (int ch = 0; ch < c; ++ch) {
-            const float g = grad_out.at(i, ch) * inv;
-            float *dst = dx.data()
-                + (static_cast<std::size_t>(i) * c + ch)
-                  * static_cast<std::size_t>(h) * w;
-            for (int p = 0; p < h * w; ++p)
-                dst[p] = g;
-        }
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i)
+            for (int ch = 0; ch < c; ++ch) {
+                const float g = grad_out.at(i, ch) * inv;
+                float *dst = dx.data()
+                    + (static_cast<std::size_t>(i) * c + ch)
+                      * static_cast<std::size_t>(h) * w;
+                for (int p = 0; p < h * w; ++p)
+                    dst[p] = g;
+            }
+    });
     return dx;
 }
 

@@ -5,6 +5,7 @@
 
 #include "util/check.hh"
 #include "util/numeric.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -46,8 +47,12 @@ Tensor
 quantizeTensor(const Tensor &x, float lo, float hi, int levels)
 {
     Tensor y(x.shape());
-    for (std::size_t i = 0; i < x.numel(); ++i)
-        y[i] = quantizeUniform(x[i], lo, hi, levels);
+    parallelFor(0, static_cast<std::int64_t>(x.numel()), 4096,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        y[static_cast<std::size_t>(i)] = quantizeUniform(
+                            x[static_cast<std::size_t>(i)], lo, hi, levels);
+                });
     return y;
 }
 
@@ -62,12 +67,16 @@ SteQuantizer::forward(const Tensor &x, Mode mode)
     const int levels = _qbits.levels();
     Tensor y(x.shape());
     if (mode == Mode::Train)
-        _inside.assign(x.numel(), false);
-    for (std::size_t i = 0; i < x.numel(); ++i) {
-        y[i] = quantizeUniform(x[i], _lo, _hi, levels);
-        if (mode == Mode::Train)
-            _inside[i] = x[i] >= _lo && x[i] <= _hi;
-    }
+        _inside.assign(x.numel(), 0);
+    parallelFor(0, static_cast<std::int64_t>(x.numel()), 4096,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) {
+                        const std::size_t p = static_cast<std::size_t>(i);
+                        y[p] = quantizeUniform(x[p], _lo, _hi, levels);
+                        if (mode == Mode::Train)
+                            _inside[p] = x[p] >= _lo && x[p] <= _hi;
+                    }
+                });
     return y;
 }
 
@@ -78,8 +87,13 @@ SteQuantizer::backward(const Tensor &grad_out)
                "SteQuantizer backward without forward: cached ",
                _inside.size(), " flags, got ", grad_out.numel(), " grads");
     Tensor dx(grad_out.shape());
-    for (std::size_t i = 0; i < grad_out.numel(); ++i)
-        dx[i] = _inside[i] ? grad_out[i] : 0.0f;
+    parallelFor(0, static_cast<std::int64_t>(grad_out.numel()), 4096,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) {
+                        const std::size_t p = static_cast<std::size_t>(i);
+                        dx[p] = _inside[p] ? grad_out[p] : 0.0f;
+                    }
+                });
     _inside.clear();
     return dx;
 }

@@ -11,6 +11,8 @@
 #ifndef LECA_NN_QUANTIZE_HH
 #define LECA_NN_QUANTIZE_HH
 
+#include <vector>
+
 #include "nn/layer.hh"
 
 namespace leca {
@@ -73,7 +75,9 @@ class SteQuantizer : public Layer
   private:
     QBits _qbits;
     float _lo, _hi;
-    std::vector<bool> _inside;
+    // unsigned char, not bool: vector<bool> packs bits, so parallel
+    // writes to distinct elements would race on shared bytes.
+    std::vector<unsigned char> _inside;
 };
 
 } // namespace leca

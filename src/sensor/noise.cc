@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -20,8 +23,21 @@ Tensor
 PixelNoiseModel::apply(const Tensor &image, Rng &rng) const
 {
     Tensor out(image.shape());
-    for (std::size_t i = 0; i < image.numel(); ++i)
-        out[i] = sampleIntensity(image[i], rng);
+    // One child stream per row keeps the noise deterministic for any
+    // thread count: stream assignment depends only on the row index.
+    const std::int64_t rows = image.dim() >= 1 ? image.size(0) : 1;
+    const std::size_t per_row =
+        image.numel() / static_cast<std::size_t>(rows);
+    std::vector<Rng> row_rngs =
+        Rng::split(rng, static_cast<std::size_t>(rows));
+    parallelFor(0, rows, 1, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            Rng &row_rng = row_rngs[static_cast<std::size_t>(r)];
+            const std::size_t base = static_cast<std::size_t>(r) * per_row;
+            for (std::size_t i = 0; i < per_row; ++i)
+                out[base + i] = sampleIntensity(image[base + i], row_rng);
+        }
+    });
     return out;
 }
 

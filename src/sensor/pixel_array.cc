@@ -1,6 +1,7 @@
 #include "pixel_array.hh"
 
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -27,9 +28,13 @@ PixelArray::readRowVoltages(int row) const
     LECA_CHECK(_exposed, "readRowVoltages before expose");
     LECA_CHECK(row >= 0 && row < _rows, "row ", row, " out of range");
     std::vector<double> voltages(static_cast<std::size_t>(_cols));
-    for (int x = 0; x < _cols; ++x)
-        voltages[static_cast<std::size_t>(x)] =
-            _config.digitalToVoltage(_frame.at(row, x));
+    // Column readout is embarrassingly parallel (disjoint writes); the
+    // large grain keeps small arrays on the calling thread.
+    parallelFor(0, _cols, 4096, [&](std::int64_t x0, std::int64_t x1) {
+        for (int x = static_cast<int>(x0); x < x1; ++x)
+            voltages[static_cast<std::size_t>(x)] =
+                _config.digitalToVoltage(_frame.at(row, x));
+    });
     return voltages;
 }
 

@@ -6,8 +6,88 @@
 
 #include "util/check.hh"
 #include "util/numeric.hh"
+#include "util/parallel.hh"
 
 namespace leca {
+
+namespace {
+
+/**
+ * Panel grain for parallelizing a loop of @p rows iterations costing
+ * @p work_per_row flops each: big enough that a chunk amortizes the
+ * pool dispatch, fixed (never thread-count dependent) so the work
+ * decomposition is reproducible.
+ */
+std::int64_t
+panelGrain(std::int64_t work_per_row)
+{
+    constexpr std::int64_t min_panel_work = 1 << 15;
+    return std::max<std::int64_t>(
+        1, min_panel_work / std::max<std::int64_t>(1, work_per_row));
+}
+
+/**
+ * Rows [i0, i1) of C += A * B with the classic i-k-j ordering. Per
+ * output element the k-contributions accumulate in ascending order
+ * regardless of how rows are split into panels, so panel decomposition
+ * cannot change results.
+ */
+void
+gemmPanel(const float *pa, const float *pb, float *pc, int k, int n,
+          std::int64_t i0, std::int64_t i1)
+{
+    for (std::int64_t i = i0; i < i1; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f)
+                continue;
+            const float *brow = pb + static_cast<std::size_t>(kk) * n;
+            float *crow = pc + static_cast<std::size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+}
+
+/** Rows [i0, i1) of C += A^T * B: c[i][j] += a[kk][i] * b[kk][j]. */
+void
+gemmTransAPanel(const float *pa, const float *pb, float *pc, int k, int m,
+                int n, std::int64_t i0, std::int64_t i1)
+{
+    // kk ascends in the inner loop, so each output element accumulates
+    // its contributions in the same order as the kk-outer serial form.
+    for (std::int64_t i = i0; i < i1; ++i) {
+        float *crow = pc + static_cast<std::size_t>(i) * n;
+        for (int kk = 0; kk < k; ++kk) {
+            const float aki = pa[static_cast<std::size_t>(kk) * m + i];
+            if (aki == 0.0f)
+                continue;
+            const float *brow = pb + static_cast<std::size_t>(kk) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += aki * brow[j];
+        }
+    }
+}
+
+/** Rows [i0, i1) of C = A * B^T as independent dot products. */
+void
+gemmTransBPanel(const float *pa, const float *pb, float *pc, int k, int n,
+                std::int64_t i0, std::int64_t i1)
+{
+    for (std::int64_t i = i0; i < i1; ++i) {
+        const float *arow = pa + static_cast<std::size_t>(i) * k;
+        float *crow = pc + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+            const float *brow = pb + static_cast<std::size_t>(j) * k;
+            float acc = 0.0f;
+            for (int kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+}
+
+} // namespace
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
@@ -20,18 +100,10 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    // i-k-j ordering keeps the inner loop streaming over both B and C.
-    for (int i = 0; i < m; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-            const float aik = pa[i * k + kk];
-            if (aik == 0.0f)
-                continue;
-            const float *brow = pb + static_cast<std::size_t>(kk) * n;
-            float *crow = pc + static_cast<std::size_t>(i) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += aik * brow[j];
-        }
-    }
+    parallelFor(0, m, panelGrain(2LL * k * n),
+                [&](std::int64_t i0, std::int64_t i1) {
+                    gemmPanel(pa, pb, pc, k, n, i0, i1);
+                });
     return c;
 }
 
@@ -45,18 +117,10 @@ matmulTransA(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (int kk = 0; kk < k; ++kk) {
-        const float *arow = pa + static_cast<std::size_t>(kk) * m;
-        const float *brow = pb + static_cast<std::size_t>(kk) * n;
-        for (int i = 0; i < m; ++i) {
-            const float aki = arow[i];
-            if (aki == 0.0f)
-                continue;
-            float *crow = pc + static_cast<std::size_t>(i) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += aki * brow[j];
-        }
-    }
+    parallelFor(0, m, panelGrain(2LL * k * n),
+                [&](std::int64_t i0, std::int64_t i1) {
+                    gemmTransAPanel(pa, pb, pc, k, m, n, i0, i1);
+                });
     return c;
 }
 
@@ -70,17 +134,10 @@ matmulTransB(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (int i = 0; i < m; ++i) {
-        const float *arow = pa + static_cast<std::size_t>(i) * k;
-        float *crow = pc + static_cast<std::size_t>(i) * n;
-        for (int j = 0; j < n; ++j) {
-            const float *brow = pb + static_cast<std::size_t>(j) * k;
-            float acc = 0.0f;
-            for (int kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-        }
-    }
+    parallelFor(0, m, panelGrain(2LL * k * n),
+                [&](std::int64_t i0, std::int64_t i1) {
+                    gemmTransBPanel(pa, pb, pc, k, n, i0, i1);
+                });
     return c;
 }
 
@@ -90,19 +147,15 @@ convOutSize(int in, int k, int stride, int pad)
     return (in + 2 * pad - k) / stride + 1;
 }
 
-Tensor
-im2col(const Tensor &image, int kh, int kw, int stride, int pad)
+namespace {
+
+/** im2col on a raw [C,H,W] plane; dst is (C*kh*kw) x (OH*OW). */
+void
+im2colRaw(const float *src, int c, int h, int w, int kh, int kw, int stride,
+          int pad, float *dst)
 {
-    LECA_CHECK(image.dim() == 3, "im2col expects [C,H,W], got ",
-               detail::formatShape(image.shape()));
-    LECA_CHECK(kh > 0 && kw > 0 && stride > 0 && pad >= 0,
-               "im2col kernel ", kh, "x", kw, " stride ", stride, " pad ", pad);
-    const int c = image.size(0), h = image.size(1), w = image.size(2);
     const int oh = convOutSize(h, kh, stride, pad);
     const int ow = convOutSize(w, kw, stride, pad);
-    Tensor cols({c * kh * kw, oh * ow});
-    const float *src = image.data();
-    float *dst = cols.data();
     for (int ch = 0; ch < c; ++ch) {
         for (int ky = 0; ky < kh; ++ky) {
             for (int kx = 0; kx < kw; ++kx) {
@@ -123,6 +176,22 @@ im2col(const Tensor &image, int kh, int kw, int stride, int pad)
             }
         }
     }
+}
+
+} // namespace
+
+Tensor
+im2col(const Tensor &image, int kh, int kw, int stride, int pad)
+{
+    LECA_CHECK(image.dim() == 3, "im2col expects [C,H,W], got ",
+               detail::formatShape(image.shape()));
+    LECA_CHECK(kh > 0 && kw > 0 && stride > 0 && pad >= 0,
+               "im2col kernel ", kh, "x", kw, " stride ", stride, " pad ", pad);
+    const int c = image.size(0), h = image.size(1), w = image.size(2);
+    const int oh = convOutSize(h, kh, stride, pad);
+    const int ow = convOutSize(w, kw, stride, pad);
+    Tensor cols({c * kh * kw, oh * ow});
+    im2colRaw(image.data(), c, h, w, kh, kw, stride, pad, cols.data());
     return cols;
 }
 
@@ -163,20 +232,31 @@ col2im(const Tensor &cols, int channels, int height, int width, int kh,
     return image;
 }
 
-namespace {
-
-/** View image n of a batch as a [C,H,W] copy. */
 Tensor
-sliceImage(const Tensor &x, int n)
+conv2dImage(const Tensor &x, int item, const Tensor &wmat, const Tensor &bias,
+            int kh, int kw, int stride, int pad, Tensor &y)
 {
-    const int c = x.size(1), h = x.size(2), w = x.size(3);
-    const std::size_t stride = static_cast<std::size_t>(c) * h * w;
-    std::vector<float> data(x.data() + n * stride,
-                            x.data() + (n + 1) * stride);
-    return Tensor::fromData({c, h, w}, std::move(data));
+    const int cin = x.size(1), h = x.size(2), w = x.size(3);
+    const int cout = y.size(1), oh = y.size(2), ow = y.size(3);
+    Tensor cols({cin * kh * kw, oh * ow});
+    im2colRaw(x.data() + static_cast<std::size_t>(item) * cin * h * w, cin, h,
+              w, kh, kw, stride, pad, cols.data());
+    float *dst = y.data() + static_cast<std::size_t>(item) * cout * oh * ow;
+    std::fill(dst, dst + static_cast<std::size_t>(cout) * oh * ow, 0.0f);
+    gemmPanel(wmat.data(), cols.data(), dst, cin * kh * kw, oh * ow, 0, cout);
+    if (bias.numel() > 0) {
+        // Second in-place pass, not bias-initialized accumulation: the
+        // float result stays (sum of products) + b, matching the GEMM +
+        // bias-copy form this helper replaced bit for bit.
+        for (int co = 0; co < cout; ++co) {
+            const float b = bias[static_cast<std::size_t>(co)];
+            float *drow = dst + static_cast<std::size_t>(co) * oh * ow;
+            for (int p = 0; p < oh * ow; ++p)
+                drow[p] += b;
+        }
+    }
+    return cols;
 }
-
-} // namespace
 
 Tensor
 conv2d(const Tensor &x, const Tensor &weight, const Tensor &bias, int stride,
@@ -193,20 +273,11 @@ conv2d(const Tensor &x, const Tensor &weight, const Tensor &bias, int stride,
     const int ow = convOutSize(w, kw, stride, pad);
     const Tensor wmat = weight.reshape({cout, cin * kh * kw});
     Tensor y({n, cout, oh, ow});
-    const bool has_bias = bias.numel() > 0;
-    for (int i = 0; i < n; ++i) {
-        const Tensor cols = im2col(sliceImage(x, i), kh, kw, stride, pad);
-        const Tensor out = matmul(wmat, cols); // [cout, oh*ow]
-        float *dst = y.data()
-                     + static_cast<std::size_t>(i) * cout * oh * ow;
-        const float *src = out.data();
-        for (int co = 0; co < cout; ++co) {
-            const float b = has_bias ? bias[static_cast<std::size_t>(co)]
-                                     : 0.0f;
-            for (int p = 0; p < oh * ow; ++p)
-                dst[co * oh * ow + p] = src[co * oh * ow + p] + b;
-        }
-    }
+    parallelFor(0, n, 1, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i)
+            conv2dImage(x, static_cast<int>(i), wmat, bias, kh, kw, stride,
+                        pad, y);
+    });
     return y;
 }
 
@@ -221,19 +292,21 @@ avgPool2d(const Tensor &x, int k)
     const int oh = h / k, ow = w / k;
     Tensor y({n, c, oh, ow});
     const float inv = 1.0f / static_cast<float>(k * k);
-    for (int i = 0; i < n; ++i) {
-        for (int ch = 0; ch < c; ++ch) {
-            for (int oy = 0; oy < oh; ++oy) {
-                for (int ox = 0; ox < ow; ++ox) {
-                    float acc = 0.0f;
-                    for (int ky = 0; ky < k; ++ky)
-                        for (int kx = 0; kx < k; ++kx)
-                            acc += x.at(i, ch, oy * k + ky, ox * k + kx);
-                    y.at(i, ch, oy, ox) = acc * inv;
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            for (int ch = 0; ch < c; ++ch) {
+                for (int oy = 0; oy < oh; ++oy) {
+                    for (int ox = 0; ox < ow; ++ox) {
+                        float acc = 0.0f;
+                        for (int ky = 0; ky < k; ++ky)
+                            for (int kx = 0; kx < k; ++kx)
+                                acc += x.at(i, ch, oy * k + ky, ox * k + kx);
+                        y.at(i, ch, oy, ox) = acc * inv;
+                    }
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -249,30 +322,36 @@ maxPool2d(const Tensor &x, int k, std::vector<int> *argmax)
     Tensor y({n, c, oh, ow});
     if (argmax)
         argmax->assign(y.numel(), 0);
-    std::size_t out_idx = 0;
-    for (int i = 0; i < n; ++i) {
-        for (int ch = 0; ch < c; ++ch) {
-            for (int oy = 0; oy < oh; ++oy) {
-                for (int ox = 0; ox < ow; ++ox, ++out_idx) {
-                    float best = -std::numeric_limits<float>::infinity();
-                    int best_at = 0;
-                    for (int ky = 0; ky < k; ++ky) {
-                        for (int kx = 0; kx < k; ++kx) {
-                            const int iy = oy * k + ky, ix = ox * k + kx;
-                            const float v = x.at(i, ch, iy, ix);
-                            if (v > best) {
-                                best = v;
-                                best_at = ((i * c + ch) * h + iy) * w + ix;
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            // Output index derived from loop indices (not a running
+            // counter) so batch items can be processed independently.
+            std::size_t out_idx =
+                static_cast<std::size_t>(i) * c * oh * ow;
+            for (int ch = 0; ch < c; ++ch) {
+                for (int oy = 0; oy < oh; ++oy) {
+                    for (int ox = 0; ox < ow; ++ox, ++out_idx) {
+                        float best = -std::numeric_limits<float>::infinity();
+                        int best_at = 0;
+                        for (int ky = 0; ky < k; ++ky) {
+                            for (int kx = 0; kx < k; ++kx) {
+                                const int iy = oy * k + ky, ix = ox * k + kx;
+                                const float v = x.at(i, ch, iy, ix);
+                                if (v > best) {
+                                    best = v;
+                                    best_at =
+                                        ((i * c + ch) * h + iy) * w + ix;
+                                }
                             }
                         }
+                        y[out_idx] = best;
+                        if (argmax)
+                            (*argmax)[out_idx] = best_at;
                     }
-                    y[out_idx] = best;
-                    if (argmax)
-                        (*argmax)[out_idx] = best_at;
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -284,16 +363,18 @@ globalAvgPool(const Tensor &x)
     const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
     Tensor y({n, c});
     const float inv = 1.0f / static_cast<float>(h * w);
-    for (int i = 0; i < n; ++i) {
-        for (int ch = 0; ch < c; ++ch) {
-            float acc = 0.0f;
-            const float *src = x.data()
-                + ((static_cast<std::size_t>(i) * c + ch) * h) * w;
-            for (int p = 0; p < h * w; ++p)
-                acc += src[p];
-            y.at(i, ch) = acc * inv;
+    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            for (int ch = 0; ch < c; ++ch) {
+                float acc = 0.0f;
+                const float *src = x.data()
+                    + ((static_cast<std::size_t>(i) * c + ch) * h) * w;
+                for (int p = 0; p < h * w; ++p)
+                    acc += src[p];
+                y.at(i, ch) = acc * inv;
+            }
         }
-    }
+    });
     return y;
 }
 
@@ -308,8 +389,12 @@ bilinearResize(const Tensor &x, int out_h, int out_w)
     Tensor y({n, c, out_h, out_w});
     const float sy = static_cast<float>(h) / static_cast<float>(out_h);
     const float sx = static_cast<float>(w) / static_cast<float>(out_w);
-    for (int i = 0; i < n; ++i) {
-        for (int ch = 0; ch < c; ++ch) {
+    // Flattened (image, channel) index so small batches still spread.
+    parallelFor(0, static_cast<std::int64_t>(n) * c, 1,
+                [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+            const int i = static_cast<int>(p / c);
+            const int ch = static_cast<int>(p % c);
             for (int oy = 0; oy < out_h; ++oy) {
                 // align_corners=false sample positions.
                 float fy = (static_cast<float>(oy) + 0.5f) * sy - 0.5f;
@@ -333,7 +418,7 @@ bilinearResize(const Tensor &x, int out_h, int out_w)
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -344,19 +429,22 @@ softmax(const Tensor &logits)
                detail::formatShape(logits.shape()));
     const int n = logits.size(0), k = logits.size(1);
     Tensor p({n, k});
-    for (int i = 0; i < n; ++i) {
-        float mx = -std::numeric_limits<float>::infinity();
-        for (int j = 0; j < k; ++j)
-            mx = std::max(mx, logits.at(i, j));
-        float z = 0.0f;
-        for (int j = 0; j < k; ++j) {
-            const float e = std::exp(logits.at(i, j) - mx);
-            p.at(i, j) = e;
-            z += e;
+    parallelFor(0, n, panelGrain(8LL * k),
+                [&](std::int64_t n0, std::int64_t n1) {
+        for (int i = static_cast<int>(n0); i < n1; ++i) {
+            float mx = -std::numeric_limits<float>::infinity();
+            for (int j = 0; j < k; ++j)
+                mx = std::max(mx, logits.at(i, j));
+            float z = 0.0f;
+            for (int j = 0; j < k; ++j) {
+                const float e = std::exp(logits.at(i, j) - mx);
+                p.at(i, j) = e;
+                z += e;
+            }
+            for (int j = 0; j < k; ++j)
+                p.at(i, j) /= z;
         }
-        for (int j = 0; j < k; ++j)
-            p.at(i, j) /= z;
-    }
+    });
     return p;
 }
 

@@ -50,6 +50,27 @@ int convOutSize(int in, int k, int stride, int pad);
 Tensor conv2d(const Tensor &x, const Tensor &weight, const Tensor &bias,
               int stride, int pad);
 
+/**
+ * The one shared im2col+GEMM kernel behind every convolution forward
+ * (ops.cc conv2d, nn/conv.cc Conv2d, core/encoder.cc LecaEncoder).
+ *
+ * Computes y[item] = wmat * im2col(x[item]) (+ bias added in-place per
+ * output channel) for a single batch item, reading straight from the
+ * batch without slicing a copy. Writes only the [Cout, OH, OW] slab of
+ * @p y belonging to @p item, so distinct items may run in parallel.
+ *
+ * @param x      input batch [N, Cin, H, W]
+ * @param item   batch index to convolve
+ * @param wmat   weights already reshaped to [Cout, Cin*kh*kw]
+ * @param bias   [Cout] or empty tensor for no bias
+ * @param y      output batch [N, Cout, OH, OW] (item slab overwritten)
+ * @return the im2col matrix (Cin*kh*kw x OH*OW) — per-image scratch that
+ *         layers keep for their backward pass.
+ */
+Tensor conv2dImage(const Tensor &x, int item, const Tensor &wmat,
+                   const Tensor &bias, int kh, int kw, int stride, int pad,
+                   Tensor &y);
+
 /** Batched average pooling with kernel=stride (non-overlapping blocks). */
 Tensor avgPool2d(const Tensor &x, int k);
 

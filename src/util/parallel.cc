@@ -1,0 +1,290 @@
+#include "parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hh"
+
+namespace leca {
+
+namespace {
+
+/** True while the current thread is executing pool work: nested
+ *  parallel regions degrade to serial execution instead of deadlocking
+ *  on the pool's own workers. */
+thread_local bool t_inParallelRegion = false;
+
+int
+threadCountFromEnv()
+{
+    const char *env = std::getenv("LECA_THREADS");
+    if (env && env[0] != '\0') {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1 && parsed <= 256)
+            return static_cast<int>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/**
+ * The global worker pool. One task (a runChunks call) runs at a time,
+ * serialized by _runMutex. A task is published under _taskMutex; the
+ * submitting thread and the sleeping workers then claim chunk indices
+ * from a shared atomic counter until it runs dry, so load balances
+ * dynamically while the chunk -> work mapping stays fixed. A new task
+ * cannot be published while any thread is still inside the claiming
+ * loop of the previous one (_activeClaimers gate), which keeps the
+ * published task state race-free for late-waking workers.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool(threadCountFromEnv());
+        return pool;
+    }
+
+    ~ThreadPool()
+    {
+        std::lock_guard<std::mutex> run_lock(_runMutex);
+        stopWorkers();
+    }
+
+    int
+    threads()
+    {
+        std::lock_guard<std::mutex> lock(_configMutex);
+        return _threads;
+    }
+
+    void
+    resize(int threads)
+    {
+        LECA_CHECK(threads >= 1 && threads <= 256,
+                   "thread count must be in [1, 256], got ", threads);
+        LECA_CHECK(!t_inParallelRegion,
+                   "setThreadCount from inside a parallel region");
+        std::lock_guard<std::mutex> run_lock(_runMutex);
+        std::lock_guard<std::mutex> lock(_configMutex);
+        if (threads == _threads)
+            return;
+        stopWorkers();
+        _threads = threads;
+    }
+
+    void
+    run(std::int64_t chunk_count,
+        const std::function<void(std::int64_t)> &fn)
+    {
+        if (chunk_count <= 0)
+            return;
+        if (t_inParallelRegion || chunk_count == 1 || threads() <= 1) {
+            runSerial(chunk_count, fn);
+            return;
+        }
+        std::lock_guard<std::mutex> run_lock(_runMutex);
+        {
+            std::lock_guard<std::mutex> lock(_configMutex);
+            if (_workers.empty() && _threads > 1)
+                startWorkers();
+        }
+        beginTask(chunk_count, fn);
+        claimChunks();
+        finishTask();
+    }
+
+  private:
+    explicit ThreadPool(int threads) : _threads(threads) {}
+
+    void
+    runSerial(std::int64_t chunk_count,
+              const std::function<void(std::int64_t)> &fn)
+    {
+        const bool was_in_region = t_inParallelRegion;
+        t_inParallelRegion = true;
+        try {
+            for (std::int64_t c = 0; c < chunk_count; ++c)
+                fn(c);
+        } catch (...) {
+            t_inParallelRegion = was_in_region;
+            throw;
+        }
+        t_inParallelRegion = was_in_region;
+    }
+
+    // ---- task lifecycle (_runMutex held by the submitting thread) ---
+
+    void
+    beginTask(std::int64_t chunk_count,
+              const std::function<void(std::int64_t)> &fn)
+    {
+        std::unique_lock<std::mutex> lock(_taskMutex);
+        // Wait out stragglers from the previous task so the fields
+        // below are never written while another thread reads them.
+        _idle.wait(lock, [this] { return _activeClaimers == 0; });
+        _taskFn = &fn;
+        _chunkCount = chunk_count;
+        _nextChunk.store(0, std::memory_order_relaxed);
+        _pendingChunks = chunk_count;
+        _error = nullptr;
+        ++_generation;
+        _activeClaimers = 1; // the submitting thread
+        _wake.notify_all();
+    }
+
+    /** Claim and run chunks until the current task runs dry. The
+     *  caller must be registered in _activeClaimers. */
+    void
+    claimChunks()
+    {
+        t_inParallelRegion = true;
+        for (;;) {
+            const std::int64_t c =
+                _nextChunk.fetch_add(1, std::memory_order_relaxed);
+            if (c >= _chunkCount)
+                break;
+            try {
+                (*_taskFn)(c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(_taskMutex);
+                if (!_error)
+                    _error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(_taskMutex);
+            if (--_pendingChunks == 0)
+                _done.notify_all();
+        }
+        t_inParallelRegion = false;
+        std::lock_guard<std::mutex> lock(_taskMutex);
+        if (--_activeClaimers == 0)
+            _idle.notify_all();
+    }
+
+    void
+    finishTask()
+    {
+        std::unique_lock<std::mutex> lock(_taskMutex);
+        _done.wait(lock, [this] { return _pendingChunks == 0; });
+        _taskFn = nullptr;
+        if (_error) {
+            std::exception_ptr err = _error;
+            _error = nullptr;
+            lock.unlock();
+            std::rethrow_exception(err);
+        }
+    }
+
+    // ---- worker management (caller holds _configMutex) --------------
+
+    void
+    startWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_taskMutex);
+            _stopping = false;
+        }
+        _workers.reserve(static_cast<std::size_t>(_threads - 1));
+        for (int i = 0; i < _threads - 1; ++i)
+            _workers.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    stopWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_taskMutex);
+            _stopping = true;
+            _wake.notify_all();
+        }
+        for (auto &worker : _workers)
+            worker.join();
+        _workers.clear();
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen_generation = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(_taskMutex);
+                _wake.wait(lock, [&] {
+                    return _stopping || _generation != seen_generation;
+                });
+                if (_stopping)
+                    return;
+                seen_generation = _generation;
+                ++_activeClaimers;
+            }
+            claimChunks();
+        }
+    }
+
+    std::mutex _runMutex; //!< one task at a time
+
+    std::mutex _configMutex;
+    int _threads;
+    std::vector<std::thread> _workers;
+
+    std::mutex _taskMutex;
+    std::condition_variable _wake;
+    std::condition_variable _done;
+    std::condition_variable _idle;
+    const std::function<void(std::int64_t)> *_taskFn = nullptr;
+    std::int64_t _chunkCount = 0;
+    std::atomic<std::int64_t> _nextChunk{0};
+    std::int64_t _pendingChunks = 0;
+    std::int64_t _activeClaimers = 0;
+    std::uint64_t _generation = 0;
+    std::exception_ptr _error = nullptr;
+    bool _stopping = false;
+};
+
+} // namespace
+
+int
+threadCount()
+{
+    return ThreadPool::instance().threads();
+}
+
+void
+setThreadCount(int threads)
+{
+    ThreadPool::instance().resize(threads);
+}
+
+namespace detail {
+
+void
+runChunks(std::int64_t chunk_count,
+          const std::function<void(std::int64_t)> &fn)
+{
+    ThreadPool::instance().run(chunk_count, fn);
+}
+
+} // namespace detail
+
+void
+parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+            const std::function<void(std::int64_t, std::int64_t)> &fn)
+{
+    const std::int64_t n = end - begin;
+    if (n <= 0)
+        return;
+    LECA_CHECK(grain >= 1, "parallelFor grain must be >= 1, got ", grain);
+    detail::runChunks(detail::chunkCount(n, grain), [&](std::int64_t c) {
+        const std::int64_t lo = begin + c * grain;
+        const std::int64_t hi = lo + grain < end ? lo + grain : end;
+        fn(lo, hi);
+    });
+}
+
+} // namespace leca

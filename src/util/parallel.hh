@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic parallel execution context for the whole simulator.
+ *
+ * A single lazily-initialized global thread pool (sized from the
+ * LECA_THREADS environment variable, default hardware_concurrency,
+ * 1 = fully serial) executes every data-parallel loop in the
+ * tensor/nn/compression/sensor stack through two primitives:
+ *
+ *   parallelFor(begin, end, grain, fn)     — disjoint-write loops
+ *   parallelReduce(begin, end, grain, ...) — ordered combination of
+ *                                            per-chunk partials
+ *
+ * Determinism policy (see DESIGN.md): results are bit-identical for
+ * every thread count. parallelFor guarantees this as long as distinct
+ * indices write distinct locations, because the work decomposition
+ * (chunking by @p grain) never depends on how many threads execute it.
+ * parallelReduce evaluates one partial per chunk and combines them on
+ * the calling thread in ascending chunk order, so floating-point
+ * summation order is fixed; with grain == 1 the result is bit-identical
+ * to the plain serial accumulation loop it replaces.
+ *
+ * Stochastic loops must not share one Rng across indices — pre-split
+ * child streams with Rng::split() (util/rng.hh) before the parallel
+ * region and give each index its own stream.
+ *
+ * Raw std::thread / std::async are forbidden outside this file
+ * (enforced by tools/leca_lint.py rule `concurrency-primitive`); all
+ * concurrency flows through this one audited primitive.
+ */
+
+#ifndef LECA_UTIL_PARALLEL_HH
+#define LECA_UTIL_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace leca {
+
+/** Number of threads the global pool runs with (>= 1; 1 = serial). */
+int threadCount();
+
+/**
+ * Reconfigure the global pool to @p threads workers (>= 1), overriding
+ * LECA_THREADS. Joins the old workers first; not safe to call from
+ * inside a parallel region. Intended for tests and harness flags.
+ */
+void setThreadCount(int threads);
+
+namespace detail {
+
+/**
+ * Execute fn(chunk) for every chunk index in [0, chunk_count) on the
+ * pool. Chunks are claimed dynamically but the mapping chunk -> work
+ * is fixed by the caller, so scheduling cannot affect results. The
+ * first exception thrown by any chunk is rethrown on the caller after
+ * all chunks finish. Nested calls from inside a worker run serially.
+ */
+void runChunks(std::int64_t chunk_count,
+               const std::function<void(std::int64_t)> &fn);
+
+/** Number of grain-sized chunks covering n iterations. */
+inline std::int64_t
+chunkCount(std::int64_t n, std::int64_t grain)
+{
+    return grain > 0 ? (n + grain - 1) / grain : 0;
+}
+
+} // namespace detail
+
+/**
+ * Run fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
+ * at most @p grain iterations. The decomposition depends only on
+ * @p grain — never on the thread count — so loops whose indices write
+ * disjoint locations produce bit-identical results at every
+ * LECA_THREADS setting. fn must not touch shared mutable state.
+ */
+void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)> &fn);
+
+/**
+ * Deterministic reduction: evaluates chunk(chunk_begin, chunk_end) -> T
+ * for each grain-sized chunk of [begin, end) in parallel, then folds
+ * the partials with combine(acc, partial) in ascending chunk order on
+ * the calling thread. Because the chunk boundaries and the combination
+ * order are fixed, the result is bit-identical for every thread count;
+ * with grain == 1 it is additionally bit-identical to the serial loop
+ *     for (i : [begin, end)) acc = combine(acc, chunk(i, i + 1));
+ */
+template <typename T, typename ChunkFn, typename CombineFn>
+T
+parallelReduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+               T init, const ChunkFn &chunk, const CombineFn &combine)
+{
+    const std::int64_t n = end - begin;
+    if (n <= 0)
+        return init;
+    const std::int64_t chunks = detail::chunkCount(n, grain);
+    std::vector<T> partials(static_cast<std::size_t>(chunks));
+    detail::runChunks(chunks, [&](std::int64_t c) {
+        const std::int64_t lo = begin + c * grain;
+        const std::int64_t hi = lo + grain < end ? lo + grain : end;
+        partials[static_cast<std::size_t>(c)] = chunk(lo, hi);
+    });
+    T acc = std::move(init);
+    for (auto &partial : partials)
+        acc = combine(std::move(acc), std::move(partial));
+    return acc;
+}
+
+} // namespace leca
+
+#endif // LECA_UTIL_PARALLEL_HH

@@ -117,4 +117,14 @@ Rng::fork()
     return Rng(next());
 }
 
+std::vector<Rng>
+Rng::split(Rng &parent, std::size_t count)
+{
+    std::vector<Rng> streams;
+    streams.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        streams.push_back(parent.fork());
+    return streams;
+}
+
 } // namespace leca

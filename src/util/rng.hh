@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 namespace leca {
 
@@ -58,6 +59,15 @@ class Rng
 
     /** Derive an independent child stream (e.g. one per image). */
     Rng fork();
+
+    /**
+     * Pre-split @p count independent child streams from @p parent, one
+     * per loop index, advancing @p parent once per child. Call this
+     * BEFORE a parallel region and hand streams[i] to index i: the
+     * draw sequence of each child then depends only on its index, never
+     * on thread scheduling (see util/parallel.hh determinism policy).
+     */
+    static std::vector<Rng> split(Rng &parent, std::size_t count);
 
   private:
     std::array<std::uint64_t, 4> _state;

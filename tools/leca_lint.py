@@ -20,6 +20,12 @@ Enforces invariants clang-tidy cannot express:
                      derived from the file location.
   build-include      no #include of anything under build/ — generated
                      trees are not part of the source interface.
+  concurrency-primitive
+                     no raw `std::thread` / `std::jthread` /
+                     `std::async` / `#pragma omp` outside
+                     src/util/parallel.* — all concurrency flows
+                     through the one audited deterministic pool
+                     (parallelFor / parallelReduce).
 
 Usage:  tools/leca_lint.py [DIR-or-FILE ...]
         (defaults to: src tests bench examples)
@@ -79,7 +85,23 @@ LINE_RULES = [
         False,
         True,  # the include path is a string literal strip_noise blanks
     ),
+    (
+        "concurrency-primitive",
+        re.compile(r"\bstd::j?thread\b|\bstd::async\b"
+                   r"|#\s*pragma\s+omp\b"),
+        "raw concurrency primitive; use parallelFor / parallelReduce "
+        "(util/parallel.hh)",
+        False,
+        False,
+    ),
 ]
+
+# Rule name -> repo-relative paths where the rule does not apply.
+RULE_EXEMPT_PATHS = {
+    # The audited pool implementation is the one place allowed to own
+    # threads.
+    "concurrency-primitive": re.compile(r"^src/util/parallel\.(hh|cc)$"),
+}
 
 COMMENT_OR_STRING = re.compile(
     r"//[^\n]*"                 # line comment
@@ -161,6 +183,10 @@ def lint_file(path: pathlib.Path) -> list[str]:
             continue
         for name, pattern, message, src_only, scan_raw in LINE_RULES:
             if src_only and not in_src:
+                continue
+            exempt = RULE_EXEMPT_PATHS.get(name)
+            if (exempt and rel is not None
+                    and exempt.match(rel.as_posix())):
                 continue
             match = pattern.search(raw if scan_raw else code)
             if match:
