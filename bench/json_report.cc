@@ -58,11 +58,11 @@ JsonReport::~JsonReport()
 
 void
 JsonReport::add(const std::string &name, double wall_ms,
-                double images_per_sec)
+                double images_per_sec, double gflops)
 {
     if (!enabled())
         return;
-    _entries.push_back(Entry{name, wall_ms, images_per_sec});
+    _entries.push_back(Entry{name, wall_ms, images_per_sec, gflops});
 }
 
 void
@@ -83,8 +83,10 @@ JsonReport::write()
         const Entry &e = _entries[i];
         out << "    {\"name\": \"" << escape(e.name)
             << "\", \"wall_ms\": " << e.wallMs
-            << ", \"images_per_sec\": " << e.imagesPerSec << "}"
-            << (i + 1 < _entries.size() ? "," : "") << "\n";
+            << ", \"images_per_sec\": " << e.imagesPerSec;
+        if (e.gflops > 0.0)
+            out << ", \"gflops\": " << e.gflops;
+        out << "}" << (i + 1 < _entries.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     _written = true;

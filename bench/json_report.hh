@@ -38,10 +38,13 @@ class JsonReport
     /**
      * Record one benchmark: wall time per iteration in milliseconds
      * and throughput in images (or frames / items) per second. Pass
-     * 0 for images_per_sec when throughput has no meaning.
+     * 0 for images_per_sec when throughput has no meaning. Entries
+     * with a known FLOP count can additionally report arithmetic
+     * throughput in GFLOP/s (emitted as an extra "gflops" key; 0
+     * omits it, keeping the schema backward compatible).
      */
     void add(const std::string &name, double wall_ms,
-             double images_per_sec);
+             double images_per_sec, double gflops = 0.0);
 
     /** Force the write now (also happens in the destructor). */
     void write();
@@ -52,6 +55,7 @@ class JsonReport
         std::string name;
         double wallMs;
         double imagesPerSec;
+        double gflops;
     };
 
     std::string _path;

@@ -1,8 +1,10 @@
 /**
  * @file
  * google-benchmark micro-benchmarks of the hot substrate operations:
- * matmul, im2col convolution, the SCM MAC chain, a full-frame chip
- * encode, and CS block reconstruction.
+ * matmul (blocked and naive-reference), im2col convolution (packed and
+ * naive), the SCM MAC chain, a full-frame chip encode, and CS block
+ * reconstruction. After the google-benchmark run, a blocked-vs-naive
+ * comparison table with GFLOP/s and speedups is printed to stdout.
  *
  * Pass --json <path> (or set LECA_BENCH_JSON) to additionally emit a
  * machine-readable wall-time/throughput report of the key kernels.
@@ -10,13 +12,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "analog/chain.hh"
 #include "compression/compressive_sensing.hh"
 #include "hw/sensor_chip.hh"
 #include "hw/weights.hh"
 #include "json_report.hh"
+#include "tensor/kernels.hh"
 #include "tensor/ops.hh"
 #include "util/rng.hh"
+#include "util/table.hh"
 
 namespace {
 
@@ -46,6 +52,47 @@ BM_Matmul256(benchmark::State &state)
 BENCHMARK(BM_Matmul256);
 
 void
+BM_Matmul256Naive(benchmark::State &state)
+{
+    const Tensor a = randomTensor({256, 256}, 1);
+    const Tensor b = randomTensor({256, 256}, 2);
+    Tensor c({256, 256});
+    for (auto _ : state) {
+        gemmReference(256, 256, 256, a.data(), 256, false, b.data(), 256,
+                      false, c.data(), 256, false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2LL * 256 * 256 * 256);
+}
+BENCHMARK(BM_Matmul256Naive);
+
+/** The pre-blocking conv path: materialised im2col + naive GEMM. */
+Tensor
+convNaive(const Tensor &x, const Tensor &w, const Tensor &b, int stride,
+          int pad)
+{
+    const int n = x.size(0), cin = x.size(1), h = x.size(2), ww = x.size(3);
+    const int cout = w.size(0), k = w.size(2);
+    const int oh = convOutSize(h, k, stride, pad);
+    const int ow = convOutSize(ww, k, stride, pad);
+    const int kdim = cin * k * k;
+    const std::int64_t ohow = static_cast<std::int64_t>(oh) * ow;
+    Tensor y({n, cout, oh, ow});
+    Tensor cols({kdim, oh * ow});
+    for (int i = 0; i < n; ++i) {
+        im2colRaw(x.data() + static_cast<std::size_t>(i) * cin * h * ww,
+                  cin, h, ww, k, k, stride, pad, cols.data());
+        float *dst = y.data() + static_cast<std::size_t>(i) * cout * ohow;
+        gemmReference(cout, ohow, kdim, w.data(), kdim, false, cols.data(),
+                      ohow, false, dst, ohow, false);
+        for (int co = 0; co < cout; ++co)
+            for (std::int64_t p = 0; p < ohow; ++p)
+                dst[co * ohow + p] += b[static_cast<std::size_t>(co)];
+    }
+    return y;
+}
+
+void
 BM_Conv2d(benchmark::State &state)
 {
     const Tensor x = randomTensor({1, 16, 32, 32}, 3);
@@ -57,6 +104,19 @@ BM_Conv2d(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Conv2d);
+
+void
+BM_Conv2dNaive(benchmark::State &state)
+{
+    const Tensor x = randomTensor({1, 16, 32, 32}, 3);
+    const Tensor w = randomTensor({32, 16, 3, 3}, 4);
+    const Tensor b = randomTensor({32}, 5);
+    for (auto _ : state) {
+        Tensor y = convNaive(x, w, b, 1, 1);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Conv2dNaive);
 
 void
 BM_Im2col(benchmark::State &state)
@@ -131,6 +191,68 @@ BM_CsBlockReconstruction(benchmark::State &state)
 }
 BENCHMARK(BM_CsBlockReconstruction);
 
+/**
+ * Head-to-head timing of the blocked kernels against the retained
+ * naive reference on the large-GEMM and conv shapes: prints a
+ * GFLOP/s + speedup table and records both sides in the JSON report
+ * (kernel-compare entries carry a "gflops" key).
+ */
+void
+compareKernels(leca::bench::JsonReport &report)
+{
+    using leca::bench::timeWallMs;
+    Table table({"kernel", "naive ms", "blocked ms", "naive GF/s",
+                 "blocked GF/s", "speedup"});
+
+    const auto row = [&](const std::string &name, double flops,
+                         double naive_ms, double blocked_ms) {
+        const double ngf = flops / naive_ms / 1e6;
+        const double bgf = flops / blocked_ms / 1e6;
+        table.addRow({name, Table::num(naive_ms, 3),
+                      Table::num(blocked_ms, 3), Table::num(ngf, 2),
+                      Table::num(bgf, 2),
+                      Table::num(naive_ms / blocked_ms, 2) + "x"});
+        report.add(name + "_naive", naive_ms, 0.0, ngf);
+        report.add(name + "_blocked", blocked_ms, 0.0, bgf);
+    };
+
+    {
+        const Tensor a = randomTensor({256, 256}, 1);
+        const Tensor b = randomTensor({256, 256}, 2);
+        Tensor c({256, 256});
+        const double naive_ms = timeWallMs([&] {
+            gemmReference(256, 256, 256, a.data(), 256, false, b.data(),
+                          256, false, c.data(), 256, false);
+            benchmark::DoNotOptimize(c.data());
+        }, 20);
+        const double blocked_ms = timeWallMs([&] {
+            gemmBlocked(256, 256, 256, a.data(), 256, false, b.data(),
+                        256, false, c.data(), 256, false);
+            benchmark::DoNotOptimize(c.data());
+        }, 20);
+        row("gemm_256", 2.0 * 256 * 256 * 256, naive_ms, blocked_ms);
+    }
+    {
+        const Tensor x = randomTensor({1, 16, 32, 32}, 3);
+        const Tensor w = randomTensor({32, 16, 3, 3}, 4);
+        const Tensor b = randomTensor({32}, 5);
+        const double naive_ms = timeWallMs([&] {
+            Tensor y = convNaive(x, w, b, 1, 1);
+            benchmark::DoNotOptimize(y.data());
+        }, 50);
+        const double blocked_ms = timeWallMs([&] {
+            Tensor y = conv2d(x, w, b, 1, 1);
+            benchmark::DoNotOptimize(y.data());
+        }, 50);
+        // FLOPs = 2 * Cout * (Cin*K*K) * OH*OW.
+        row("conv_16x32x32", 2.0 * 32 * (16 * 9) * 32 * 32, naive_ms,
+            blocked_ms);
+    }
+
+    printBanner(std::cout, "blocked vs naive kernels (single GEMM call)");
+    table.print(std::cout);
+}
+
 /** Wall-clock timing of the key kernels for the JSON report. */
 void
 reportJson(leca::bench::JsonReport &report)
@@ -143,7 +265,8 @@ reportJson(leca::bench::JsonReport &report)
             Tensor c = matmul(a, b);
             benchmark::DoNotOptimize(c.data());
         }, 20);
-        report.add("matmul_256", ms, 1000.0 / ms);
+        report.add("matmul_256", ms, 1000.0 / ms,
+                   2.0 * 256 * 256 * 256 / ms / 1e6);
     }
     {
         const Tensor x = randomTensor({8, 16, 32, 32}, 3);
@@ -153,7 +276,8 @@ reportJson(leca::bench::JsonReport &report)
             Tensor y = conv2d(x, w, b, 1, 1);
             benchmark::DoNotOptimize(y.data());
         }, 20);
-        report.add("conv2d_batch8", ms, 8.0 * 1000.0 / ms);
+        report.add("conv2d_batch8", ms, 8.0 * 1000.0 / ms,
+                   8.0 * 2.0 * 32 * (16 * 9) * 32 * 32 / ms / 1e6);
     }
     {
         ChipConfig cfg;
@@ -187,6 +311,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    compareKernels(report);
     if (report.enabled())
         reportJson(report);
     return 0;

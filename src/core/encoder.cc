@@ -6,6 +6,7 @@
 #include "analog/buffers.hh"
 #include "analog/scm.hh"
 #include "nn/init.hh"
+#include "tensor/kernels.hh"
 #include "tensor/ops.hh"
 #include "util/check.hh"
 #include "util/logging.hh"
@@ -123,9 +124,13 @@ LecaEncoder::forwardSoft(const Tensor &x, Mode mode)
         _softCols.resize(static_cast<std::size_t>(n));
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
-            Tensor cols = conv2dImage(x, i, wmat, no_bias, k, k, k, 0, pre);
             if (mode == Mode::Train)
-                _softCols[static_cast<std::size_t>(i)] = std::move(cols);
+                _softCols[static_cast<std::size_t>(i)] =
+                    conv2dImage(x, i, wmat, no_bias, k, k, k, 0, pre);
+            else
+                // Inference: pack straight into arena scratch, no
+                // column matrix, no per-image allocation.
+                conv2dImageInto(x, i, wmat, no_bias, k, k, k, 0, pre);
         }
     });
 
@@ -179,13 +184,16 @@ LecaEncoder::backwardSoft(const Tensor &grad_out)
     std::vector<Tensor> dws(static_cast<std::size_t>(n));
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
-            const std::size_t go_sz = static_cast<std::size_t>(nch) * oh * ow;
-            const Tensor dy = Tensor::fromData(
-                {nch, oh * ow},
-                std::vector<float>(g_pre.data() + i * go_sz,
-                                   g_pre.data() + (i + 1) * go_sz));
-            dws[static_cast<std::size_t>(i)] =
-                matmulTransB(dy, _softCols[static_cast<std::size_t>(i)]);
+            // dW_i = dY * cols^T, reading the contiguous [nch, OH*OW]
+            // slab of g_pre in place.
+            const std::int64_t ohow = static_cast<std::int64_t>(oh) * ow;
+            const float *dy =
+                g_pre.data() + static_cast<std::size_t>(i) * nch * ohow;
+            const Tensor &cols = _softCols[static_cast<std::size_t>(i)];
+            Tensor dw({nch, c * k * k});
+            gemmBlocked(nch, c * k * k, ohow, dy, ohow, false, cols.data(),
+                        ohow, true, dw.data(), c * k * k, false);
+            dws[static_cast<std::size_t>(i)] = std::move(dw);
         }
     });
     for (int i = 0; i < n; ++i)

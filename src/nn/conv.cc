@@ -1,7 +1,9 @@
 #include "conv.hh"
 
 #include "nn/init.hh"
+#include "tensor/kernels.hh"
 #include "tensor/ops.hh"
+#include "util/arena.hh"
 #include "util/check.hh"
 #include "util/parallel.hh"
 
@@ -37,16 +39,22 @@ Conv2d::forward(const Tensor &x, Mode mode)
     const Tensor no_bias;
     Tensor y({n, _cout, oh, ow});
     // Pre-sized cache slots instead of push_back in the loop: each image
-    // writes only its own slot, so the batch parallelizes.
+    // writes only its own slot, so the batch parallelizes. Eval mode
+    // never materialises the column matrix at all — the image packs
+    // straight into arena scratch (conv2dImageInto), so repeated
+    // inference forwards allocate nothing.
     if (mode == Mode::Train)
         _cols.resize(static_cast<std::size_t>(n));
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
-            Tensor cols = conv2dImage(x, i, wmat,
-                                      _hasBias ? _bias.value : no_bias, _k,
-                                      _k, _stride, _pad, y);
             if (mode == Mode::Train)
-                _cols[static_cast<std::size_t>(i)] = std::move(cols);
+                _cols[static_cast<std::size_t>(i)] = conv2dImage(
+                    x, i, wmat, _hasBias ? _bias.value : no_bias, _k, _k,
+                    _stride, _pad, y);
+            else
+                conv2dImageInto(x, i, wmat,
+                                _hasBias ? _bias.value : no_bias, _k, _k,
+                                _stride, _pad, y);
         }
     });
     return y;
@@ -62,46 +70,51 @@ Conv2d::backward(const Tensor &grad_out)
                "Conv2d grad shape ", detail::formatShape(grad_out.shape()),
                " vs batch ", n, " x ", _cout, " channels");
 
-    const Tensor wmat = _weight.value.reshape({_cout, _cin * _k * _k});
-    Tensor dwmat({_cout, _cin * _k * _k});
+    const int kdim = _cin * _k * _k;
+    const std::int64_t ohow = static_cast<std::int64_t>(oh) * ow;
+    const Tensor wmat = _weight.value.reshape({_cout, kdim});
+    Tensor dwmat({_cout, kdim});
     Tensor dx({n, _cin, h, w});
 
     // Per-image weight/bias gradient partials, combined serially in
     // ascending image order below so the float summation order matches
-    // the serial loop this replaced bit for bit.
+    // the serial loop this replaced bit for bit. The [Cout, OH*OW] slab
+    // of grad_out is contiguous, so each image's dY is read in place;
+    // the only per-image scratch is the dcols matrix, which lives in
+    // arena memory.
     std::vector<Tensor> dws(static_cast<std::size_t>(n));
     std::vector<std::vector<float>> dbs(
         static_cast<std::size_t>(_hasBias ? n : 0));
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
-            const std::size_t go_sz =
-                static_cast<std::size_t>(_cout) * oh * ow;
-            Tensor dy = Tensor::fromData(
-                {_cout, oh * ow},
-                std::vector<float>(grad_out.data() + i * go_sz,
-                                   grad_out.data() + (i + 1) * go_sz));
+            const float *dy =
+                grad_out.data() + static_cast<std::size_t>(i) * _cout * ohow;
             // dW_i = dY * cols^T
-            dws[static_cast<std::size_t>(i)] =
-                matmulTransB(dy, _cols[static_cast<std::size_t>(i)]);
+            Tensor dw({_cout, kdim});
+            const Tensor &cols = _cols[static_cast<std::size_t>(i)];
+            gemmBlocked(_cout, kdim, ohow, dy, ohow, false, cols.data(),
+                        ohow, true, dw.data(), kdim, false);
+            dws[static_cast<std::size_t>(i)] = std::move(dw);
             if (_hasBias) {
                 std::vector<float> db(static_cast<std::size_t>(_cout), 0.0f);
                 for (int co = 0; co < _cout; ++co) {
                     float acc = 0.0f;
-                    for (int p = 0; p < oh * ow; ++p)
-                        acc += dy.at(co, p);
+                    for (std::int64_t p = 0; p < ohow; ++p)
+                        acc += dy[co * ohow + p];
                     db[static_cast<std::size_t>(co)] = acc;
                 }
                 dbs[static_cast<std::size_t>(i)] = std::move(db);
             }
-            // dX = col2im(W^T * dY); images write disjoint slabs.
-            const Tensor dcols = matmulTransA(wmat, dy);
-            const Tensor dimg =
-                col2im(dcols, _cin, h, w, _k, _k, _stride, _pad);
-            float *dst =
-                dx.data() + static_cast<std::size_t>(i) * _cin * h * w;
-            const float *src = dimg.data();
-            for (std::size_t p = 0; p < dimg.numel(); ++p)
-                dst[p] += src[p];
+            // dX = col2im(W^T * dY); images write disjoint slabs, and
+            // col2imRaw accumulates straight into the zero-initialised
+            // dx slab.
+            Arena::Scope scope;
+            float *dcols = Arena::local().alloc(
+                static_cast<std::size_t>(kdim) * ohow);
+            gemmBlocked(kdim, ohow, _cout, wmat.data(), kdim, true, dy,
+                        ohow, false, dcols, ohow, false);
+            col2imRaw(dcols, _cin, h, w, _k, _k, _stride, _pad,
+                      dx.data() + static_cast<std::size_t>(i) * _cin * h * w);
         }
     });
     for (int i = 0; i < n; ++i) {

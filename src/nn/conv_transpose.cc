@@ -1,7 +1,9 @@
 #include "conv_transpose.hh"
 
 #include "nn/init.hh"
+#include "tensor/kernels.hh"
 #include "tensor/ops.hh"
+#include "util/arena.hh"
 #include "util/check.hh"
 #include "util/parallel.hh"
 
@@ -29,29 +31,32 @@ ConvTranspose2d::forward(const Tensor &x, Mode mode)
     const int oh = (h - 1) * _stride + _k;
     const int ow = (w - 1) * _stride + _k;
 
-    const Tensor wmat = _weight.value.reshape({_cin, _cout * _k * _k});
+    const int krows = _cout * _k * _k;
+    const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+    const std::int64_t out_sz = static_cast<std::int64_t>(_cout) * oh * ow;
+    const Tensor wmat = _weight.value.reshape({_cin, krows});
     Tensor y({n, _cout, oh, ow});
+    // Each image's [Cin, H*W] slab of x is contiguous, so the GEMM reads
+    // it in place; the cols matrix is arena scratch and col2imRaw folds
+    // it straight into the zero-initialised output slab. Steady-state
+    // forwards allocate nothing per image.
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
-            const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
-            const Tensor xm = Tensor::fromData(
-                {_cin, h * w},
-                std::vector<float>(x.data() + i * in_sz,
-                                   x.data() + (i + 1) * in_sz));
+            const float *xm = x.data() + static_cast<std::size_t>(i) * _cin * hw;
+            Arena::Scope scope;
             // cols = W^T * X : [Cout*K*K, H*W]
-            const Tensor cols = matmulTransA(wmat, xm);
-            const Tensor img =
-                col2im(cols, _cout, oh, ow, _k, _k, _stride, 0);
-            float *dst =
-                y.data() + static_cast<std::size_t>(i) * _cout * oh * ow;
-            const float *src = img.data();
-            for (int co = 0; co < _cout; ++co) {
-                const float b = _hasBias
-                                    ? _bias.value[static_cast<std::size_t>(co)]
-                                    : 0.0f;
-                for (int p = 0; p < oh * ow; ++p)
-                    dst[co * oh * ow + p] = src[co * oh * ow + p] + b;
-            }
+            float *cols = Arena::local().alloc(
+                static_cast<std::size_t>(krows) * hw);
+            gemmBlocked(krows, hw, _cin, wmat.data(), krows, true, xm, hw,
+                        false, cols, hw, false);
+            float *dst = y.data() + static_cast<std::size_t>(i) * out_sz;
+            col2imRaw(cols, _cout, oh, ow, _k, _k, _stride, 0, dst);
+            if (_hasBias)
+                for (int co = 0; co < _cout; ++co) {
+                    const float b = _bias.value[static_cast<std::size_t>(co)];
+                    for (std::int64_t p = 0; p < oh * ow; ++p)
+                        dst[co * oh * ow + p] += b;
+                }
         }
     });
     if (mode == Mode::Train)
@@ -70,45 +75,48 @@ ConvTranspose2d::backward(const Tensor &grad_out)
     const int n = _input.size(0), h = _input.size(2), w = _input.size(3);
     const int oh = grad_out.size(2), ow = grad_out.size(3);
 
-    const Tensor wmat = _weight.value.reshape({_cin, _cout * _k * _k});
-    Tensor dwmat({_cin, _cout * _k * _k});
+    const int krows = _cout * _k * _k;
+    const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+    const std::int64_t go_sz = static_cast<std::int64_t>(_cout) * oh * ow;
+    const Tensor wmat = _weight.value.reshape({_cin, krows});
+    Tensor dwmat({_cin, krows});
     Tensor dx({n, _cin, h, w});
 
     // Per-image gradient partials, folded in ascending image order below
     // so the float summation order matches the serial loop bit for bit.
+    // dY and X slabs are read in place; dcols is arena scratch and dX is
+    // written directly by the GEMM.
     std::vector<Tensor> dws(static_cast<std::size_t>(n));
     std::vector<std::vector<float>> dbs(
         static_cast<std::size_t>(_hasBias ? n : 0));
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
-            const std::size_t go_sz =
-                static_cast<std::size_t>(_cout) * oh * ow;
-            const Tensor dy = Tensor::fromData(
-                {_cout, oh, ow},
-                std::vector<float>(grad_out.data() + i * go_sz,
-                                   grad_out.data() + (i + 1) * go_sz));
+            const float *dy =
+                grad_out.data() + static_cast<std::size_t>(i) * go_sz;
+            Arena::Scope scope;
             // dcols = im2col(dY) : [Cout*K*K, H*W]
-            const Tensor dcols = im2col(dy, _k, _k, _stride, 0);
-            // dX = W * dcols : [Cin, H*W]
-            const Tensor dxm = matmul(wmat, dcols);
-            float *dst =
-                dx.data() + static_cast<std::size_t>(i) * _cin * h * w;
-            const float *src = dxm.data();
-            for (std::size_t p = 0; p < dxm.numel(); ++p)
-                dst[p] = src[p];
+            float *dcols = Arena::local().alloc(
+                static_cast<std::size_t>(krows) * hw);
+            im2colRaw(dy, _cout, oh, ow, _k, _k, _stride, 0, dcols);
+            // dX = W * dcols : [Cin, H*W], written straight to its slab.
+            gemmBlocked(_cin, hw, krows, wmat.data(), krows, false, dcols,
+                        hw, false,
+                        dx.data() + static_cast<std::size_t>(i) * _cin * hw,
+                        hw, false);
             // dW_i = X * dcols^T : [Cin, Cout*K*K]
-            const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
-            const Tensor xm = Tensor::fromData(
-                {_cin, h * w},
-                std::vector<float>(_input.data() + i * in_sz,
-                                   _input.data() + (i + 1) * in_sz));
-            dws[static_cast<std::size_t>(i)] = matmulTransB(xm, dcols);
+            const float *xm =
+                _input.data() + static_cast<std::size_t>(i) * _cin * hw;
+            Tensor dw({_cin, krows});
+            gemmBlocked(_cin, krows, hw, xm, hw, false, dcols, hw, true,
+                        dw.data(), krows, false);
+            dws[static_cast<std::size_t>(i)] = std::move(dw);
             if (_hasBias) {
                 std::vector<float> db(static_cast<std::size_t>(_cout), 0.0f);
                 for (int co = 0; co < _cout; ++co) {
                     float acc = 0.0f;
-                    for (int p = 0; p < oh * ow; ++p)
-                        acc += dy[static_cast<std::size_t>(co) * oh * ow + p];
+                    for (std::int64_t p = 0;
+                         p < static_cast<std::int64_t>(oh) * ow; ++p)
+                        acc += dy[co * static_cast<std::int64_t>(oh) * ow + p];
                     db[static_cast<std::size_t>(co)] = acc;
                 }
                 dbs[static_cast<std::size_t>(i)] = std::move(db);

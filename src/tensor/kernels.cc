@@ -1,0 +1,401 @@
+#include "kernels.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/arena.hh"
+#include "util/check.hh"
+#include "util/parallel.hh"
+
+namespace leca {
+
+namespace {
+
+constexpr int MR = kMicroM;
+constexpr int NR = kMicroN;
+
+std::int64_t
+roundUp(std::int64_t v, std::int64_t unit)
+{
+    return (v + unit - 1) / unit * unit;
+}
+
+/**
+ * Rows per parallel chunk: enough work to amortise a pool dispatch
+ * (~32 Kflop), aiming for ~16 chunks on big problems, capped by
+ * kBlockM so a packed A chunk stays cache-resident. Depends only on
+ * the problem shape — never on the thread count — so the work
+ * decomposition is reproducible (DESIGN.md §7).
+ */
+std::int64_t
+chunkRows(std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    constexpr std::int64_t min_chunk_flops = 1 << 15;
+    const std::int64_t flops_per_row = std::max<std::int64_t>(1, 2 * k * n);
+    const std::int64_t by_work =
+        (min_chunk_flops + flops_per_row - 1) / flops_per_row;
+    const std::int64_t target =
+        std::clamp<std::int64_t>((m + 15) / 16, MR, kBlockM);
+    return roundUp(std::max(by_work, target), MR);
+}
+
+/**
+ * Pack all k×n of B into kMicroN-wide column panels. Panel p holds
+ * columns [p*NR, p*NR + NR); element (kk, lane) sits at
+ * bp[p*k*NR + kk*NR + lane]; lanes past n are zero-filled so the
+ * micro-kernel never needs a column tail path.
+ */
+void
+packB(const float *b, std::int64_t ldb, bool trans, std::int64_t k,
+      std::int64_t n, float *bp)
+{
+    for (std::int64_t j0 = 0; j0 < n; j0 += NR) {
+        const int nr = static_cast<int>(std::min<std::int64_t>(NR, n - j0));
+        float *panel = bp + (j0 / NR) * k * NR;
+        if (!trans) {
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+                const float *srow = b + kk * ldb + j0;
+                float *drow = panel + kk * NR;
+                for (int l = 0; l < nr; ++l)
+                    drow[l] = srow[l];
+                for (int l = nr; l < NR; ++l)
+                    drow[l] = 0.0f;
+            }
+        } else {
+            // B stored n×k: column j of the logical B is row j0+l of
+            // the storage, read sequentially per lane.
+            for (int l = 0; l < nr; ++l) {
+                const float *scol = b + (j0 + l) * ldb;
+                for (std::int64_t kk = 0; kk < k; ++kk)
+                    panel[kk * NR + l] = scol[kk];
+            }
+            for (int l = nr; l < NR; ++l)
+                for (std::int64_t kk = 0; kk < k; ++kk)
+                    panel[kk * NR + l] = 0.0f;
+        }
+    }
+}
+
+/**
+ * Pack rows [i0, i1) × k-slice [k0, k0+kc) of A into kMicroM-tall
+ * panels: panel q holds rows i0+q*MR ..; element (r, kk) sits at
+ * ap[q*kc*MR + kk*MR + r]; rows past i1 are zero-filled.
+ */
+void
+packA(const float *a, std::int64_t lda, bool trans, std::int64_t i0,
+      std::int64_t i1, std::int64_t k0, std::int64_t kc, float *ap)
+{
+    for (std::int64_t ii = i0; ii < i1; ii += MR) {
+        const int mr = static_cast<int>(std::min<std::int64_t>(MR, i1 - ii));
+        float *panel = ap + ((ii - i0) / MR) * kc * MR;
+        if (!trans) {
+            for (int r = 0; r < mr; ++r) {
+                const float *srow = a + (ii + r) * lda + k0;
+                for (std::int64_t kk = 0; kk < kc; ++kk)
+                    panel[kk * MR + r] = srow[kk];
+            }
+        } else {
+            // A stored k×m: logical element (i, kk) is a[kk*lda + i].
+            for (std::int64_t kk = 0; kk < kc; ++kk) {
+                const float *srow = a + (k0 + kk) * lda + ii;
+                for (int r = 0; r < mr; ++r)
+                    panel[kk * MR + r] = srow[r];
+            }
+        }
+        if (mr < MR)
+            for (std::int64_t kk = 0; kk < kc; ++kk)
+                for (int r = mr; r < MR; ++r)
+                    panel[kk * MR + r] = 0.0f;
+    }
+}
+
+/**
+ * Register-tiled MR×NR micro-kernel over one packed A panel and one
+ * packed B panel. @p first selects zero-initialised accumulators
+ * (first k block, no accumulate) vs. continuing the chain from C.
+ * Stores only the live mr×nr corner; padded lanes compute into dead
+ * accumulator slots. One multiply-add per element per k step keeps the
+ * per-element accumulation a single ascending chain; each lane's chain
+ * is independent, so vector width never changes the result.
+ *
+ * The accumulator rows use the compiler's native vector type so the
+ * SIMD axis is pinned to the NR (column) dimension: left to its own
+ * devices the auto-vectorizer picks the contiguous MR-float A panel as
+ * the vector axis and drowns the loop in cross-lane shuffles.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+typedef float VecN __attribute__((vector_size(NR * sizeof(float))));
+#else
+struct VecN { // Portable fallback: plain per-lane arithmetic.
+    float v[NR];
+    float &operator[](int l) { return v[l]; }
+    VecN &operator+=(const VecN &o)
+    {
+        for (int l = 0; l < NR; ++l)
+            v[l] += o.v[l];
+        return *this;
+    }
+    friend VecN operator*(float s, const VecN &o)
+    {
+        VecN r;
+        for (int l = 0; l < NR; ++l)
+            r.v[l] = s * o.v[l];
+        return r;
+    }
+};
+#endif
+
+void
+microKernel(std::int64_t kc, const float *ap, const float *bp, float *c,
+            std::int64_t ldc, int mr, int nr, bool first)
+{
+    VecN acc[MR];
+    for (int r = 0; r < MR; ++r)
+        for (int l = 0; l < NR; ++l)
+            acc[r][l] = (!first && r < mr && l < nr) ? c[r * ldc + l] : 0.0f;
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float *arow = ap + kk * MR;
+        VecN bv;
+        std::memcpy(&bv, bp + kk * NR, sizeof(bv));
+        for (int r = 0; r < MR; ++r)
+            acc[r] += arow[r] * bv;
+    }
+    for (int r = 0; r < mr; ++r)
+        for (int l = 0; l < nr; ++l)
+            c[r * ldc + l] = acc[r][l];
+}
+
+/**
+ * The shared engine: rows of C distributed over the pool, k blocked by
+ * kBlockK, B already packed (shared, read-only; the pool's task
+ * publication orders the pack before any worker read).
+ */
+void
+gemmWithPackedB(std::int64_t m, std::int64_t n, std::int64_t k,
+                const float *a, std::int64_t lda, bool trans_a,
+                const float *bp, float *c, std::int64_t ldc,
+                bool accumulate)
+{
+    parallelFor(0, m, chunkRows(m, n, k),
+                [&](std::int64_t i0, std::int64_t i1) {
+        Arena::Scope scope;
+        const std::int64_t kc_max = std::min<std::int64_t>(k, kBlockK);
+        float *ap = Arena::local().alloc(
+            static_cast<std::size_t>(roundUp(i1 - i0, MR) * kc_max));
+        for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const std::int64_t kc = std::min<std::int64_t>(kBlockK, k - k0);
+            packA(a, lda, trans_a, i0, i1, k0, kc, ap);
+            const bool first = k0 == 0 && !accumulate;
+            for (std::int64_t j0 = 0; j0 < n; j0 += NR) {
+                const int nr =
+                    static_cast<int>(std::min<std::int64_t>(NR, n - j0));
+                const float *bpp = bp + (j0 / NR) * k * NR + k0 * NR;
+                for (std::int64_t ii = i0; ii < i1; ii += MR) {
+                    const int mr = static_cast<int>(
+                        std::min<std::int64_t>(MR, i1 - ii));
+                    microKernel(kc, ap + ((ii - i0) / MR) * kc * MR, bpp,
+                                c + ii * ldc + j0, ldc, mr, nr, first);
+                }
+            }
+        }
+    });
+}
+
+/** Zero the m×n extent of C (the k == 0, no-accumulate edge). */
+void
+zeroC(std::int64_t m, std::int64_t n, float *c, std::int64_t ldc)
+{
+    for (std::int64_t i = 0; i < m; ++i)
+        std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+}
+
+/**
+ * im2col for one kernel-offset row (ch, ky, kx) of the column matrix,
+ * writing the OH*OW values through @p emit (either the row-major
+ * column matrix or the packed-panel layout).
+ */
+template <typename Emit>
+void
+im2colRow(const float *src, int h, int w, int stride, int pad, int ch,
+          int ky, int kx, int oh, int ow, const Emit &emit)
+{
+    const float *plane = src + static_cast<std::size_t>(ch) * h * w;
+    std::int64_t j = 0;
+    for (int oy = 0; oy < oh; ++oy) {
+        const int iy = oy * stride + ky - pad;
+        if (iy < 0 || iy >= h) {
+            for (int ox = 0; ox < ow; ++ox)
+                emit(j++, 0.0f);
+            continue;
+        }
+        const float *row = plane + static_cast<std::size_t>(iy) * w;
+        for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * stride + kx - pad;
+            emit(j++, (ix >= 0 && ix < w) ? row[ix] : 0.0f);
+        }
+    }
+}
+
+/**
+ * Pack the virtual im2col matrix of one image directly into the
+ * kMicroN-wide panel layout packB produces — the column matrix is
+ * never materialised.
+ */
+void
+packBIm2col(const float *image, int cin, int h, int w, int kh, int kw,
+            int stride, int pad, int oh, int ow, float *bp)
+{
+    const std::int64_t kdim =
+        static_cast<std::int64_t>(cin) * kh * kw;
+    const std::int64_t n = static_cast<std::int64_t>(oh) * ow;
+    const std::int64_t panel_stride = kdim * NR;
+    for (std::int64_t kk = 0; kk < kdim; ++kk) {
+        const int kx = static_cast<int>(kk % kw);
+        const int ky = static_cast<int>(kk / kw) % kh;
+        const int ch = static_cast<int>(kk / (kh * kw));
+        float *out = bp + kk * NR; // Panel row kk, advanced panel-by-panel.
+        int lane = 0;
+        im2colRow(image, h, w, stride, pad, ch, ky, kx, oh, ow,
+                  [&](std::int64_t, float v) {
+                      out[lane] = v;
+                      if (++lane == NR) {
+                          lane = 0;
+                          out += panel_stride;
+                      }
+                  });
+        // Zero-fill the dead lanes of the final panel.
+        for (std::int64_t j = n; j % NR != 0; ++j) {
+            out[lane] = 0.0f;
+            if (++lane == NR) {
+                lane = 0;
+                out += panel_stride;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+gemmBlocked(std::int64_t m, std::int64_t n, std::int64_t k, const float *a,
+            std::int64_t lda, bool trans_a, const float *b,
+            std::int64_t ldb, bool trans_b, float *c, std::int64_t ldc,
+            bool accumulate)
+{
+    if (m <= 0 || n <= 0)
+        return;
+    if (k <= 0) {
+        if (!accumulate)
+            zeroC(m, n, c, ldc);
+        return;
+    }
+    Arena::Scope scope;
+    float *bp = Arena::local().alloc(
+        static_cast<std::size_t>(roundUp(n, NR) * k));
+    packB(b, ldb, trans_b, k, n, bp);
+    gemmWithPackedB(m, n, k, a, lda, trans_a, bp, c, ldc, accumulate);
+}
+
+void
+gemmReference(std::int64_t m, std::int64_t n, std::int64_t k,
+              const float *a, std::int64_t lda, bool trans_a,
+              const float *b, std::int64_t ldb, bool trans_b, float *c,
+              std::int64_t ldc, bool accumulate)
+{
+    if (!accumulate)
+        zeroC(m, n, c, ldc);
+    for (std::int64_t i = 0; i < m; ++i) {
+        float *crow = c + i * ldc;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = trans_a ? a[kk * lda + i] : a[i * lda + kk];
+            if (!trans_b) {
+                const float *brow = b + kk * ldb;
+                for (std::int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            } else {
+                for (std::int64_t j = 0; j < n; ++j)
+                    crow[j] += av * b[j * ldb + kk];
+            }
+        }
+    }
+}
+
+void
+im2colRaw(const float *src, int c, int h, int w, int kh, int kw,
+          int stride, int pad, float *dst)
+{
+    const int oh = (h + 2 * pad - kh) / stride + 1;
+    const int ow = (w + 2 * pad - kw) / stride + 1;
+    const std::int64_t ncols = static_cast<std::int64_t>(oh) * ow;
+    const std::int64_t kdim = static_cast<std::int64_t>(c) * kh * kw;
+    for (std::int64_t kk = 0; kk < kdim; ++kk) {
+        const int kx = static_cast<int>(kk % kw);
+        const int ky = static_cast<int>(kk / kw) % kh;
+        const int ch = static_cast<int>(kk / (kh * kw));
+        float *row = dst + kk * ncols;
+        im2colRow(src, h, w, stride, pad, ch, ky, kx, oh, ow,
+                  [&](std::int64_t j, float v) { row[j] = v; });
+    }
+}
+
+void
+col2imRaw(const float *cols, int channels, int height, int width, int kh,
+          int kw, int stride, int pad, float *dst)
+{
+    const int oh = (height + 2 * pad - kh) / stride + 1;
+    const int ow = (width + 2 * pad - kw) / stride + 1;
+    for (int ch = 0; ch < channels; ++ch) {
+        for (int ky = 0; ky < kh; ++ky) {
+            for (int kx = 0; kx < kw; ++kx) {
+                const int row = (ch * kh + ky) * kw + kx;
+                const float *srow =
+                    cols + static_cast<std::size_t>(row) * oh * ow;
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * stride + ky - pad;
+                    if (iy < 0 || iy >= height)
+                        continue;
+                    float *drow =
+                        dst + (static_cast<std::size_t>(ch) * height + iy)
+                              * width;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * stride + kx - pad;
+                        if (ix < 0 || ix >= width)
+                            continue;
+                        drow[ix] += srow[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+convForwardPacked(const float *image, int cin, int h, int w, int kh,
+                  int kw, int stride, int pad, const float *wmat, int cout,
+                  const float *bias, float *dst)
+{
+    const int oh = (h + 2 * pad - kh) / stride + 1;
+    const int ow = (w + 2 * pad - kw) / stride + 1;
+    const std::int64_t kdim = static_cast<std::int64_t>(cin) * kh * kw;
+    const std::int64_t n = static_cast<std::int64_t>(oh) * ow;
+    LECA_CHECK(oh > 0 && ow > 0, "convForwardPacked output ", oh, "x", ow,
+               " for input ", h, "x", w, " kernel ", kh, "x", kw);
+    Arena::Scope scope;
+    float *bp = Arena::local().alloc(
+        static_cast<std::size_t>(roundUp(n, NR) * kdim));
+    packBIm2col(image, cin, h, w, kh, kw, stride, pad, oh, ow, bp);
+    gemmWithPackedB(cout, n, kdim, wmat, kdim, false, bp, dst, n, false);
+    if (bias) {
+        // Second in-place pass, not bias-initialised accumulation: the
+        // result stays (sum of products) + b, bit-matching the GEMM +
+        // bias pass in conv2dImage.
+        for (int co = 0; co < cout; ++co) {
+            const float b = bias[co];
+            float *drow = dst + static_cast<std::size_t>(co) * n;
+            for (std::int64_t p = 0; p < n; ++p)
+                drow[p] += b;
+        }
+    }
+}
+
+} // namespace leca

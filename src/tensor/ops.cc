@@ -4,90 +4,12 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/kernels.hh"
 #include "util/check.hh"
 #include "util/numeric.hh"
 #include "util/parallel.hh"
 
 namespace leca {
-
-namespace {
-
-/**
- * Panel grain for parallelizing a loop of @p rows iterations costing
- * @p work_per_row flops each: big enough that a chunk amortizes the
- * pool dispatch, fixed (never thread-count dependent) so the work
- * decomposition is reproducible.
- */
-std::int64_t
-panelGrain(std::int64_t work_per_row)
-{
-    constexpr std::int64_t min_panel_work = 1 << 15;
-    return std::max<std::int64_t>(
-        1, min_panel_work / std::max<std::int64_t>(1, work_per_row));
-}
-
-/**
- * Rows [i0, i1) of C += A * B with the classic i-k-j ordering. Per
- * output element the k-contributions accumulate in ascending order
- * regardless of how rows are split into panels, so panel decomposition
- * cannot change results.
- */
-void
-gemmPanel(const float *pa, const float *pb, float *pc, int k, int n,
-          std::int64_t i0, std::int64_t i1)
-{
-    for (std::int64_t i = i0; i < i1; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-            const float aik = pa[i * k + kk];
-            if (aik == 0.0f)
-                continue;
-            const float *brow = pb + static_cast<std::size_t>(kk) * n;
-            float *crow = pc + static_cast<std::size_t>(i) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += aik * brow[j];
-        }
-    }
-}
-
-/** Rows [i0, i1) of C += A^T * B: c[i][j] += a[kk][i] * b[kk][j]. */
-void
-gemmTransAPanel(const float *pa, const float *pb, float *pc, int k, int m,
-                int n, std::int64_t i0, std::int64_t i1)
-{
-    // kk ascends in the inner loop, so each output element accumulates
-    // its contributions in the same order as the kk-outer serial form.
-    for (std::int64_t i = i0; i < i1; ++i) {
-        float *crow = pc + static_cast<std::size_t>(i) * n;
-        for (int kk = 0; kk < k; ++kk) {
-            const float aki = pa[static_cast<std::size_t>(kk) * m + i];
-            if (aki == 0.0f)
-                continue;
-            const float *brow = pb + static_cast<std::size_t>(kk) * n;
-            for (int j = 0; j < n; ++j)
-                crow[j] += aki * brow[j];
-        }
-    }
-}
-
-/** Rows [i0, i1) of C = A * B^T as independent dot products. */
-void
-gemmTransBPanel(const float *pa, const float *pb, float *pc, int k, int n,
-                std::int64_t i0, std::int64_t i1)
-{
-    for (std::int64_t i = i0; i < i1; ++i) {
-        const float *arow = pa + static_cast<std::size_t>(i) * k;
-        float *crow = pc + static_cast<std::size_t>(i) * n;
-        for (int j = 0; j < n; ++j) {
-            const float *brow = pb + static_cast<std::size_t>(j) * k;
-            float acc = 0.0f;
-            for (int kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-        }
-    }
-}
-
-} // namespace
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
@@ -97,13 +19,8 @@ matmul(const Tensor &a, const Tensor &b)
     const int m = a.size(0), k = a.size(1), n = b.size(1);
     LECA_CHECK(b.size(0) == k, "matmul inner dims ", k, " vs ", b.size(0));
     Tensor c({m, n});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    parallelFor(0, m, panelGrain(2LL * k * n),
-                [&](std::int64_t i0, std::int64_t i1) {
-                    gemmPanel(pa, pb, pc, k, n, i0, i1);
-                });
+    gemmBlocked(m, n, k, a.data(), k, false, b.data(), n, false, c.data(),
+                n, false);
     return c;
 }
 
@@ -114,13 +31,8 @@ matmulTransA(const Tensor &a, const Tensor &b)
     const int k = a.size(0), m = a.size(1), n = b.size(1);
     LECA_CHECK(b.size(0) == k, "matmulTransA inner dims ", k, " vs ", b.size(0));
     Tensor c({m, n});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    parallelFor(0, m, panelGrain(2LL * k * n),
-                [&](std::int64_t i0, std::int64_t i1) {
-                    gemmTransAPanel(pa, pb, pc, k, m, n, i0, i1);
-                });
+    gemmBlocked(m, n, k, a.data(), m, true, b.data(), n, false, c.data(),
+                n, false);
     return c;
 }
 
@@ -131,13 +43,8 @@ matmulTransB(const Tensor &a, const Tensor &b)
     const int m = a.size(0), k = a.size(1), n = b.size(0);
     LECA_CHECK(b.size(1) == k, "matmulTransB inner dims ", k, " vs ", b.size(1));
     Tensor c({m, n});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    parallelFor(0, m, panelGrain(2LL * k * n),
-                [&](std::int64_t i0, std::int64_t i1) {
-                    gemmTransBPanel(pa, pb, pc, k, n, i0, i1);
-                });
+    gemmBlocked(m, n, k, a.data(), k, false, b.data(), k, true, c.data(),
+                n, false);
     return c;
 }
 
@@ -146,39 +53,6 @@ convOutSize(int in, int k, int stride, int pad)
 {
     return (in + 2 * pad - k) / stride + 1;
 }
-
-namespace {
-
-/** im2col on a raw [C,H,W] plane; dst is (C*kh*kw) x (OH*OW). */
-void
-im2colRaw(const float *src, int c, int h, int w, int kh, int kw, int stride,
-          int pad, float *dst)
-{
-    const int oh = convOutSize(h, kh, stride, pad);
-    const int ow = convOutSize(w, kw, stride, pad);
-    for (int ch = 0; ch < c; ++ch) {
-        for (int ky = 0; ky < kh; ++ky) {
-            for (int kx = 0; kx < kw; ++kx) {
-                const int row = (ch * kh + ky) * kw + kx;
-                float *drow = dst + static_cast<std::size_t>(row) * oh * ow;
-                for (int oy = 0; oy < oh; ++oy) {
-                    const int iy = oy * stride + ky - pad;
-                    for (int ox = 0; ox < ow; ++ox) {
-                        const int ix = ox * stride + kx - pad;
-                        float v = 0.0f;
-                        if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-                            v = src[(static_cast<std::size_t>(ch) * h + iy)
-                                    * w + ix];
-                        }
-                        drow[oy * ow + ox] = v;
-                    }
-                }
-            }
-        }
-    }
-}
-
-} // namespace
 
 Tensor
 im2col(const Tensor &image, int kh, int kw, int stride, int pad)
@@ -206,29 +80,8 @@ col2im(const Tensor &cols, int channels, int height, int width, int kh,
                "col2im shape mismatch: got ", detail::formatShape(cols.shape()),
                ", expected [", channels * kh * kw, ", ", oh * ow, "]");
     Tensor image({channels, height, width});
-    const float *src = cols.data();
-    float *dst = image.data();
-    for (int ch = 0; ch < channels; ++ch) {
-        for (int ky = 0; ky < kh; ++ky) {
-            for (int kx = 0; kx < kw; ++kx) {
-                const int row = (ch * kh + ky) * kw + kx;
-                const float *srow =
-                    src + static_cast<std::size_t>(row) * oh * ow;
-                for (int oy = 0; oy < oh; ++oy) {
-                    const int iy = oy * stride + ky - pad;
-                    if (iy < 0 || iy >= height)
-                        continue;
-                    for (int ox = 0; ox < ow; ++ox) {
-                        const int ix = ox * stride + kx - pad;
-                        if (ix < 0 || ix >= width)
-                            continue;
-                        dst[(static_cast<std::size_t>(ch) * height + iy)
-                            * width + ix] += srow[oy * ow + ox];
-                    }
-                }
-            }
-        }
-    }
+    col2imRaw(cols.data(), channels, height, width, kh, kw, stride, pad,
+              image.data());
     return image;
 }
 
@@ -242,8 +95,10 @@ conv2dImage(const Tensor &x, int item, const Tensor &wmat, const Tensor &bias,
     im2colRaw(x.data() + static_cast<std::size_t>(item) * cin * h * w, cin, h,
               w, kh, kw, stride, pad, cols.data());
     float *dst = y.data() + static_cast<std::size_t>(item) * cout * oh * ow;
-    std::fill(dst, dst + static_cast<std::size_t>(cout) * oh * ow, 0.0f);
-    gemmPanel(wmat.data(), cols.data(), dst, cin * kh * kw, oh * ow, 0, cout);
+    gemmBlocked(cout, static_cast<std::int64_t>(oh) * ow, cin * kh * kw,
+                wmat.data(), cin * kh * kw, false, cols.data(),
+                static_cast<std::int64_t>(oh) * ow, false, dst,
+                static_cast<std::int64_t>(oh) * ow, false);
     if (bias.numel() > 0) {
         // Second in-place pass, not bias-initialized accumulation: the
         // float result stays (sum of products) + b, matching the GEMM +
@@ -256,6 +111,20 @@ conv2dImage(const Tensor &x, int item, const Tensor &wmat, const Tensor &bias,
         }
     }
     return cols;
+}
+
+void
+conv2dImageInto(const Tensor &x, int item, const Tensor &wmat,
+                const Tensor &bias, int kh, int kw, int stride, int pad,
+                Tensor &y)
+{
+    const int cin = x.size(1), h = x.size(2), w = x.size(3);
+    const int cout = y.size(1), oh = y.size(2), ow = y.size(3);
+    convForwardPacked(x.data() + static_cast<std::size_t>(item) * cin * h * w,
+                      cin, h, w, kh, kw, stride, pad, wmat.data(), cout,
+                      bias.numel() > 0 ? bias.data() : nullptr,
+                      y.data()
+                          + static_cast<std::size_t>(item) * cout * oh * ow);
 }
 
 Tensor
@@ -275,8 +144,8 @@ conv2d(const Tensor &x, const Tensor &weight, const Tensor &bias, int stride,
     Tensor y({n, cout, oh, ow});
     parallelFor(0, n, 1, [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t i = i0; i < i1; ++i)
-            conv2dImage(x, static_cast<int>(i), wmat, bias, kh, kw, stride,
-                        pad, y);
+            conv2dImageInto(x, static_cast<int>(i), wmat, bias, kh, kw,
+                            stride, pad, y);
     });
     return y;
 }
@@ -292,17 +161,23 @@ avgPool2d(const Tensor &x, int k)
     const int oh = h / k, ow = w / k;
     Tensor y({n, c, oh, ow});
     const float inv = 1.0f / static_cast<float>(k * k);
-    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
-        for (int i = static_cast<int>(n0); i < n1; ++i) {
-            for (int ch = 0; ch < c; ++ch) {
-                for (int oy = 0; oy < oh; ++oy) {
-                    for (int ox = 0; ox < ow; ++ox) {
-                        float acc = 0.0f;
-                        for (int ky = 0; ky < k; ++ky)
-                            for (int kx = 0; kx < k; ++kx)
-                                acc += x.at(i, ch, oy * k + ky, ox * k + kx);
-                        y.at(i, ch, oy, ox) = acc * inv;
+    const float *px = x.data();
+    float *py = y.data();
+    parallelFor(0, static_cast<std::int64_t>(n) * c, 1,
+                [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+            const float *plane = px + p * h * w;
+            float *drow = py + p * oh * ow;
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    float acc = 0.0f;
+                    const float *win = plane + oy * k * w + ox * k;
+                    for (int ky = 0; ky < k; ++ky) {
+                        const float *row = win + static_cast<std::int64_t>(ky) * w;
+                        for (int kx = 0; kx < k; ++kx)
+                            acc += row[kx];
                     }
+                    drow[oy * ow + ox] = acc * inv;
                 }
             }
         }
@@ -322,32 +197,36 @@ maxPool2d(const Tensor &x, int k, std::vector<int> *argmax)
     Tensor y({n, c, oh, ow});
     if (argmax)
         argmax->assign(y.numel(), 0);
-    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
-        for (int i = static_cast<int>(n0); i < n1; ++i) {
-            // Output index derived from loop indices (not a running
-            // counter) so batch items can be processed independently.
-            std::size_t out_idx =
-                static_cast<std::size_t>(i) * c * oh * ow;
-            for (int ch = 0; ch < c; ++ch) {
-                for (int oy = 0; oy < oh; ++oy) {
-                    for (int ox = 0; ox < ow; ++ox, ++out_idx) {
-                        float best = -std::numeric_limits<float>::infinity();
-                        int best_at = 0;
-                        for (int ky = 0; ky < k; ++ky) {
-                            for (int kx = 0; kx < k; ++kx) {
-                                const int iy = oy * k + ky, ix = ox * k + kx;
-                                const float v = x.at(i, ch, iy, ix);
-                                if (v > best) {
-                                    best = v;
-                                    best_at =
-                                        ((i * c + ch) * h + iy) * w + ix;
-                                }
+    const float *px = x.data();
+    float *py = y.data();
+    parallelFor(0, static_cast<std::int64_t>(n) * c, 1,
+                [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+            // Plane-relative pointers; flat indices derived from the
+            // plane index so (image, channel) pairs stay independent.
+            const float *plane = px + p * h * w;
+            const std::int64_t in_base = p * h * w;
+            std::int64_t out_idx = p * oh * ow;
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+                for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::int64_t best_at = 0;
+                    const float *win = plane + oy * k * w + ox * k;
+                    for (int ky = 0; ky < k; ++ky) {
+                        const float *row =
+                            win + static_cast<std::int64_t>(ky) * w;
+                        for (int kx = 0; kx < k; ++kx) {
+                            if (row[kx] > best) {
+                                best = row[kx];
+                                best_at = in_base + (oy * k + ky) * w
+                                          + ox * k + kx;
                             }
                         }
-                        y[out_idx] = best;
-                        if (argmax)
-                            (*argmax)[out_idx] = best_at;
                     }
+                    py[out_idx] = best;
+                    if (argmax)
+                        (*argmax)[static_cast<std::size_t>(out_idx)] =
+                            static_cast<int>(best_at);
                 }
             }
         }
@@ -363,15 +242,17 @@ globalAvgPool(const Tensor &x)
     const int n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
     Tensor y({n, c});
     const float inv = 1.0f / static_cast<float>(h * w);
+    const float *px = x.data();
+    float *py = y.data();
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
-        for (int i = static_cast<int>(n0); i < n1; ++i) {
-            for (int ch = 0; ch < c; ++ch) {
+        for (std::int64_t i = n0; i < n1; ++i) {
+            for (std::int64_t ch = 0; ch < c; ++ch) {
                 float acc = 0.0f;
-                const float *src = x.data()
-                    + ((static_cast<std::size_t>(i) * c + ch) * h) * w;
-                for (int p = 0; p < h * w; ++p)
+                const float *src = px + (i * c + ch) * h * w;
+                for (std::int64_t p = 0; p < static_cast<std::int64_t>(h) * w;
+                     ++p)
                     acc += src[p];
-                y.at(i, ch) = acc * inv;
+                py[i * c + ch] = acc * inv;
             }
         }
     });
@@ -389,30 +270,35 @@ bilinearResize(const Tensor &x, int out_h, int out_w)
     Tensor y({n, c, out_h, out_w});
     const float sy = static_cast<float>(h) / static_cast<float>(out_h);
     const float sx = static_cast<float>(w) / static_cast<float>(out_w);
+    const float *px = x.data();
+    float *py = y.data();
     // Flattened (image, channel) index so small batches still spread.
     parallelFor(0, static_cast<std::int64_t>(n) * c, 1,
                 [&](std::int64_t p0, std::int64_t p1) {
         for (std::int64_t p = p0; p < p1; ++p) {
-            const int i = static_cast<int>(p / c);
-            const int ch = static_cast<int>(p % c);
-            for (int oy = 0; oy < out_h; ++oy) {
+            const float *plane = px + p * h * w;
+            float *dplane = py + p * out_h * out_w;
+            for (std::int64_t oy = 0; oy < out_h; ++oy) {
                 // align_corners=false sample positions.
                 float fy = (static_cast<float>(oy) + 0.5f) * sy - 0.5f;
                 fy = std::clamp(fy, 0.0f, static_cast<float>(h - 1));
                 const int y0 = truncToInt(fy);
                 const int y1 = std::min(y0 + 1, h - 1);
                 const float wy = fy - static_cast<float>(y0);
-                for (int ox = 0; ox < out_w; ++ox) {
+                const float *row0 = plane + static_cast<std::int64_t>(y0) * w;
+                const float *row1 = plane + static_cast<std::int64_t>(y1) * w;
+                float *drow = dplane + oy * out_w;
+                for (std::int64_t ox = 0; ox < out_w; ++ox) {
                     float fx = (static_cast<float>(ox) + 0.5f) * sx - 0.5f;
                     fx = std::clamp(fx, 0.0f, static_cast<float>(w - 1));
                     const int x0 = truncToInt(fx);
                     const int x1 = std::min(x0 + 1, w - 1);
                     const float wx = fx - static_cast<float>(x0);
-                    const float v00 = x.at(i, ch, y0, x0);
-                    const float v01 = x.at(i, ch, y0, x1);
-                    const float v10 = x.at(i, ch, y1, x0);
-                    const float v11 = x.at(i, ch, y1, x1);
-                    y.at(i, ch, oy, ox) =
+                    const float v00 = row0[x0];
+                    const float v01 = row0[x1];
+                    const float v10 = row1[x0];
+                    const float v11 = row1[x1];
+                    drow[ox] =
                         v00 * (1 - wy) * (1 - wx) + v01 * (1 - wy) * wx +
                         v10 * wy * (1 - wx) + v11 * wy * wx;
                 }
@@ -429,20 +315,25 @@ softmax(const Tensor &logits)
                detail::formatShape(logits.shape()));
     const int n = logits.size(0), k = logits.size(1);
     Tensor p({n, k});
-    parallelFor(0, n, panelGrain(8LL * k),
-                [&](std::int64_t n0, std::int64_t n1) {
-        for (int i = static_cast<int>(n0); i < n1; ++i) {
+    const float *pl = logits.data();
+    float *pp = p.data();
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, (1 << 12) / std::max(1, k));
+    parallelFor(0, n, grain, [&](std::int64_t n0, std::int64_t n1) {
+        for (std::int64_t i = n0; i < n1; ++i) {
+            const float *lrow = pl + i * k;
+            float *prow = pp + i * k;
             float mx = -std::numeric_limits<float>::infinity();
-            for (int j = 0; j < k; ++j)
-                mx = std::max(mx, logits.at(i, j));
+            for (std::int64_t j = 0; j < k; ++j)
+                mx = std::max(mx, lrow[j]);
             float z = 0.0f;
-            for (int j = 0; j < k; ++j) {
-                const float e = std::exp(logits.at(i, j) - mx);
-                p.at(i, j) = e;
+            for (std::int64_t j = 0; j < k; ++j) {
+                const float e = std::exp(lrow[j] - mx);
+                prow[j] = e;
                 z += e;
             }
-            for (int j = 0; j < k; ++j)
-                p.at(i, j) /= z;
+            for (std::int64_t j = 0; j < k; ++j)
+                prow[j] /= z;
         }
     });
     return p;
@@ -455,10 +346,12 @@ argmaxRows(const Tensor &m)
                detail::formatShape(m.shape()));
     const int n = m.size(0), k = m.size(1);
     std::vector<int> out(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
+    const float *pm = m.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float *row = pm + i * k;
         int best = 0;
         for (int j = 1; j < k; ++j)
-            if (m.at(i, j) > m.at(i, best))
+            if (row[j] > row[best])
                 best = j;
         out[static_cast<std::size_t>(i)] = best;
     }

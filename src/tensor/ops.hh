@@ -1,8 +1,10 @@
 /**
  * @file
- * Numeric kernels over Tensor: matrix multiply variants, im2col/col2im,
+ * Numeric ops over Tensor: matrix multiply variants, im2col/col2im,
  * convolution, pooling, and resampling. These are the only hot loops in
- * the training framework; everything in nn/ composes them.
+ * the training framework; everything in nn/ composes them. The dense
+ * inner kernels (packed blocked GEMM, packed im2col) live in
+ * tensor/kernels.hh; this layer adds Tensor shapes and contracts.
  */
 
 #ifndef LECA_TENSOR_OPS_HH
@@ -70,6 +72,18 @@ Tensor conv2d(const Tensor &x, const Tensor &weight, const Tensor &bias,
 Tensor conv2dImage(const Tensor &x, int item, const Tensor &wmat,
                    const Tensor &bias, int kh, int kw, int stride, int pad,
                    Tensor &y);
+
+/**
+ * conv2dImage without the column matrix: for callers that do not need
+ * the im2col scratch for a backward pass (inference paths), the image
+ * is packed directly into the blocked-GEMM panel layout in arena
+ * scratch (tensor/kernels.hh), so steady-state forward convolution
+ * performs no heap allocation. Output values are bit-identical to
+ * conv2dImage.
+ */
+void conv2dImageInto(const Tensor &x, int item, const Tensor &wmat,
+                     const Tensor &bias, int kh, int kw, int stride,
+                     int pad, Tensor &y);
 
 /** Batched average pooling with kernel=stride (non-overlapping blocks). */
 Tensor avgPool2d(const Tensor &x, int k);

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The blocked-kernel contract (DESIGN.md §8): gemmBlocked is
+ * bit-identical to the retained naive reference at adversarial shapes
+ * and at every thread count, the packed conv path matches the
+ * materialised-cols path bit for bit, and warm steady-state kernels
+ * perform zero heap block allocations (arena hook).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "nn/conv.hh"
+#include "tensor/kernels.hh"
+#include "tensor/ops.hh"
+#include "util/arena.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+namespace leca {
+namespace {
+
+std::vector<float>
+randomVec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return v;
+}
+
+/** Bitwise equality of two float buffers (stricter than ==: ±0 differ). */
+bool
+bitEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/** Restores the ambient thread count after each test. */
+class KernelsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { _saved = threadCount(); }
+    void TearDown() override { setThreadCount(_saved); }
+
+  private:
+    int _saved = 1;
+};
+
+struct GemmShape
+{
+    std::int64_t m, n, k;
+};
+
+/**
+ * Adversarial shapes: singletons, tails in every dimension relative to
+ * the kMicroM x kMicroN tile, prime extents, shapes larger than one
+ * k block (kBlockK) and one row chunk (kBlockM), and the k = 0 edge.
+ */
+const GemmShape kShapes[] = {
+    {1, 1, 1},
+    {1, 1, 5},
+    {1, kMicroN, 3},
+    {kMicroM, 1, 3},
+    {kMicroM - 1, kMicroN - 1, 2},   // tails only
+    {kMicroM + 1, kMicroN + 1, 2},   // one full tile plus tails
+    {7, 13, 31},                     // primes
+    {3, 61, 17},
+    {2 * kMicroM, 2 * kMicroN, 8},   // exact tile multiples
+    {5, 17, kBlockK + 44},           // k spans multiple k blocks
+    {kBlockM + 22, 19, 7},           // m spans multiple row chunks
+    {37, 3 * kMicroN + 5, 2 * kBlockK + 1},
+    {6, 9, 0},                       // k = 0: C must be zeroed
+};
+
+void
+runBothGemms(const GemmShape &s, bool trans_a, bool trans_b,
+             bool accumulate, std::vector<float> &got,
+             std::vector<float> &want)
+{
+    const std::size_t a_sz = static_cast<std::size_t>(s.m) *
+                             (s.k > 0 ? s.k : 1);
+    const std::size_t b_sz = static_cast<std::size_t>(s.n) *
+                             (s.k > 0 ? s.k : 1);
+    const std::vector<float> a = randomVec(a_sz, 17 * s.m + s.k + 1);
+    const std::vector<float> b = randomVec(b_sz, 31 * s.n + s.k + 2);
+    const std::vector<float> c0 =
+        randomVec(static_cast<std::size_t>(s.m) * s.n, 7);
+    const std::int64_t lda = trans_a ? s.m : s.k;
+    const std::int64_t ldb = trans_b ? s.k : s.n;
+    got = c0;
+    want = c0;
+    gemmBlocked(s.m, s.n, s.k, a.data(), lda, trans_a, b.data(), ldb,
+                trans_b, got.data(), s.n, accumulate);
+    gemmReference(s.m, s.n, s.k, a.data(), lda, trans_a, b.data(), ldb,
+                  trans_b, want.data(), s.n, accumulate);
+}
+
+TEST_F(KernelsTest, BlockedMatchesReferenceBitForBit)
+{
+    for (const GemmShape &s : kShapes)
+        for (bool trans_a : {false, true})
+            for (bool trans_b : {false, true})
+                for (bool accumulate : {false, true}) {
+                    std::vector<float> got, want;
+                    runBothGemms(s, trans_a, trans_b, accumulate, got, want);
+                    EXPECT_TRUE(bitEqual(got, want))
+                        << "m=" << s.m << " n=" << s.n << " k=" << s.k
+                        << " trans_a=" << trans_a << " trans_b=" << trans_b
+                        << " accumulate=" << accumulate;
+                }
+}
+
+TEST_F(KernelsTest, ThreadCountNeverChangesABit)
+{
+    const GemmShape shapes[] = {
+        {kBlockM + 22, 19, 7}, {37, 53, kBlockK + 44}, {200, 64, 96}};
+    for (const GemmShape &s : shapes) {
+        setThreadCount(1);
+        std::vector<float> base, want;
+        runBothGemms(s, false, false, false, base, want);
+        ASSERT_TRUE(bitEqual(base, want));
+        for (int threads : {2, 4, 8}) {
+            setThreadCount(threads);
+            std::vector<float> got;
+            runBothGemms(s, false, false, false, got, want);
+            EXPECT_TRUE(bitEqual(got, base))
+                << "m=" << s.m << " threads=" << threads;
+        }
+    }
+}
+
+TEST_F(KernelsTest, MatmulWrappersMatchReference)
+{
+    const int m = 19, n = 33, k = 27;
+    const std::vector<float> av = randomVec(static_cast<std::size_t>(m) * k, 3);
+    const std::vector<float> bv = randomVec(static_cast<std::size_t>(k) * n, 4);
+
+    // matmul: A [m,k] * B [k,n].
+    Tensor a = Tensor::fromData({m, k}, av);
+    Tensor b = Tensor::fromData({k, n}, bv);
+    Tensor c = matmul(a, b);
+    std::vector<float> want(static_cast<std::size_t>(m) * n);
+    gemmReference(m, n, k, av.data(), k, false, bv.data(), n, false,
+                  want.data(), n, false);
+    EXPECT_EQ(0, std::memcmp(c.data(), want.data(),
+                             want.size() * sizeof(float)));
+
+    // matmulTransA: A [k,m] -> A^T * B.
+    Tensor at = Tensor::fromData({k, m}, randomVec(av.size(), 5));
+    c = matmulTransA(at, b);
+    gemmReference(m, n, k, at.data(), m, true, bv.data(), n, false,
+                  want.data(), n, false);
+    EXPECT_EQ(0, std::memcmp(c.data(), want.data(),
+                             want.size() * sizeof(float)));
+
+    // matmulTransB: B [n,k] -> A * B^T.
+    Tensor bt = Tensor::fromData({n, k}, randomVec(bv.size(), 6));
+    c = matmulTransB(a, bt);
+    gemmReference(m, n, k, av.data(), k, false, bt.data(), k, true,
+                  want.data(), n, false);
+    EXPECT_EQ(0, std::memcmp(c.data(), want.data(),
+                             want.size() * sizeof(float)));
+}
+
+TEST_F(KernelsTest, PackedConvMatchesColsPathBitForBit)
+{
+    // Odd spatial extents and stride/pad combinations so panel tails and
+    // zero-padding rows are exercised.
+    struct Case
+    {
+        int cin, h, w, cout, k, stride, pad;
+    };
+    const Case cases[] = {
+        {3, 9, 11, 5, 3, 1, 1},
+        {1, 4, 4, 2, 2, 2, 0},
+        {4, 16, 16, 8, 3, 2, 1},
+        {2, 7, 5, 3, 5, 1, 2},
+    };
+    for (const Case &cs : cases) {
+        Tensor x = Tensor::fromData(
+            {1, cs.cin, cs.h, cs.w},
+            randomVec(static_cast<std::size_t>(cs.cin) * cs.h * cs.w, 11));
+        Tensor wmat = Tensor::fromData(
+            {cs.cout, cs.cin * cs.k * cs.k},
+            randomVec(static_cast<std::size_t>(cs.cout) * cs.cin * cs.k *
+                          cs.k,
+                      12));
+        Tensor bias =
+            Tensor::fromData({cs.cout},
+                             randomVec(static_cast<std::size_t>(cs.cout), 13));
+        const int oh = convOutSize(cs.h, cs.k, cs.stride, cs.pad);
+        const int ow = convOutSize(cs.w, cs.k, cs.stride, cs.pad);
+        Tensor y_cols({1, cs.cout, oh, ow});
+        Tensor y_packed({1, cs.cout, oh, ow});
+        conv2dImage(x, 0, wmat, bias, cs.k, cs.k, cs.stride, cs.pad, y_cols);
+        conv2dImageInto(x, 0, wmat, bias, cs.k, cs.k, cs.stride, cs.pad,
+                        y_packed);
+        EXPECT_EQ(0, std::memcmp(y_cols.data(), y_packed.data(),
+                                 y_cols.numel() * sizeof(float)))
+            << "cin=" << cs.cin << " h=" << cs.h << " k=" << cs.k
+            << " stride=" << cs.stride << " pad=" << cs.pad;
+    }
+}
+
+TEST_F(KernelsTest, ArenaScopeRewindsAndTracksHighWater)
+{
+    Arena &arena = Arena::local();
+    {
+        Arena::Scope outer;
+        const std::size_t live0 = arena.liveFloats();
+        float *p = arena.alloc(100);
+        ASSERT_NE(p, nullptr);
+        EXPECT_GE(arena.liveFloats(), live0 + 100);
+        {
+            Arena::Scope inner;
+            arena.alloc(200);
+            EXPECT_GE(arena.liveFloats(), live0 + 300);
+        }
+        // Inner scope rewound; outer allocation still live.
+        EXPECT_GE(arena.liveFloats(), live0 + 100);
+        EXPECT_LT(arena.liveFloats(), live0 + 300);
+        EXPECT_GE(arena.highWaterFloats(), live0 + 300);
+        // Memory is writable through the whole outer scope.
+        for (int i = 0; i < 100; ++i)
+            p[i] = static_cast<float>(i);
+        EXPECT_EQ(p[99], 99.0f);
+    }
+    EXPECT_EQ(arena.liveFloats(), 0u);
+}
+
+TEST_F(KernelsTest, ArenaAllocationsAreVectorAligned)
+{
+    Arena::Scope scope;
+    for (std::size_t n : {1u, 3u, 17u, 100u}) {
+        float *p = Arena::local().alloc(n);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u)
+            << "n=" << n;
+    }
+}
+
+TEST_F(KernelsTest, WarmConvForwardAllocatesNoHeapBlocks)
+{
+    setThreadCount(1);
+    Rng rng(42);
+    Conv2d conv(8, 16, 3, 1, 1, true, rng);
+    Tensor x = Tensor::fromData(
+        {2, 8, 24, 24},
+        randomVec(static_cast<std::size_t>(2) * 8 * 24 * 24, 21));
+
+    // Warm-up: grow the arena to its high-water capacity.
+    for (int i = 0; i < 3; ++i)
+        conv.forward(x, Mode::Eval);
+
+    const std::uint64_t warm = Arena::totalBlockAllocs();
+    Tensor y0 = conv.forward(x, Mode::Eval);
+    for (int i = 0; i < 10; ++i) {
+        Tensor y = conv.forward(x, Mode::Eval);
+        ASSERT_EQ(0, std::memcmp(y.data(), y0.data(),
+                                 y.numel() * sizeof(float)));
+    }
+    EXPECT_EQ(Arena::totalBlockAllocs(), warm)
+        << "steady-state conv forward touched the heap for kernel scratch";
+}
+
+TEST_F(KernelsTest, WarmGemmAllocatesNoHeapBlocks)
+{
+    setThreadCount(1);
+    const int m = 150, n = 96, k = 300;
+    const std::vector<float> a = randomVec(static_cast<std::size_t>(m) * k, 1);
+    const std::vector<float> b = randomVec(static_cast<std::size_t>(k) * n, 2);
+    std::vector<float> c(static_cast<std::size_t>(m) * n);
+    for (int i = 0; i < 3; ++i)
+        gemmBlocked(m, n, k, a.data(), k, false, b.data(), n, false,
+                    c.data(), n, false);
+    const std::uint64_t warm = Arena::totalBlockAllocs();
+    for (int i = 0; i < 10; ++i)
+        gemmBlocked(m, n, k, a.data(), k, false, b.data(), n, false,
+                    c.data(), n, false);
+    EXPECT_EQ(Arena::totalBlockAllocs(), warm);
+}
+
+TEST_F(KernelsTest, Im2colRoundTripAdjoint)
+{
+    // <cols, im2col(x)> == <col2im(cols), x> pins col2imRaw as the exact
+    // adjoint of im2colRaw (up to float rounding of the two dot
+    // products, computed here in double).
+    const int c = 3, h = 7, w = 6, k = 3, stride = 2, pad = 1;
+    const int oh = convOutSize(h, k, stride, pad);
+    const int ow = convOutSize(w, k, stride, pad);
+    const std::size_t x_sz = static_cast<std::size_t>(c) * h * w;
+    const std::size_t cols_sz =
+        static_cast<std::size_t>(c) * k * k * oh * ow;
+    const std::vector<float> x = randomVec(x_sz, 31);
+    const std::vector<float> u = randomVec(cols_sz, 32);
+
+    std::vector<float> cols(cols_sz);
+    im2colRaw(x.data(), c, h, w, k, k, stride, pad, cols.data());
+    std::vector<float> folded(x_sz, 0.0f);
+    col2imRaw(u.data(), c, h, w, k, k, stride, pad, folded.data());
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < cols_sz; ++i)
+        lhs += static_cast<double>(u[i]) * cols[i];
+    for (std::size_t i = 0; i < x_sz; ++i)
+        rhs += static_cast<double>(folded[i]) * x[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3 * (std::abs(lhs) + 1.0));
+}
+
+} // namespace
+} // namespace leca

@@ -26,6 +26,12 @@ Enforces invariants clang-tidy cannot express:
                      src/util/parallel.* — all concurrency flows
                      through the one audited deterministic pool
                      (parallelFor / parallelReduce).
+  tensor-at-in-kernel
+                     no per-element `.at(...)` indexing inside the hot
+                     kernel files (src/tensor/ops.cc and
+                     src/tensor/kernels.cc) — inner loops there must
+                     walk raw pointers; bounds are checked once at the
+                     op boundary, not per element.
 
 Usage:  tools/leca_lint.py [DIR-or-FILE ...]
         (defaults to: src tests bench examples)
@@ -94,6 +100,14 @@ LINE_RULES = [
         False,
         False,
     ),
+    (
+        "tensor-at-in-kernel",
+        re.compile(r"\.at\s*\("),
+        "per-element Tensor::at in a hot kernel file; walk raw "
+        "pointers (bounds are checked once at the op boundary)",
+        True,
+        False,
+    ),
 ]
 
 # Rule name -> repo-relative paths where the rule does not apply.
@@ -101,6 +115,13 @@ RULE_EXEMPT_PATHS = {
     # The audited pool implementation is the one place allowed to own
     # threads.
     "concurrency-primitive": re.compile(r"^src/util/parallel\.(hh|cc)$"),
+}
+
+# Rule name -> repo-relative paths the rule is restricted to (the rule
+# applies only there; everywhere else it is silent).
+RULE_ONLY_PATHS = {
+    # The two files holding the hot inner loops.
+    "tensor-at-in-kernel": re.compile(r"^src/tensor/(ops|kernels)\.cc$"),
 }
 
 COMMENT_OR_STRING = re.compile(
@@ -187,6 +208,9 @@ def lint_file(path: pathlib.Path) -> list[str]:
             exempt = RULE_EXEMPT_PATHS.get(name)
             if (exempt and rel is not None
                     and exempt.match(rel.as_posix())):
+                continue
+            only = RULE_ONLY_PATHS.get(name)
+            if only and (rel is None or not only.match(rel.as_posix())):
                 continue
             match = pattern.search(raw if scan_raw else code)
             if match:
