@@ -7,11 +7,15 @@
 
 #include <iostream>
 
+#include "core/pipeline.hh"
+#include "data/backbone.hh"
 #include "hw/controller.hh"
 #include "hw/sensor_chip.hh"
 #include "hw/timing.hh"
 #include "hw/weights.hh"
 #include "json_report.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -45,6 +49,49 @@ measureSimulatorThroughput(leca::bench::JsonReport &report)
     std::cout << "\nsimulator wall-clock (64x64 ideal encode, "
               << threadCount() << " threads): "
               << Table::num(1000.0 / ms, 1) << " frames/s\n";
+}
+
+/**
+ * End-to-end software-pipeline throughput: encoder -> decoder ->
+ * backbone logits on one 64x64 RGB frame, in evaluation mode and as a
+ * full training step (forward + backward + Adam).
+ */
+void
+measurePipelineThroughput(leca::bench::JsonReport &report)
+{
+    using namespace leca;
+    Rng rng(21);
+    auto backbone = makeBackbone(BackboneStyle::Proxy, 3, 8, rng);
+    LecaPipeline::Options options;
+    options.seed = 5;
+    LecaPipeline pipeline(options, std::move(backbone));
+
+    Rng srng(22);
+    Tensor frame({1, 3, 64, 64});
+    for (std::size_t i = 0; i < frame.numel(); ++i)
+        frame[i] = static_cast<float>(srng.uniform(0.1, 0.9));
+    const std::vector<int> labels = {3};
+
+    const double eval_ms = bench::timeWallMs([&] {
+        Tensor logits = pipeline.forward(frame, Mode::Eval);
+    }, 10);
+    report.add("pipeline_frame_eval_64", eval_ms, 1000.0 / eval_ms);
+
+    Adam adam(pipeline.allParams(), 1e-3);
+    SoftmaxCrossEntropy loss;
+    const double train_ms = bench::timeWallMs([&] {
+        adam.zeroGrad();
+        Tensor logits = pipeline.forward(frame, Mode::Train);
+        loss.forward(logits, labels);
+        pipeline.backward(loss.backward());
+        adam.step();
+    }, 10);
+    report.add("pipeline_frame_train_64", train_ms, 1000.0 / train_ms);
+
+    std::cout << "software pipeline (64x64, " << threadCount()
+              << " threads): " << Table::num(1000.0 / eval_ms, 1)
+              << " eval frames/s, " << Table::num(1000.0 / train_ms, 1)
+              << " train steps/s\n";
 }
 
 } // namespace
@@ -114,5 +161,6 @@ main(int argc, char **argv)
                timing.frameLatencyUs(1080, 4) / 1000.0,
                timing.framesPerSecond(1080, 4));
     measureSimulatorThroughput(report);
+    measurePipelineThroughput(report);
     return 0;
 }

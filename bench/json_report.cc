@@ -82,8 +82,9 @@ JsonReport::write()
     for (std::size_t i = 0; i < _entries.size(); ++i) {
         const Entry &e = _entries[i];
         out << "    {\"name\": \"" << escape(e.name)
-            << "\", \"wall_ms\": " << e.wallMs
-            << ", \"images_per_sec\": " << e.imagesPerSec;
+            << "\", \"wall_ms\": " << e.wallMs;
+        if (e.imagesPerSec > 0.0)
+            out << ", \"images_per_sec\": " << e.imagesPerSec;
         if (e.gflops > 0.0)
             out << ", \"gflops\": " << e.gflops;
         out << "}" << (i + 1 < _entries.size() ? "," : "") << "\n";

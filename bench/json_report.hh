@@ -37,8 +37,9 @@ class JsonReport
 
     /**
      * Record one benchmark: wall time per iteration in milliseconds
-     * and throughput in images (or frames / items) per second. Pass
-     * 0 for images_per_sec when throughput has no meaning. Entries
+     * and throughput in images (or frames / items) per second. A rate
+     * of 0 means "not meaningful for this entry" and omits the key
+     * from the JSON — entries never report a bogus zero rate. Entries
      * with a known FLOP count can additionally report arithmetic
      * throughput in GFLOP/s (emitted as an extra "gflops" key; 0
      * omits it, keeping the schema backward compatible).

@@ -16,6 +16,9 @@
 
 #include "analog/chain.hh"
 #include "compression/compressive_sensing.hh"
+#include "data/backbone.hh"
+#include "data/dataset.hh"
+#include "data/trainloop.hh"
 #include "hw/sensor_chip.hh"
 #include "hw/weights.hh"
 #include "json_report.hh"
@@ -253,6 +256,48 @@ compareKernels(leca::bench::JsonReport &report)
     table.print(std::cout);
 }
 
+/**
+ * End-to-end training-path throughput: full trainClassifier calls
+ * (gather + augment + forward + backward + Adam + batch-norm refresh)
+ * on a small SyntheticVision problem shaped like the fig10/fig11
+ * training workloads, reported as images/sec over the epoch loop.
+ */
+void
+reportTrainEpoch(leca::bench::JsonReport &report)
+{
+    using leca::bench::timeWallMs;
+    SyntheticVision::Config cfg;
+    cfg.resolution = 32;
+    cfg.numClasses = 4;
+    cfg.seed = 42;
+    SyntheticVision gen(cfg);
+    const Dataset train = gen.generate(192, 1);
+    const Dataset val; // empty: time the training path, not the eval tail
+
+    constexpr int kEpochs = 2;
+    const auto run = [&](bool augment) {
+        TrainOptions options;
+        options.epochs = kEpochs;
+        options.batchSize = 16;
+        options.learningRate = 1e-3;
+        options.augment = augment;
+        options.seed = 7;
+        Rng rng(11);
+        auto net = makeBackbone(BackboneStyle::Proxy, 3, 4, rng);
+        trainClassifier(*net, train, val, options);
+    };
+    const double images = static_cast<double>(kEpochs) * train.count();
+    const double ms = timeWallMs([&] { run(false); }, 2);
+    report.add("train_epoch_proxy32", ms, images * 1000.0 / ms);
+    const double aug_ms = timeWallMs([&] { run(true); }, 2);
+    report.add("train_epoch_proxy32_aug", aug_ms,
+               images * 1000.0 / aug_ms);
+    std::cout << "train_epoch_proxy32: "
+              << Table::num(images * 1000.0 / ms, 1)
+              << " images/s (augmented: "
+              << Table::num(images * 1000.0 / aug_ms, 1) << ")\n";
+}
+
 /** Wall-clock timing of the key kernels for the JSON report. */
 void
 reportJson(leca::bench::JsonReport &report)
@@ -312,7 +357,9 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     compareKernels(report);
-    if (report.enabled())
+    if (report.enabled()) {
         reportJson(report);
+        reportTrainEpoch(report);
+    }
     return 0;
 }

@@ -8,6 +8,7 @@
 #include "nn/init.hh"
 #include "tensor/kernels.hh"
 #include "tensor/ops.hh"
+#include "util/arena.hh"
 #include "util/check.hh"
 #include "util/logging.hh"
 #include "util/numeric.hh"
@@ -113,40 +114,34 @@ LecaEncoder::forwardSoft(const Tensor &x, Mode mode)
     const int oh = h / k, ow = w / k;
     const int nch = _config.nch;
 
-    _softCols.clear();
     _inShape = x.shape();
 
     const Tensor wmat = _weight.value.reshape({nch, c * k * k});
     const Tensor no_bias;
     Tensor pre({n, nch, oh, ow});
-    // Pre-sized cache slots instead of push_back so images parallelize.
-    if (mode == Mode::Train)
-        _softCols.resize(static_cast<std::size_t>(n));
+    // Every image packs straight into arena scratch (conv2dImageInto):
+    // no column matrix, no per-image allocation. Backward recomputes
+    // the im2col it needs from the cached input.
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
-        for (int i = static_cast<int>(n0); i < n1; ++i) {
-            if (mode == Mode::Train)
-                _softCols[static_cast<std::size_t>(i)] =
-                    conv2dImage(x, i, wmat, no_bias, k, k, k, 0, pre);
-            else
-                // Inference: pack straight into arena scratch, no
-                // column matrix, no per-image allocation.
-                conv2dImageInto(x, i, wmat, no_bias, k, k, k, 0, pre);
-        }
+        for (int i = static_cast<int>(n0); i < n1; ++i)
+            conv2dImageInto(x, i, wmat, no_bias, k, k, k, 0, pre);
     });
 
     const float s = std::max(_outScale.value[0], 0.05f);
     const int levels = _config.qbits.levels();
     Tensor features(pre.shape());
+    const float *pp = pre.data();
+    float *fp = features.data();
     parallelFor(0, static_cast<std::int64_t>(pre.numel()), 4096,
                 [&](std::int64_t i0, std::int64_t i1) {
-                    for (std::int64_t i = i0; i < i1; ++i) {
-                        const std::size_t q = static_cast<std::size_t>(i);
-                        features[q] =
-                            quantizeUniform(pre[q] / s, -1.0f, 1.0f, levels);
-                    }
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        fp[i] =
+                            quantizeUniform(pp[i] / s, -1.0f, 1.0f, levels);
                 });
-    if (mode == Mode::Train)
+    if (mode == Mode::Train) {
+        _softInput = x;
         _softPre = std::move(pre);
+    }
     return features;
 }
 
@@ -163,44 +158,64 @@ LecaEncoder::backwardSoft(const Tensor &grad_out)
 
     const float s = std::max(_outScale.value[0], 0.05f);
 
-    // STE through the quantizer and scale division.
+    // STE through the quantizer and scale division. The g_s summation
+    // stays serial so the double accumulation order is fixed.
     Tensor g_pre(grad_out.shape());
+    const float *go = grad_out.data();
+    const float *sp = _softPre.data();
+    float *gp = g_pre.data();
     double g_s = 0.0;
     for (std::size_t i = 0; i < grad_out.numel(); ++i) {
-        const float ratio = _softPre[i] / s;
+        const float ratio = sp[i] / s;
         if (ratio >= -1.0f && ratio <= 1.0f) {
-            g_pre[i] = grad_out[i] / s;
-            g_s += static_cast<double>(grad_out[i]) * (-_softPre[i])
-                   / (s * s);
+            gp[i] = go[i] / s;
+            g_s += static_cast<double>(go[i]) * (-sp[i]) / (s * s);
         } else {
-            g_pre[i] = 0.0f;
+            gp[i] = 0.0f;
         }
     }
     _outScale.grad[0] += static_cast<float>(g_s);
 
-    Tensor dwmat({nch, c * k * k});
-    // Per-image dW partials, folded in ascending image order: the same
-    // per-image tensors the serial loop added, in the same order.
-    std::vector<Tensor> dws(static_cast<std::size_t>(n));
+    const int kdim = c * k * k;
+    const std::int64_t ohow = static_cast<std::int64_t>(oh) * ow;
+    const std::size_t in_sz = static_cast<std::size_t>(c) * h * w;
+    Tensor dwmat({nch, kdim});
+    // Per-image dW partials in one arena slab owned by the calling
+    // thread's scope, folded serially in ascending image order: the
+    // same per-image matrices the serial loop added, in the same order,
+    // with zero heap allocation.
+    Arena::Scope scope;
+    float *partials = Arena::local().alloc(
+        static_cast<std::size_t>(n) * nch * kdim);
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
             // dW_i = dY * cols^T, reading the contiguous [nch, OH*OW]
-            // slab of g_pre in place.
-            const std::int64_t ohow = static_cast<std::int64_t>(oh) * ow;
+            // slab of g_pre in place and recomputing this image's
+            // column matrix into arena scratch.
             const float *dy =
                 g_pre.data() + static_cast<std::size_t>(i) * nch * ohow;
-            const Tensor &cols = _softCols[static_cast<std::size_t>(i)];
-            Tensor dw({nch, c * k * k});
-            gemmBlocked(nch, c * k * k, ohow, dy, ohow, false, cols.data(),
-                        ohow, true, dw.data(), c * k * k, false);
-            dws[static_cast<std::size_t>(i)] = std::move(dw);
+            float *dw = partials + static_cast<std::size_t>(i) * nch * kdim;
+            Arena::Scope image_scope;
+            float *cols = Arena::local().alloc(
+                static_cast<std::size_t>(kdim) * ohow);
+            im2colRaw(_softInput.data()
+                          + static_cast<std::size_t>(i) * in_sz,
+                      c, h, w, k, k, k, 0, cols);
+            gemmBlocked(nch, kdim, ohow, dy, ohow, false, cols, ohow, true,
+                        dw, kdim, false);
         }
     });
-    for (int i = 0; i < n; ++i)
-        dwmat += dws[static_cast<std::size_t>(i)];
+    float *dwp = dwmat.data();
+    for (int i = 0; i < n; ++i) {
+        const float *dw =
+            partials + static_cast<std::size_t>(i) * nch * kdim;
+        for (std::size_t e = 0;
+             e < static_cast<std::size_t>(nch) * kdim; ++e)
+            dwp[e] += dw[e];
+    }
     _weight.grad += dwmat.reshape({nch, c, k, k});
 
-    _softCols.clear();
+    _softInput = Tensor();
     _softPre = Tensor();
     // The encoder is the first pipeline stage; no upstream gradient.
     return Tensor(_inShape);

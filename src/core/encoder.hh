@@ -97,8 +97,8 @@ class LecaEncoder : public Layer
     Rng *_noiseRng = nullptr;
 
     // ---- Soft-mode cache ----
-    std::vector<Tensor> _softCols;
-    Tensor _softPre;  //!< conv output before scaling/quantization
+    Tensor _softInput; //!< forward input; backward recomputes im2col
+    Tensor _softPre;   //!< conv output before scaling/quantization
     std::vector<int> _inShape;
 
     // ---- Hard/Noisy-mode cache (per output element, 16 steps) ----

@@ -38,19 +38,9 @@ LecaPipeline::setModality(EncoderModality modality)
 }
 
 Tensor
-LecaPipeline::maybeAddPixelNoise(const Tensor &images)
-{
-    if (_encoder->modality() != EncoderModality::Noisy)
-        return images;
-    // Pixel-array shot + read noise (Sec. 5.3, "Pixel array noise").
-    return _pixelNoise.apply(images, _noiseRng);
-}
-
-Tensor
 LecaPipeline::forward(const Tensor &images, Mode mode)
 {
-    const Tensor input = maybeAddPixelNoise(images);
-    const Tensor features = _encoder->forward(input, mode);
+    const Tensor features = encodeFeatures(images, mode);
     const Tensor decoded = _decoder->forward(features, mode);
     return _backbone->forward(decoded, mode);
 }
@@ -58,16 +48,20 @@ LecaPipeline::forward(const Tensor &images, Mode mode)
 Tensor
 LecaPipeline::decodeImages(const Tensor &images, Mode mode)
 {
-    const Tensor input = maybeAddPixelNoise(images);
-    const Tensor features = _encoder->forward(input, mode);
+    const Tensor features = encodeFeatures(images, mode);
     return _decoder->forward(features, mode);
 }
 
 Tensor
 LecaPipeline::encodeFeatures(const Tensor &images, Mode mode)
 {
-    const Tensor input = maybeAddPixelNoise(images);
-    return _encoder->forward(input, mode);
+    // Only the noisy path materialises a perturbed copy of the frame
+    // (pixel-array shot + read noise, Sec. 5.3); the other modalities
+    // read the caller's frame in place.
+    if (_encoder->modality() == EncoderModality::Noisy)
+        return _encoder->forward(_pixelNoise.apply(images, _noiseRng),
+                                 mode);
+    return _encoder->forward(images, mode);
 }
 
 void
@@ -155,12 +149,16 @@ void
 LecaPipeline::refreshStats(const Dataset &ds, int batch_size)
 {
     LECA_CHECK(batch_size > 0, "refreshStats batch size ", batch_size);
+    const int c = ds.images.size(1), h = ds.images.size(2);
+    const int w = ds.images.size(3);
+    const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
     _decoder->setStatsRefresh(true);
     _backbone->setStatsRefresh(true);
     for (int begin = 0; begin < ds.count(); begin += batch_size) {
         const int count = std::min(batch_size, ds.count() - begin);
-        const Dataset batch = sliceDataset(ds, begin, count);
-        forward(batch.images, Mode::Train);
+        const Tensor batch = Tensor::borrow(
+            {count, c, h, w}, ds.images.data() + begin * img_sz);
+        forward(batch, Mode::Train);
     }
     _decoder->setStatsRefresh(false);
     _backbone->setStatsRefresh(false);
@@ -173,15 +171,22 @@ LecaPipeline::evalAccuracy(const Dataset &ds, int batch_size)
     const int n = ds.count();
     if (n == 0)
         return 0.0;
+    const int c = ds.images.size(1), h = ds.images.size(2);
+    const int w = ds.images.size(3);
+    const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
     int correct = 0;
     // Batches stay sequential — the encoder/decoder/backbone layers
     // cache per-call state, so parallelism lives inside each forward
     // (per-image conv, GEMM row panels) instead of across batches.
+    // Each batch is a borrowed view of the dataset slab — no copy.
     for (int begin = 0; begin < n; begin += batch_size) {
         const int count = std::min(batch_size, n - begin);
-        const Dataset batch = sliceDataset(ds, begin, count);
-        const Tensor logits = forward(batch.images, Mode::Eval);
-        correct += roundToInt(accuracy(logits, batch.labels) * count);
+        const Tensor batch = Tensor::borrow(
+            {count, c, h, w}, ds.images.data() + begin * img_sz);
+        const Tensor logits = forward(batch, Mode::Eval);
+        const std::vector<int> labels(ds.labels.begin() + begin,
+                                      ds.labels.begin() + begin + count);
+        correct += roundToInt(accuracy(logits, labels) * count);
     }
     return static_cast<double>(correct) / static_cast<double>(n);
 }

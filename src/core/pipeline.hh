@@ -93,8 +93,6 @@ class LecaPipeline
     std::unique_ptr<Sequential> _backbone;
     PixelNoiseModel _pixelNoise;
     Rng _noiseRng;
-
-    Tensor maybeAddPixelNoise(const Tensor &images);
 };
 
 } // namespace leca

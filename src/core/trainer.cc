@@ -32,24 +32,22 @@ LecaTrainer::runEpochs(const Dataset &train, const Dataset &val, int epochs,
             std::swap(order[static_cast<std::size_t>(i)],
                       order[static_cast<std::size_t>(j)]);
         }
+        BatchPipeline batches(train, order, options.batchSize,
+                              options.prefetch);
         double epoch_loss = 0.0;
-        int batches = 0;
-        for (int begin = 0; begin < train.count();
-             begin += options.batchSize) {
-            const int count =
-                std::min(options.batchSize, train.count() - begin);
-            const Dataset batch = gatherBatch(train, order, begin, count);
+        const int batch_count = batches.batchCount();
+        for (int b = 0; b < batch_count; ++b) {
+            const Dataset &batch = batches.batch(b);
             adam.zeroGrad();
             const Tensor logits =
                 _pipeline.forward(batch.images, Mode::Train);
             epoch_loss += loss.forward(logits, batch.labels);
             _pipeline.backward(loss.backward());
             adam.step();
-            ++batches;
         }
         if (options.verbose) {
             inform("leca epoch ", epoch + 1, "/", epochs, " loss ",
-                   epoch_loss / std::max(1, batches));
+                   epoch_loss / std::max(1, batch_count));
         }
     }
     _pipeline.refreshStats(train, options.batchSize);

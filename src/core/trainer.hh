@@ -30,6 +30,7 @@ struct LecaTrainOptions
     bool unfreezeBackbone = false; //!< Sec. 6.4 ablation
     bool incrementalQbit = true;   //!< 8-bit pre-train, then target
     int incrementalEpochs = 3;     //!< epochs of the lenient stage
+    bool prefetch = true;          //!< overlap batch prep with compute
     bool verbose = false;
     std::uint64_t seed = 7;
 };

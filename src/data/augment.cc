@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "util/arena.hh"
 #include "util/check.hh"
 #include "util/parallel.hh"
 
@@ -14,11 +15,14 @@ flipHorizontal(Tensor &batch, int index)
 {
     LECA_CHECK(batch.dim() == 4, "flipHorizontal expects [N,C,H,W]");
     const int c = batch.size(1), h = batch.size(2), w = batch.size(3);
+    float *img = batch.data()
+        + static_cast<std::size_t>(index) * c * h * w;
     for (int ch = 0; ch < c; ++ch)
-        for (int y = 0; y < h; ++y)
+        for (int y = 0; y < h; ++y) {
+            float *row = img + (static_cast<std::size_t>(ch) * h + y) * w;
             for (int x = 0; x < w / 2; ++x)
-                std::swap(batch.at(index, ch, y, x),
-                          batch.at(index, ch, y, w - 1 - x));
+                std::swap(row[x], row[w - 1 - x]);
+        }
 }
 
 void
@@ -30,8 +34,15 @@ rotateImage(Tensor &batch, int index, double degrees)
     const double cs = std::cos(rad), sn = std::sin(rad);
     const double cx = (w - 1) / 2.0, cy = (h - 1) / 2.0;
 
-    Tensor out({c, h, w});
+    const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
+    float *img = batch.data() + static_cast<std::size_t>(index) * img_sz;
+    // The rotated image is built in arena scratch (reads and writes
+    // alias the same pixels), then copied back over the source.
+    Arena::Scope scope;
+    float *out = Arena::local().alloc(img_sz);
     for (int ch = 0; ch < c; ++ch) {
+        const float *src = img + static_cast<std::size_t>(ch) * h * w;
+        float *dst = out + static_cast<std::size_t>(ch) * h * w;
         for (int y = 0; y < h; ++y) {
             for (int x = 0; x < w; ++x) {
                 // Inverse-rotate the destination coordinate.
@@ -46,16 +57,20 @@ rotateImage(Tensor &batch, int index, double degrees)
                 const int y1 = std::min(y0 + 1, h - 1);
                 const double fx = sx - x0, fy = sy - y0;
                 const double v =
-                    batch.at(index, ch, y0, x0) * (1 - fy) * (1 - fx) +
-                    batch.at(index, ch, y0, x1) * (1 - fy) * fx +
-                    batch.at(index, ch, y1, x0) * fy * (1 - fx) +
-                    batch.at(index, ch, y1, x1) * fy * fx;
-                out.at(ch, y, x) = static_cast<float>(v);
+                    src[static_cast<std::size_t>(y0) * w + x0]
+                        * (1 - fy) * (1 - fx) +
+                    src[static_cast<std::size_t>(y0) * w + x1]
+                        * (1 - fy) * fx +
+                    src[static_cast<std::size_t>(y1) * w + x0]
+                        * fy * (1 - fx) +
+                    src[static_cast<std::size_t>(y1) * w + x1]
+                        * fy * fx;
+                dst[static_cast<std::size_t>(y) * w + x] =
+                    static_cast<float>(v);
             }
         }
     }
-    float *dst = batch.data() + static_cast<std::size_t>(index) * out.numel();
-    std::copy(out.data(), out.data() + out.numel(), dst);
+    std::copy(out, out + img_sz, img);
 }
 
 void
@@ -67,6 +82,17 @@ augmentBatch(Tensor &batch, Rng &rng, double max_degrees)
     // every thread count.
     std::vector<Rng> image_rngs =
         Rng::split(rng, static_cast<std::size_t>(n));
+    augmentBatch(batch, image_rngs, max_degrees);
+}
+
+void
+augmentBatch(Tensor &batch, std::vector<Rng> &image_rngs,
+             double max_degrees)
+{
+    const int n = batch.size(0);
+    LECA_CHECK(image_rngs.size() == static_cast<std::size_t>(n),
+               "augmentBatch got ", image_rngs.size(), " streams for ", n,
+               " images");
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
             Rng &image_rng = image_rngs[static_cast<std::size_t>(i)];

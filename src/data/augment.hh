@@ -7,6 +7,8 @@
 #ifndef LECA_DATA_AUGMENT_HH
 #define LECA_DATA_AUGMENT_HH
 
+#include <vector>
+
 #include "tensor/tensor.hh"
 #include "util/rng.hh"
 
@@ -27,6 +29,15 @@ void rotateImage(Tensor &batch, int index, double degrees);
  * +max_degrees).
  */
 void augmentBatch(Tensor &batch, Rng &rng, double max_degrees = 20.0);
+
+/**
+ * Same, with the per-image streams already split off (one per batch
+ * index). Pre-splitting lets an epoch executor derive every batch's
+ * streams up front, so a prefetched batch draws exactly the numbers a
+ * sequential run would.
+ */
+void augmentBatch(Tensor &batch, std::vector<Rng> &image_rngs,
+                  double max_degrees = 20.0);
 
 } // namespace leca
 

@@ -8,8 +8,6 @@
 #include "nn/optimizer.hh"
 #include "util/check.hh"
 #include "util/logging.hh"
-#include "util/parallel.hh"
-#include "util/rng.hh"
 
 namespace leca {
 
@@ -54,21 +52,108 @@ gatherBatch(const Dataset &ds, const std::vector<int> &order, int begin,
     return batch;
 }
 
+BatchPipeline::BatchPipeline(const Dataset &ds,
+                             const std::vector<int> &order, int batch_size,
+                             bool prefetch,
+                             std::vector<std::vector<Rng>> augment_rngs,
+                             double max_degrees)
+    : _ds(ds), _order(order), _batchSize(batch_size),
+      _batchCount((ds.count() + batch_size - 1) / batch_size),
+      _prefetch(prefetch), _maxDegrees(max_degrees),
+      _rngs(std::move(augment_rngs))
+{
+    LECA_CHECK(batch_size > 0, "batch size must be positive, got ",
+               batch_size);
+    LECA_CHECK(order.size() == static_cast<std::size_t>(ds.count()),
+               "order has ", order.size(), " entries for ", ds.count(),
+               " images");
+    LECA_CHECK(_rngs.empty()
+                   || _rngs.size() == static_cast<std::size_t>(_batchCount),
+               "got ", _rngs.size(), " augment streams for ", _batchCount,
+               " batches");
+}
+
+void
+BatchPipeline::produce(int b, Dataset &slot)
+{
+    const int begin = b * _batchSize;
+    const int count = std::min(_batchSize, _ds.count() - begin);
+    const int c = _ds.images.size(1), h = _ds.images.size(2);
+    const int w = _ds.images.size(3);
+    const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
+    // Reuse the slot's storage when the shape repeats (every batch but
+    // possibly the last), so steady-state epochs allocate nothing here.
+    if (slot.images.dim() != 4 || slot.images.size(0) != count
+        || slot.images.size(1) != c || slot.images.size(2) != h
+        || slot.images.size(3) != w)
+        slot.images = Tensor({count, c, h, w});
+    slot.labels.resize(static_cast<std::size_t>(count));
+    parallelFor(0, count, 8, [&](std::int64_t i0, std::int64_t i1) {
+        for (int i = static_cast<int>(i0); i < i1; ++i) {
+            const int src = _order[static_cast<std::size_t>(begin + i)];
+            std::copy(_ds.images.data() + src * img_sz,
+                      _ds.images.data() + (src + 1) * img_sz,
+                      slot.images.data() + i * img_sz);
+            slot.labels[static_cast<std::size_t>(i)] =
+                _ds.labels[static_cast<std::size_t>(src)];
+        }
+    });
+    if (!_rngs.empty())
+        augmentBatch(slot.images, _rngs[static_cast<std::size_t>(b)],
+                     _maxDegrees);
+}
+
+const Dataset &
+BatchPipeline::batch(int b)
+{
+    LECA_CHECK(b >= 0 && b < _batchCount, "batch ", b, " out of range [0, ",
+               _batchCount, ")");
+    Dataset &slot = _slots[b & 1];
+    if (!_prefetch) {
+        produce(b, slot);
+        return slot;
+    }
+    if (_next == b) {
+        // First request: nothing in flight yet, produce synchronously.
+        produce(b, slot);
+        _next = b + 1;
+    } else {
+        LECA_CHECK(_next == b + 1,
+                   "batches must be consumed in ascending order (expected ",
+                   _next - 1, ", got ", b, ")");
+        _task.wait(); // batch b was produced in the background
+    }
+    if (_next < _batchCount) {
+        Dataset &ahead = _slots[_next & 1];
+        const int nb = _next;
+        _task.run([this, nb, &ahead] { produce(nb, ahead); });
+        ++_next;
+    }
+    return slot;
+}
+
 double
 evalAccuracy(Layer &net, const Dataset &ds, int batch_size)
 {
     const int n = ds.count();
     if (n == 0)
         return 0.0;
+    const int c = ds.images.size(1), h = ds.images.size(2);
+    const int w = ds.images.size(3);
+    const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
     int correct = 0;
     // Batches stay sequential: layers cache activations in member
     // state, so the parallelism lives inside each forward (GEMM row
-    // panels, per-image conv) rather than across batches.
+    // panels, per-image conv) rather than across batches. Each batch
+    // is a borrowed view of the dataset slab — no copy.
     for (int begin = 0; begin < n; begin += batch_size) {
         const int count = std::min(batch_size, n - begin);
-        const Dataset batch = sliceDataset(ds, begin, count);
-        const Tensor logits = net.forward(batch.images, Mode::Eval);
-        const double acc = accuracy(logits, batch.labels);
+        const Tensor batch = Tensor::borrow(
+            {count, c, h, w}, ds.images.data() + begin * img_sz);
+        const Tensor logits = net.forward(batch, Mode::Eval);
+        const std::vector<int> labels(ds.labels.begin() + begin,
+                                      ds.labels.begin() + begin + count);
+        const double acc = accuracy(logits, labels);
         correct += static_cast<int>(acc * count + 0.5);
     }
     return static_cast<double>(correct) / static_cast<double>(n);
@@ -97,25 +182,38 @@ trainClassifier(Layer &net, const Dataset &train, const Dataset &val,
             std::swap(order[static_cast<std::size_t>(i)],
                       order[static_cast<std::size_t>(j)]);
         }
+        // Pre-split every batch's per-image augmentation streams in
+        // batch order: the parent rng advances exactly as it did when
+        // each batch split on demand, and a prefetched batch draws the
+        // same numbers a sequential run would.
+        std::vector<std::vector<Rng>> batch_rngs;
+        if (options.augment) {
+            for (int begin = 0; begin < train.count();
+                 begin += options.batchSize) {
+                const int count =
+                    std::min(options.batchSize, train.count() - begin);
+                batch_rngs.push_back(
+                    Rng::split(rng, static_cast<std::size_t>(count)));
+            }
+        }
+        BatchPipeline batches(train, order, options.batchSize,
+                              options.prefetch, std::move(batch_rngs));
         double epoch_loss = 0.0;
-        int batches = 0;
-        for (int begin = 0; begin < train.count();
-             begin += options.batchSize) {
-            const int count =
-                std::min(options.batchSize, train.count() - begin);
-            Dataset batch = gatherBatch(train, order, begin, count);
-            if (options.augment)
-                augmentBatch(batch.images, rng);
+        const int batch_count = batches.batchCount();
+        for (int b = 0; b < batch_count; ++b) {
+            const Dataset &batch = batches.batch(b);
             adam.zeroGrad();
             const Tensor logits = net.forward(batch.images, Mode::Train);
             epoch_loss += loss.forward(logits, batch.labels);
             net.backward(loss.backward());
             adam.step();
-            ++batches;
         }
+        const double mean_loss = epoch_loss / std::max(1, batch_count);
+        if (options.epochLosses)
+            options.epochLosses->push_back(mean_loss);
         if (options.verbose) {
             inform("epoch ", epoch + 1, "/", options.epochs, " loss ",
-                   epoch_loss / std::max(1, batches));
+                   mean_loss);
         }
     }
     refreshBatchNormStats(net, train, options.batchSize);
@@ -125,11 +223,15 @@ trainClassifier(Layer &net, const Dataset &train, const Dataset &val,
 void
 refreshBatchNormStats(Layer &net, const Dataset &ds, int batch_size)
 {
+    const int c = ds.images.size(1), h = ds.images.size(2);
+    const int w = ds.images.size(3);
+    const std::size_t img_sz = static_cast<std::size_t>(c) * h * w;
     net.setStatsRefresh(true);
     for (int begin = 0; begin < ds.count(); begin += batch_size) {
         const int count = std::min(batch_size, ds.count() - begin);
-        const Dataset batch = sliceDataset(ds, begin, count);
-        net.forward(batch.images, Mode::Train);
+        const Tensor batch = Tensor::borrow(
+            {count, c, h, w}, ds.images.data() + begin * img_sz);
+        net.forward(batch, Mode::Train);
     }
     net.setStatsRefresh(false);
 }

@@ -1,24 +1,65 @@
 #include "activation.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
+
+namespace {
+
+constexpr std::int64_t kGrain = 4096; //!< elements per parallel chunk
+
+/**
+ * dst[i] = mask[i] ? grad[i] : 0.0f over [i0, i1), branchlessly: the
+ * 0/1 mask byte expands to an all-ones/all-zero lane ANDed with the
+ * gradient bits, so the result is bit-identical to the ternary (the
+ * gradient's bits pass through untouched, the masked case is +0.0f)
+ * without a data-dependent branch — masks are ~50% random mid-training,
+ * so the branchy form mispredicts on every other element.
+ */
+void
+maskedGrad(const float *grad, const unsigned char *mask, float *dst,
+           std::int64_t i0, std::int64_t i1)
+{
+    for (std::int64_t i = i0; i < i1; ++i) {
+        std::uint32_t bits;
+        std::memcpy(&bits, grad + i, sizeof bits);
+        bits &= 0u - static_cast<std::uint32_t>(mask[i]);
+        std::memcpy(dst + i, &bits, sizeof bits);
+    }
+}
+
+} // namespace
 
 Tensor
 Relu::forward(const Tensor &x, Mode mode)
 {
     Tensor y(x.shape());
+    const float *xp = x.data();
+    float *yp = y.data();
+    const std::int64_t numel = static_cast<std::int64_t>(x.numel());
     if (mode == Mode::Train) {
-        _mask.assign(x.numel(), false);
+        _mask.assign(x.numel(), 0);
         _shape = x.shape();
-    }
-    for (std::size_t i = 0; i < x.numel(); ++i) {
-        const bool pos = x[i] > 0.0f;
-        y[i] = pos ? x[i] : 0.0f;
-        if (mode == Mode::Train)
-            _mask[i] = pos;
+        unsigned char *mp = _mask.data();
+        parallelFor(0, numel, kGrain,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                        for (std::int64_t i = i0; i < i1; ++i) {
+                            const bool pos = xp[i] > 0.0f;
+                            yp[i] = pos ? xp[i] : 0.0f;
+                            mp[i] = pos;
+                        }
+                    });
+    } else {
+        parallelFor(0, numel, kGrain,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                        for (std::int64_t i = i0; i < i1; ++i)
+                            yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+                    });
     }
     return y;
 }
@@ -30,8 +71,13 @@ Relu::backward(const Tensor &grad_out)
                "Relu backward without matching forward: cached ",
                _mask.size(), ", got ", grad_out.numel());
     Tensor dx(grad_out.shape());
-    for (std::size_t i = 0; i < grad_out.numel(); ++i)
-        dx[i] = _mask[i] ? grad_out[i] : 0.0f;
+    const float *gp = grad_out.data();
+    const unsigned char *mp = _mask.data();
+    float *dp = dx.data();
+    parallelFor(0, static_cast<std::int64_t>(grad_out.numel()), kGrain,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    maskedGrad(gp, mp, dp, i0, i1);
+                });
     _mask.clear();
     return dx;
 }
@@ -40,14 +86,26 @@ Tensor
 HardClamp::forward(const Tensor &x, Mode mode)
 {
     Tensor y(x.shape());
+    const float *xp = x.data();
+    float *yp = y.data();
+    const std::int64_t numel = static_cast<std::int64_t>(x.numel());
     if (mode == Mode::Train) {
-        _inside.assign(x.numel(), false);
+        _inside.assign(x.numel(), 0);
         _shape = x.shape();
-    }
-    for (std::size_t i = 0; i < x.numel(); ++i) {
-        y[i] = std::clamp(x[i], _lo, _hi);
-        if (mode == Mode::Train)
-            _inside[i] = x[i] >= _lo && x[i] <= _hi;
+        unsigned char *mp = _inside.data();
+        parallelFor(0, numel, kGrain,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                        for (std::int64_t i = i0; i < i1; ++i) {
+                            yp[i] = std::clamp(xp[i], _lo, _hi);
+                            mp[i] = xp[i] >= _lo && xp[i] <= _hi;
+                        }
+                    });
+    } else {
+        parallelFor(0, numel, kGrain,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                        for (std::int64_t i = i0; i < i1; ++i)
+                            yp[i] = std::clamp(xp[i], _lo, _hi);
+                    });
     }
     return y;
 }
@@ -59,8 +117,13 @@ HardClamp::backward(const Tensor &grad_out)
                "HardClamp backward without matching forward: cached ",
                _inside.size(), ", got ", grad_out.numel());
     Tensor dx(grad_out.shape());
-    for (std::size_t i = 0; i < grad_out.numel(); ++i)
-        dx[i] = _inside[i] ? grad_out[i] : 0.0f;
+    const float *gp = grad_out.data();
+    const unsigned char *mp = _inside.data();
+    float *dp = dx.data();
+    parallelFor(0, static_cast<std::int64_t>(grad_out.numel()), kGrain,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    maskedGrad(gp, mp, dp, i0, i1);
+                });
     _inside.clear();
     return dx;
 }

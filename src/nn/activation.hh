@@ -18,7 +18,10 @@ class Relu : public Layer
     Tensor backward(const Tensor &grad_out) override;
 
   private:
-    std::vector<bool> _mask; // true where the input was positive
+    // Byte mask (not std::vector<bool>): distinct indices are distinct
+    // bytes, so the parallel forward writes race-free, and the packed
+    // bit twiddling disappears from the hot loop.
+    std::vector<unsigned char> _mask; // 1 where the input was positive
     std::vector<int> _shape;
 };
 
@@ -37,7 +40,7 @@ class HardClamp : public Layer
 
   private:
     float _lo, _hi;
-    std::vector<bool> _inside;
+    std::vector<unsigned char> _inside; // byte mask, see Relu::_mask
     std::vector<int> _shape;
 };
 

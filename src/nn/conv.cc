@@ -32,101 +32,108 @@ Conv2d::forward(const Tensor &x, Mode mode)
     const int oh = convOutSize(h, _k, _stride, _pad);
     const int ow = convOutSize(w, _k, _stride, _pad);
 
-    _cols.clear();
-    _inShape = x.shape();
-
     const Tensor wmat = _weight.value.reshape({_cout, _cin * _k * _k});
     const Tensor no_bias;
     Tensor y({n, _cout, oh, ow});
-    // Pre-sized cache slots instead of push_back in the loop: each image
-    // writes only its own slot, so the batch parallelizes. Eval mode
-    // never materialises the column matrix at all — the image packs
-    // straight into arena scratch (conv2dImageInto), so repeated
-    // inference forwards allocate nothing.
-    if (mode == Mode::Train)
-        _cols.resize(static_cast<std::size_t>(n));
+    // Both modes pack the image straight into arena scratch
+    // (conv2dImageInto): no column matrix is ever materialised, so
+    // steady-state forwards allocate nothing per image. Backward
+    // recomputes the packed im2col from the cached input.
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
-        for (int i = static_cast<int>(n0); i < n1; ++i) {
-            if (mode == Mode::Train)
-                _cols[static_cast<std::size_t>(i)] = conv2dImage(
-                    x, i, wmat, _hasBias ? _bias.value : no_bias, _k, _k,
-                    _stride, _pad, y);
-            else
-                conv2dImageInto(x, i, wmat,
-                                _hasBias ? _bias.value : no_bias, _k, _k,
-                                _stride, _pad, y);
-        }
+        for (int i = static_cast<int>(n0); i < n1; ++i)
+            conv2dImageInto(x, i, wmat, _hasBias ? _bias.value : no_bias,
+                            _k, _k, _stride, _pad, y);
     });
+    if (mode == Mode::Train)
+        _input = x;
     return y;
 }
 
 Tensor
 Conv2d::backward(const Tensor &grad_out)
 {
-    LECA_CHECK(!_cols.empty(), "Conv2d backward without cached forward");
-    const int n = _inShape[0], h = _inShape[2], w = _inShape[3];
+    LECA_CHECK(_input.numel() > 0, "Conv2d backward without cached forward");
+    const int n = _input.size(0), h = _input.size(2), w = _input.size(3);
     const int oh = grad_out.size(2), ow = grad_out.size(3);
     LECA_CHECK(grad_out.size(0) == n && grad_out.size(1) == _cout,
                "Conv2d grad shape ", detail::formatShape(grad_out.shape()),
                " vs batch ", n, " x ", _cout, " channels");
 
     const int kdim = _cin * _k * _k;
+    // When a bias is learned, the column matrix gets one extra all-ones
+    // row: the dW GEMM then emits db as its trailing output column in
+    // the same dY traversal (x * 1.0f == x, and each output element
+    // accumulates its k contributions in one ascending chain, so the
+    // fused column is bit-identical to the explicit row-sum loop).
+    const int grows = kdim + (_hasBias ? 1 : 0);
     const std::int64_t ohow = static_cast<std::int64_t>(oh) * ow;
+    const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
     const Tensor wmat = _weight.value.reshape({_cout, kdim});
     Tensor dwmat({_cout, kdim});
     Tensor dx({n, _cin, h, w});
 
-    // Per-image weight/bias gradient partials, combined serially in
-    // ascending image order below so the float summation order matches
-    // the serial loop this replaced bit for bit. The [Cout, OH*OW] slab
-    // of grad_out is contiguous, so each image's dY is read in place;
-    // the only per-image scratch is the dcols matrix, which lives in
-    // arena memory.
-    std::vector<Tensor> dws(static_cast<std::size_t>(n));
-    std::vector<std::vector<float>> dbs(
-        static_cast<std::size_t>(_hasBias ? n : 0));
+    // Per-image gradient partials live in one arena slab owned by the
+    // calling thread's scope; workers only open nested scopes above it.
+    // The slab is folded serially in ascending image order below, so
+    // the float summation order matches the serial loop bit for bit,
+    // and nothing in this pass touches the heap.
+    Arena::Scope scope;
+    float *partials = Arena::local().alloc(
+        static_cast<std::size_t>(n) * _cout * grows);
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
             const float *dy =
                 grad_out.data() + static_cast<std::size_t>(i) * _cout * ohow;
-            // dW_i = dY * cols^T
-            Tensor dw({_cout, kdim});
-            const Tensor &cols = _cols[static_cast<std::size_t>(i)];
-            gemmBlocked(_cout, kdim, ohow, dy, ohow, false, cols.data(),
-                        ohow, true, dw.data(), kdim, false);
-            dws[static_cast<std::size_t>(i)] = std::move(dw);
+            float *dw = partials
+                        + static_cast<std::size_t>(i) * _cout * grows;
+            Arena::Scope image_scope;
+            // Recompute this image's column matrix into arena scratch.
+            float *cols = Arena::local().alloc(
+                static_cast<std::size_t>(grows) * ohow);
+            im2colRaw(_input.data() + static_cast<std::size_t>(i) * in_sz,
+                      _cin, h, w, _k, _k, _stride, _pad, cols);
             if (_hasBias) {
-                std::vector<float> db(static_cast<std::size_t>(_cout), 0.0f);
-                for (int co = 0; co < _cout; ++co) {
-                    float acc = 0.0f;
-                    for (std::int64_t p = 0; p < ohow; ++p)
-                        acc += dy[co * ohow + p];
-                    db[static_cast<std::size_t>(co)] = acc;
-                }
-                dbs[static_cast<std::size_t>(i)] = std::move(db);
+                float *ones = cols + static_cast<std::size_t>(kdim) * ohow;
+                for (std::int64_t p = 0; p < ohow; ++p)
+                    ones[p] = 1.0f;
             }
+            // dW_i^T (with db_i fused as the last row) = cols * dY^T.
+            // Same operand pairs and the same ascending-p fma chain per
+            // element as dY * cols^T — bit-identical — but this
+            // orientation packs the big column matrix along its storage
+            // rows instead of transposing it, and only the small dY
+            // block goes through the transpose pack.
+            gemmBlocked(grows, _cout, ohow, cols, ohow, false, dy, ohow,
+                        true, dw, _cout, false);
             // dX = col2im(W^T * dY); images write disjoint slabs, and
             // col2imRaw accumulates straight into the zero-initialised
             // dx slab.
-            Arena::Scope scope;
             float *dcols = Arena::local().alloc(
                 static_cast<std::size_t>(kdim) * ohow);
             gemmBlocked(kdim, ohow, _cout, wmat.data(), kdim, true, dy,
                         ohow, false, dcols, ohow, false);
             col2imRaw(dcols, _cin, h, w, _k, _k, _stride, _pad,
-                      dx.data() + static_cast<std::size_t>(i) * _cin * h * w);
+                      dx.data() + static_cast<std::size_t>(i) * in_sz);
         }
     });
+    // Each image's partial is stored transposed ([grows, cout]); the
+    // fold still adds one value per (co, q) element per image in
+    // ascending image order, so the summation chains are unchanged.
+    float *dwp = dwmat.data();
     for (int i = 0; i < n; ++i) {
-        dwmat += dws[static_cast<std::size_t>(i)];
-        if (_hasBias)
-            for (int co = 0; co < _cout; ++co)
+        const float *dw =
+            partials + static_cast<std::size_t>(i) * _cout * grows;
+        for (int co = 0; co < _cout; ++co) {
+            float *acc = dwp + static_cast<std::size_t>(co) * kdim;
+            for (int q = 0; q < kdim; ++q)
+                acc[q] += dw[static_cast<std::size_t>(q) * _cout + co];
+            if (_hasBias)
                 _bias.grad[static_cast<std::size_t>(co)] +=
-                    dbs[static_cast<std::size_t>(i)]
-                       [static_cast<std::size_t>(co)];
+                    dw[static_cast<std::size_t>(kdim) * _cout + co];
+        }
     }
     _weight.grad += dwmat.reshape({_cout, _cin, _k, _k});
-    _cols.clear();
+    _input = Tensor();
     return dx;
 }
 

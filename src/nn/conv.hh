@@ -16,8 +16,12 @@ namespace leca {
 /**
  * Standard 2-D convolution: weight [Cout, Cin, K, K], optional bias.
  *
- * Forward caches the im2col matrix per batch image; backward produces
- * dW = dY * cols^T, db = row-sums of dY, and dX via col2im of W^T * dY.
+ * Forward packs each image's im2col straight into arena scratch (no
+ * column matrix is ever materialised); backward recomputes the packed
+ * im2col per image and produces dW = dY * cols^T (with db fused as the
+ * trailing GEMM column), and dX via col2im of W^T * dY — all scratch
+ * and gradient partials live in the thread-local Arena, so a warm
+ * train step performs zero heap allocation inside this layer.
  */
 class Conv2d : public Layer
 {
@@ -51,9 +55,9 @@ class Conv2d : public Layer
     Param _weight;
     Param _bias;
 
-    // Forward cache.
-    std::vector<Tensor> _cols;   // one im2col matrix per batch image
-    std::vector<int> _inShape;   // input shape for backward-data
+    // Forward cache: the input itself (K*K smaller than the column
+    // matrices the backward pass recomputes from it).
+    Tensor _input;
 };
 
 } // namespace leca

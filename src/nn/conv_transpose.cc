@@ -82,18 +82,23 @@ ConvTranspose2d::backward(const Tensor &grad_out)
     Tensor dwmat({_cin, krows});
     Tensor dx({n, _cin, h, w});
 
-    // Per-image gradient partials, folded in ascending image order below
-    // so the float summation order matches the serial loop bit for bit.
-    // dY and X slabs are read in place; dcols is arena scratch and dX is
-    // written directly by the GEMM.
-    std::vector<Tensor> dws(static_cast<std::size_t>(n));
-    std::vector<std::vector<float>> dbs(
-        static_cast<std::size_t>(_hasBias ? n : 0));
+    // Per-image gradient partials (dW, then db when learned) live in
+    // one arena slab owned by the calling thread's scope; workers only
+    // open nested scopes above it. The slab is folded serially in
+    // ascending image order below, so the float summation order matches
+    // the serial loop bit for bit, and nothing here touches the heap.
+    const std::size_t wsz = static_cast<std::size_t>(_cin) * krows;
+    const std::size_t per = wsz + static_cast<std::size_t>(
+                                      _hasBias ? _cout : 0);
+    Arena::Scope scope;
+    float *partials = Arena::local().alloc(
+        static_cast<std::size_t>(n) * per);
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i) {
             const float *dy =
                 grad_out.data() + static_cast<std::size_t>(i) * go_sz;
-            Arena::Scope scope;
+            float *dw = partials + static_cast<std::size_t>(i) * per;
+            Arena::Scope image_scope;
             // dcols = im2col(dY) : [Cout*K*K, H*W]
             float *dcols = Arena::local().alloc(
                 static_cast<std::size_t>(krows) * hw);
@@ -103,15 +108,17 @@ ConvTranspose2d::backward(const Tensor &grad_out)
                         hw, false,
                         dx.data() + static_cast<std::size_t>(i) * _cin * hw,
                         hw, false);
-            // dW_i = X * dcols^T : [Cin, Cout*K*K]
+            // dW_i^T = dcols * X^T : [Cout*K*K, Cin]. Same operand
+            // pairs and the same ascending-p fma chain per element as
+            // X * dcols^T — bit-identical — but this orientation packs
+            // the big dcols matrix along its storage rows instead of
+            // transposing it; only the small X block transposes.
             const float *xm =
                 _input.data() + static_cast<std::size_t>(i) * _cin * hw;
-            Tensor dw({_cin, krows});
-            gemmBlocked(_cin, krows, hw, xm, hw, false, dcols, hw, true,
-                        dw.data(), krows, false);
-            dws[static_cast<std::size_t>(i)] = std::move(dw);
+            gemmBlocked(krows, _cin, hw, dcols, hw, false, xm, hw, true,
+                        dw, _cin, false);
             if (_hasBias) {
-                std::vector<float> db(static_cast<std::size_t>(_cout), 0.0f);
+                float *db = dw + wsz;
                 for (int co = 0; co < _cout; ++co) {
                     float acc = 0.0f;
                     for (std::int64_t p = 0;
@@ -119,17 +126,24 @@ ConvTranspose2d::backward(const Tensor &grad_out)
                         acc += dy[co * static_cast<std::int64_t>(oh) * ow + p];
                     db[static_cast<std::size_t>(co)] = acc;
                 }
-                dbs[static_cast<std::size_t>(i)] = std::move(db);
             }
         }
     });
+    // Each image's dW partial is stored transposed ([Cout*K*K, Cin]);
+    // the fold still adds one value per element per image in ascending
+    // image order, so the summation chains are unchanged.
+    float *dwp = dwmat.data();
     for (int i = 0; i < n; ++i) {
-        dwmat += dws[static_cast<std::size_t>(i)];
+        const float *dw = partials + static_cast<std::size_t>(i) * per;
+        for (int ci = 0; ci < _cin; ++ci) {
+            float *acc = dwp + static_cast<std::size_t>(ci) * krows;
+            for (int r = 0; r < krows; ++r)
+                acc[r] += dw[static_cast<std::size_t>(r) * _cin + ci];
+        }
         if (_hasBias)
             for (int co = 0; co < _cout; ++co)
                 _bias.grad[static_cast<std::size_t>(co)] +=
-                    dbs[static_cast<std::size_t>(i)]
-                       [static_cast<std::size_t>(co)];
+                    dw[wsz + static_cast<std::size_t>(co)];
     }
     _weight.grad += dwmat.reshape({_cin, _cout, _k, _k});
     _input = Tensor();

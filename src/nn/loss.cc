@@ -1,9 +1,11 @@
 #include "loss.hh"
 
 #include <cmath>
+#include <cstdint>
 
 #include "tensor/ops.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -25,9 +27,14 @@ SoftmaxCrossEntropy::forward(const Tensor &logits,
     }
     _probs = softmax(logits);
     _labels = labels;
+    const int k = logits.size(1);
+    const float *pp = _probs.data();
+    // The loss reduction stays serial: it accumulates in ascending row
+    // order into a double, which is the determinism contract.
     double loss = 0.0;
     for (int i = 0; i < n; ++i) {
-        const float p = _probs.at(i, labels[static_cast<std::size_t>(i)]);
+        const float p = pp[static_cast<std::size_t>(i) * k
+                           + labels[static_cast<std::size_t>(i)]];
         loss += -std::log(std::max(p, 1e-12f));
     }
     return loss / static_cast<double>(n);
@@ -40,14 +47,22 @@ SoftmaxCrossEntropy::backward() const
     const int n = _probs.size(0), k = _probs.size(1);
     Tensor d(_probs.shape());
     const float inv = 1.0f / static_cast<float>(n);
-    for (int i = 0; i < n; ++i) {
-        for (int j = 0; j < k; ++j) {
-            float g = _probs.at(i, j);
-            if (j == _labels[static_cast<std::size_t>(i)])
-                g -= 1.0f;
-            d.at(i, j) = g * inv;
+    const float *pp = _probs.data();
+    const int *lp = _labels.data();
+    float *dp = d.data();
+    parallelFor(0, n, 16, [&](std::int64_t n0, std::int64_t n1) {
+        for (std::int64_t i = n0; i < n1; ++i) {
+            const float *prow = pp + static_cast<std::size_t>(i) * k;
+            float *drow = dp + static_cast<std::size_t>(i) * k;
+            const int label = lp[i];
+            for (int j = 0; j < k; ++j) {
+                float g = prow[j];
+                if (j == label)
+                    g -= 1.0f;
+                drow[j] = g * inv;
+            }
         }
-    }
+    });
     return d;
 }
 
@@ -72,12 +87,15 @@ MseLoss::forward(const Tensor &prediction, const Tensor &target)
     LECA_CHECK_SAME_SHAPE(prediction, target);
     _prediction = prediction;
     _target = target;
+    const float *pp = _prediction.data();
+    const float *tp = _target.data();
+    // Serial ascending-order double accumulation (determinism contract).
     double acc = 0.0;
-    for (std::size_t i = 0; i < prediction.numel(); ++i) {
-        const double d = static_cast<double>(prediction[i]) - target[i];
+    for (std::size_t i = 0; i < _prediction.numel(); ++i) {
+        const double d = static_cast<double>(pp[i]) - tp[i];
         acc += d * d;
     }
-    return acc / static_cast<double>(prediction.numel());
+    return acc / static_cast<double>(_prediction.numel());
 }
 
 Tensor
@@ -86,8 +104,14 @@ MseLoss::backward() const
     LECA_CHECK(_prediction.numel() > 0, "MseLoss backward before forward");
     Tensor d(_prediction.shape());
     const float scale = 2.0f / static_cast<float>(_prediction.numel());
-    for (std::size_t i = 0; i < d.numel(); ++i)
-        d[i] = scale * (_prediction[i] - _target[i]);
+    const float *pp = _prediction.data();
+    const float *tp = _target.data();
+    float *dp = d.data();
+    parallelFor(0, static_cast<std::int64_t>(d.numel()), 4096,
+                [&](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        dp[i] = scale * (pp[i] - tp[i]);
+                });
     return d;
 }
 

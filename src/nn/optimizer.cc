@@ -1,6 +1,9 @@
 #include "optimizer.hh"
 
 #include <cmath>
+#include <cstdint>
+
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -30,13 +33,24 @@ Sgd::step()
         if (p->frozen)
             continue;
         Tensor &vel = _velocity[pi];
-        for (std::size_t i = 0; i < p->value.numel(); ++i) {
-            float g = p->grad[i];
-            if (_weightDecay != 0.0)
-                g += static_cast<float>(_weightDecay) * p->value[i];
-            vel[i] = static_cast<float>(_momentum) * vel[i] + g;
-            p->value[i] -= static_cast<float>(_lr) * vel[i];
-        }
+        const float *gp = p->grad.data();
+        float *vp = vel.data();
+        float *valp = p->value.data();
+        const float wd = static_cast<float>(_weightDecay);
+        const float mom = static_cast<float>(_momentum);
+        const float lr = static_cast<float>(_lr);
+        // Elements update independently, so the parallel split cannot
+        // change any result bit.
+        parallelFor(0, static_cast<std::int64_t>(p->value.numel()), 4096,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                        for (std::int64_t i = i0; i < i1; ++i) {
+                            float g = gp[i];
+                            if (_weightDecay != 0.0)
+                                g += wd * valp[i];
+                            vp[i] = mom * vp[i] + g;
+                            valp[i] -= lr * vp[i];
+                        }
+                    });
     }
 }
 
@@ -65,16 +79,27 @@ Adam::step()
             continue;
         Tensor &m = _m[pi];
         Tensor &v = _v[pi];
-        for (std::size_t i = 0; i < p->value.numel(); ++i) {
-            const double g = p->grad[i];
-            m[i] = static_cast<float>(_beta1 * m[i] + (1.0 - _beta1) * g);
-            v[i] = static_cast<float>(_beta2 * v[i]
-                                      + (1.0 - _beta2) * g * g);
-            const double mhat = m[i] / bc1;
-            const double vhat = v[i] / bc2;
-            p->value[i] -= static_cast<float>(
-                _lr * mhat / (std::sqrt(vhat) + _eps));
-        }
+        const float *gp = p->grad.data();
+        float *mp = m.data();
+        float *vp = v.data();
+        float *valp = p->value.data();
+        // Elements update independently, so the parallel split cannot
+        // change any result bit. The per-element double math is exactly
+        // the original serial expression.
+        parallelFor(0, static_cast<std::int64_t>(p->value.numel()), 4096,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                        for (std::int64_t i = i0; i < i1; ++i) {
+                            const double g = gp[i];
+                            mp[i] = static_cast<float>(
+                                _beta1 * mp[i] + (1.0 - _beta1) * g);
+                            vp[i] = static_cast<float>(
+                                _beta2 * vp[i] + (1.0 - _beta2) * g * g);
+                            const double mhat = mp[i] / bc1;
+                            const double vhat = vp[i] / bc2;
+                            valp[i] -= static_cast<float>(
+                                _lr * mhat / (std::sqrt(vhat) + _eps));
+                        }
+                    });
     }
 }
 

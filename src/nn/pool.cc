@@ -24,12 +24,13 @@ MaxPool2d::backward(const Tensor &grad_out)
     Tensor dx(_inShape);
     // Pool windows are non-overlapping (kernel == stride), so distinct
     // outputs scatter to distinct inputs and the loop parallelizes.
+    const float *gp = grad_out.data();
+    const int *am = _argmax.data();
+    float *dp = dx.data();
     parallelFor(0, static_cast<std::int64_t>(grad_out.numel()), 4096,
                 [&](std::int64_t i0, std::int64_t i1) {
                     for (std::int64_t i = i0; i < i1; ++i)
-                        dx[static_cast<std::size_t>(
-                            _argmax[static_cast<std::size_t>(i)])] +=
-                            grad_out[static_cast<std::size_t>(i)];
+                        dp[am[i]] += gp[i];
                 });
     _argmax.clear();
     return dx;
@@ -52,16 +53,25 @@ AvgPool2d::backward(const Tensor &grad_out)
     const int oh = h / _k, ow = w / _k;
     const float inv = 1.0f / static_cast<float>(_k * _k);
     Tensor dx(_inShape);
-    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
-        for (int i = static_cast<int>(n0); i < n1; ++i)
-            for (int ch = 0; ch < c; ++ch)
-                for (int oy = 0; oy < oh; ++oy)
-                    for (int ox = 0; ox < ow; ++ox) {
-                        const float g = grad_out.at(i, ch, oy, ox) * inv;
-                        for (int ky = 0; ky < _k; ++ky)
-                            for (int kx = 0; kx < _k; ++kx)
-                                dx.at(i, ch, oy * _k + ky, ox * _k + kx) = g;
+    parallelFor(0, static_cast<std::int64_t>(n) * c, 1,
+                [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t plane = p0; plane < p1; ++plane) {
+            const float *gp = grad_out.data()
+                + static_cast<std::size_t>(plane) * oh * ow;
+            float *dp = dx.data() + static_cast<std::size_t>(plane) * h * w;
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    const float g = gp[static_cast<std::size_t>(oy) * ow + ox]
+                                    * inv;
+                    for (int ky = 0; ky < _k; ++ky) {
+                        float *row = dp
+                            + static_cast<std::size_t>(oy * _k + ky) * w
+                            + static_cast<std::size_t>(ox) * _k;
+                        for (int kx = 0; kx < _k; ++kx)
+                            row[kx] = g;
                     }
+                }
+        }
     });
     return dx;
 }
@@ -102,7 +112,9 @@ GlobalAvgPool::backward(const Tensor &grad_out)
     parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
         for (int i = static_cast<int>(n0); i < n1; ++i)
             for (int ch = 0; ch < c; ++ch) {
-                const float g = grad_out.at(i, ch) * inv;
+                const float g =
+                    grad_out.data()[static_cast<std::size_t>(i) * c + ch]
+                    * inv;
                 float *dst = dx.data()
                     + (static_cast<std::size_t>(i) * c + ch)
                       * static_cast<std::size_t>(h) * w;

@@ -210,9 +210,30 @@ zeroC(std::int64_t m, std::int64_t n, float *c, std::int64_t ldc)
 }
 
 /**
+ * [lo, hi) range of output positions o for which i = o*stride + k - pad
+ * lands inside [0, extent). Hoists the per-element bounds test out of
+ * the im2col/col2im inner loops: only the clipped edge segments differ,
+ * and for the common interior the loop body is branch-free.
+ */
+inline void
+validRange(int extent, int count, int stride, int pad, int k, int &lo,
+           int &hi)
+{
+    const int a = pad - k;
+    lo = a > 0 ? (a + stride - 1) / stride : 0;
+    const int b = extent - 1 + pad - k;
+    hi = b >= 0 ? std::min(count - 1, b / stride) + 1 : 0;
+    lo = std::min(lo, count);
+    if (hi < lo)
+        hi = lo;
+}
+
+/**
  * im2col for one kernel-offset row (ch, ky, kx) of the column matrix,
  * writing the OH*OW values through @p emit (either the row-major
- * column matrix or the packed-panel layout).
+ * column matrix or the packed-panel layout). The three x segments
+ * (left clip, interior, right clip) emit exactly the values the
+ * per-element bounds test would, in the same j order.
  */
 template <typename Emit>
 void
@@ -220,6 +241,8 @@ im2colRow(const float *src, int h, int w, int stride, int pad, int ch,
           int ky, int kx, int oh, int ow, const Emit &emit)
 {
     const float *plane = src + static_cast<std::size_t>(ch) * h * w;
+    int ox_lo, ox_hi;
+    validRange(w, ow, stride, pad, kx, ox_lo, ox_hi);
     std::int64_t j = 0;
     for (int oy = 0; oy < oh; ++oy) {
         const int iy = oy * stride + ky - pad;
@@ -229,10 +252,12 @@ im2colRow(const float *src, int h, int w, int stride, int pad, int ch,
             continue;
         }
         const float *row = plane + static_cast<std::size_t>(iy) * w;
-        for (int ox = 0; ox < ow; ++ox) {
-            const int ix = ox * stride + kx - pad;
-            emit(j++, (ix >= 0 && ix < w) ? row[ix] : 0.0f);
-        }
+        for (int ox = 0; ox < ox_lo; ++ox)
+            emit(j++, 0.0f);
+        for (int ox = ox_lo; ox < ox_hi; ++ox)
+            emit(j++, row[ox * stride + kx - pad]);
+        for (int ox = ox_hi; ox < ow; ++ox)
+            emit(j++, 0.0f);
     }
 }
 
@@ -350,6 +375,11 @@ col2imRaw(const float *cols, int channels, int height, int width, int kh,
                 const int row = (ch * kh + ky) * kw + kx;
                 const float *srow =
                     cols + static_cast<std::size_t>(row) * oh * ow;
+                // Out-of-range positions were skipped, not accumulated:
+                // restricting ox to the valid range performs the same
+                // += operations in the same order, branch-free.
+                int ox_lo, ox_hi;
+                validRange(width, ow, stride, pad, kx, ox_lo, ox_hi);
                 for (int oy = 0; oy < oh; ++oy) {
                     const int iy = oy * stride + ky - pad;
                     if (iy < 0 || iy >= height)
@@ -357,12 +387,9 @@ col2imRaw(const float *cols, int channels, int height, int width, int kh,
                     float *drow =
                         dst + (static_cast<std::size_t>(ch) * height + iy)
                               * width;
-                    for (int ox = 0; ox < ow; ++ox) {
-                        const int ix = ox * stride + kx - pad;
-                        if (ix < 0 || ix >= width)
-                            continue;
-                        drow[ix] += srow[oy * ow + ox];
-                    }
+                    const float *s = srow + static_cast<std::size_t>(oy) * ow;
+                    for (int ox = ox_lo; ox < ox_hi; ++ox)
+                        drow[ox * stride + kx - pad] += s[ox];
                 }
             }
         }

@@ -57,6 +57,51 @@ Tensor::fromData(std::vector<int> shape, std::vector<float> data)
     return t;
 }
 
+Tensor
+Tensor::borrow(std::vector<int> shape, const float *data)
+{
+    LECA_CHECK(data != nullptr || shapeProduct(shape) == 0,
+               "borrow of null storage for non-empty shape ",
+               detail::formatShape(shape));
+    Tensor t;
+    t._borrowedSize = shapeProduct(shape);
+    t._shape = std::move(shape);
+    t._borrowed = data;
+    return t;
+}
+
+Tensor::Tensor(const Tensor &other) : _shape(other._shape)
+{
+    // Copying a borrowed view materialises an owning tensor, so the
+    // copy never outlives the storage it was viewing.
+    if (other._borrowed)
+        _data.assign(other._borrowed, other._borrowed + other._borrowedSize);
+    else
+        _data = other._data;
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this == &other)
+        return *this;
+    _shape = other._shape;
+    if (other._borrowed)
+        _data.assign(other._borrowed, other._borrowed + other._borrowedSize);
+    else
+        _data = other._data;
+    _borrowed = nullptr;
+    _borrowedSize = 0;
+    return *this;
+}
+
+float *
+Tensor::data()
+{
+    LECA_CHECK(!_borrowed, "mutable access to a borrowed tensor view");
+    return _data.data();
+}
+
 int
 Tensor::size(int d) const
 {
@@ -70,6 +115,7 @@ Tensor::size(int d) const
 float &
 Tensor::at(int i)
 {
+    LECA_DCHECK(!_borrowed, "mutable access to a borrowed tensor view");
     LECA_DCHECK(dim() == 1, "rank-1 access on rank-", dim(), " tensor");
     LECA_DCHECK(i >= 0 && i < _shape[0], "index ", i, " out of range");
     return _data[static_cast<std::size_t>(i)];
@@ -78,12 +124,15 @@ Tensor::at(int i)
 float
 Tensor::at(int i) const
 {
-    return const_cast<Tensor &>(*this).at(i);
+    LECA_DCHECK(dim() == 1, "rank-1 access on rank-", dim(), " tensor");
+    LECA_DCHECK(i >= 0 && i < _shape[0], "index ", i, " out of range");
+    return data()[static_cast<std::size_t>(i)];
 }
 
 float &
 Tensor::at(int i, int j)
 {
+    LECA_DCHECK(!_borrowed, "mutable access to a borrowed tensor view");
     LECA_DCHECK(dim() == 2, "rank-2 access on rank-", dim(), " tensor");
     LECA_DCHECK(i >= 0 && i < _shape[0] && j >= 0 && j < _shape[1],
                 "index (", i, ", ", j, ") out of range");
@@ -93,12 +142,16 @@ Tensor::at(int i, int j)
 float
 Tensor::at(int i, int j) const
 {
-    return const_cast<Tensor &>(*this).at(i, j);
+    LECA_DCHECK(dim() == 2, "rank-2 access on rank-", dim(), " tensor");
+    LECA_DCHECK(i >= 0 && i < _shape[0] && j >= 0 && j < _shape[1],
+                "index (", i, ", ", j, ") out of range");
+    return data()[static_cast<std::size_t>(i) * _shape[1] + j];
 }
 
 float &
 Tensor::at(int i, int j, int k)
 {
+    LECA_DCHECK(!_borrowed, "mutable access to a borrowed tensor view");
     LECA_DCHECK(dim() == 3, "rank-3 access on rank-", dim(), " tensor");
     LECA_DCHECK(i >= 0 && i < _shape[0] && j >= 0 && j < _shape[1] && k >= 0
                     && k < _shape[2],
@@ -110,7 +163,12 @@ Tensor::at(int i, int j, int k)
 float
 Tensor::at(int i, int j, int k) const
 {
-    return const_cast<Tensor &>(*this).at(i, j, k);
+    LECA_DCHECK(dim() == 3, "rank-3 access on rank-", dim(), " tensor");
+    LECA_DCHECK(i >= 0 && i < _shape[0] && j >= 0 && j < _shape[1] && k >= 0
+                    && k < _shape[2],
+                "index (", i, ", ", j, ", ", k, ") out of range");
+    return data()[(static_cast<std::size_t>(i) * _shape[1] + j) * _shape[2]
+                  + k];
 }
 
 std::size_t
@@ -123,6 +181,7 @@ Tensor::flatIndex(int n, int c, int h, int w) const
 float &
 Tensor::at(int n, int c, int h, int w)
 {
+    LECA_DCHECK(!_borrowed, "mutable access to a borrowed tensor view");
     LECA_DCHECK(dim() == 4, "rank-4 access on rank-", dim(), " tensor");
     LECA_DCHECK(n >= 0 && n < _shape[0] && c >= 0 && c < _shape[1] && h >= 0
                     && h < _shape[2] && w >= 0 && w < _shape[3],
@@ -133,12 +192,17 @@ Tensor::at(int n, int c, int h, int w)
 float
 Tensor::at(int n, int c, int h, int w) const
 {
-    return const_cast<Tensor &>(*this).at(n, c, h, w);
+    LECA_DCHECK(dim() == 4, "rank-4 access on rank-", dim(), " tensor");
+    LECA_DCHECK(n >= 0 && n < _shape[0] && c >= 0 && c < _shape[1] && h >= 0
+                    && h < _shape[2] && w >= 0 && w < _shape[3],
+                "index (", n, ", ", c, ", ", h, ", ", w, ") out of range");
+    return data()[flatIndex(n, c, h, w)];
 }
 
 void
 Tensor::fill(float value)
 {
+    LECA_CHECK(!_borrowed, "fill on a borrowed tensor view");
     std::fill(_data.begin(), _data.end(), value);
 }
 
@@ -168,22 +232,25 @@ Tensor::reshape(std::vector<int> new_shape) const
                " changes element count from ", numel());
     Tensor t;
     t._shape = std::move(new_shape);
-    t._data = _data;
+    t._data.assign(data(), data() + numel());
     return t;
 }
 
 Tensor &
 Tensor::operator+=(const Tensor &other)
 {
+    LECA_CHECK(!_borrowed, "accumulate into a borrowed tensor view");
     LECA_CHECK_SAME_SHAPE(*this, other);
+    const float *src = other.data();
     for (std::size_t i = 0; i < _data.size(); ++i)
-        _data[i] += other._data[i];
+        _data[i] += src[i];
     return *this;
 }
 
 Tensor &
 Tensor::operator*=(float scale)
 {
+    LECA_CHECK(!_borrowed, "scale a borrowed tensor view");
     for (float &v : _data)
         v *= scale;
     return *this;

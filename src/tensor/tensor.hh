@@ -44,6 +44,28 @@ class Tensor
     /** Adopt existing data; size must match the shape product. */
     static Tensor fromData(std::vector<int> shape, std::vector<float> data);
 
+    /**
+     * Non-owning read-only view of @p count-element external storage
+     * (count = product of @p shape). The caller guarantees @p data
+     * outlives the view. Used to forward contiguous batch slabs of a
+     * dataset straight into Layer::forward without a per-batch deep
+     * copy (eval / batch-norm-refresh paths).
+     *
+     * A borrowed tensor is read-only: the mutating entry points
+     * (non-const data(), fill, +=, *=) reject it. Copying a borrowed
+     * tensor materialises an owning deep copy, so layers that cache
+     * their input (`_input = x`) remain safe even when fed a view.
+     */
+    static Tensor borrow(std::vector<int> shape, const float *data);
+
+    /** True when this tensor is a non-owning borrow() view. */
+    bool borrowed() const { return _borrowed != nullptr; }
+
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&other) noexcept = default;
+    Tensor &operator=(Tensor &&other) noexcept = default;
+
     /** Number of dimensions. */
     int dim() const { return static_cast<int>(_shape.size()); }
 
@@ -54,15 +76,18 @@ class Tensor
     int size(int d) const;
 
     /** Total element count. */
-    std::size_t numel() const { return _data.size(); }
+    std::size_t numel() const
+    {
+        return _borrowed ? _borrowedSize : _data.size();
+    }
 
-    /** Raw storage access. */
-    float *data() { return _data.data(); }
-    const float *data() const { return _data.data(); }
+    /** Raw storage access (non-const access rejects borrowed views). */
+    float *data();
+    const float *data() const { return _borrowed ? _borrowed : _data.data(); }
 
     /** Flat element access. */
     float &operator[](std::size_t i) { return _data[i]; }
-    float operator[](std::size_t i) const { return _data[i]; }
+    float operator[](std::size_t i) const { return data()[i]; }
 
     /** Rank-specific indexing (bounds-checked via assert in debug). */
     float &at(int i);
@@ -98,6 +123,8 @@ class Tensor
   private:
     std::vector<int> _shape;
     std::vector<float> _data;
+    const float *_borrowed = nullptr; //!< external storage of a view
+    std::size_t _borrowedSize = 0;    //!< element count of the view
 
     std::size_t flatIndex(int n, int c, int h, int w) const;
 };

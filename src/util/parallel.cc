@@ -287,4 +287,45 @@ parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
     });
 }
 
+AsyncTask::~AsyncTask()
+{
+    if (_thread.joinable())
+        _thread.join();
+}
+
+void
+AsyncTask::run(std::function<void()> fn)
+{
+    LECA_CHECK(!_running, "AsyncTask::run with a task already pending");
+    if (_thread.joinable())
+        _thread.join();
+    _error = nullptr;
+    _running = true;
+    _thread = std::thread([this, fn = std::move(fn)] {
+        // The task body counts as a parallel region: parallelFor calls
+        // it makes run serially on this thread, keeping the global pool
+        // free for the foreground compute it overlaps with.
+        t_inParallelRegion = true;
+        try {
+            fn();
+        } catch (...) {
+            _error = std::current_exception();
+        }
+    });
+}
+
+void
+AsyncTask::wait()
+{
+    if (!_running)
+        return;
+    _thread.join();
+    _running = false;
+    if (_error) {
+        std::exception_ptr err = _error;
+        _error = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
 } // namespace leca

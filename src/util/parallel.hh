@@ -33,7 +33,9 @@
 #define LECA_UTIL_PARALLEL_HH
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <thread>
 #include <vector>
 
 namespace leca {
@@ -108,6 +110,43 @@ parallelReduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
         acc = combine(std::move(acc), std::move(partial));
     return acc;
 }
+
+/**
+ * A single background task that overlaps with work on the calling
+ * thread (the batch-prefetch primitive, see src/data/trainloop.hh).
+ *
+ * run(fn) launches fn on a dedicated thread; wait() joins it and
+ * rethrows any exception fn raised. The task body is marked as being
+ * inside a parallel region, so parallelFor calls it makes degrade to
+ * serial execution instead of contending with the caller for the
+ * global pool — the pool stays dedicated to the foreground compute.
+ *
+ * The join in wait()/the destructor is the only synchronization point:
+ * results produced by fn must not be read before wait() returns.
+ */
+class AsyncTask
+{
+  public:
+    AsyncTask() = default;
+    ~AsyncTask(); //!< joins a pending task, discarding its exception
+
+    AsyncTask(const AsyncTask &) = delete;
+    AsyncTask &operator=(const AsyncTask &) = delete;
+
+    /** Launch fn in the background. A task must not already be pending. */
+    void run(std::function<void()> fn);
+
+    /** True between run() and the matching wait(). */
+    bool pending() const { return _running; }
+
+    /** Join the task and rethrow the exception it raised, if any. */
+    void wait();
+
+  private:
+    std::thread _thread;
+    std::exception_ptr _error;
+    bool _running = false;
+};
 
 } // namespace leca
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare two leca-bench JSON reports entry by entry.
+
+Usage:
+    tools/bench_compare.py OLD.json NEW.json [--threshold 0.10]
+
+Entries are matched by name. For every shared entry the tool prints the
+old and new wall time and the speedup factor (old / new, so > 1 means
+the new run is faster). Entries present in only one report are listed
+separately and never affect the exit status.
+
+Exit status is non-zero when any shared entry regressed past the
+threshold: new_wall_ms > old_wall_ms * (1 + threshold). The default
+threshold of 10% absorbs ordinary timer noise; raise it when comparing
+runs from different machines.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    """Return {name: wall_ms} for a leca-bench-v1 report."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema", "")
+    if not schema.startswith("leca-bench"):
+        sys.exit(f"{path}: unrecognised schema {schema!r}")
+    entries = {}
+    for entry in doc.get("entries", []):
+        name = entry.get("name")
+        wall = entry.get("wall_ms")
+        if name is None or wall is None:
+            sys.exit(f"{path}: entry without name/wall_ms: {entry!r}")
+        if name in entries:
+            sys.exit(f"{path}: duplicate entry {name!r}")
+        entries[name] = float(wall)
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two leca-bench JSON reports by entry name.")
+    parser.add_argument("old", help="baseline report")
+    parser.add_argument("new", help="candidate report")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="allowed slowdown fraction before failing (default 0.10)")
+    args = parser.parse_args()
+
+    old = load_entries(args.old)
+    new = load_entries(args.new)
+
+    shared = [name for name in old if name in new]
+    only_old = [name for name in old if name not in new]
+    only_new = [name for name in new if name not in old]
+
+    regressions = []
+    if shared:
+        width = max(len(name) for name in shared)
+        print(f"{'entry':<{width}}  {'old ms':>10}  {'new ms':>10}  speedup")
+        for name in shared:
+            o, n = old[name], new[name]
+            speedup = o / n if n > 0 else float("inf")
+            flag = ""
+            if n > o * (1.0 + args.threshold):
+                regressions.append(name)
+                flag = "  REGRESSION"
+            print(f"{name:<{width}}  {o:>10.4f}  {n:>10.4f}  "
+                  f"{speedup:>6.2f}x{flag}")
+    else:
+        print("no shared entries between the two reports")
+
+    for name in only_old:
+        print(f"only in {args.old}: {name}")
+    for name in only_new:
+        print(f"only in {args.new}: {name}")
+
+    if regressions:
+        print(f"{len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'}"
+              f" regressed more than {args.threshold * 100:.0f}%:"
+              f" {', '.join(regressions)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

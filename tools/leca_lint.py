@@ -28,10 +28,17 @@ Enforces invariants clang-tidy cannot express:
                      (parallelFor / parallelReduce).
   tensor-at-in-kernel
                      no per-element `.at(...)` indexing inside the hot
-                     kernel files (src/tensor/ops.cc and
-                     src/tensor/kernels.cc) — inner loops there must
-                     walk raw pointers; bounds are checked once at the
-                     op boundary, not per element.
+                     kernel and layer files (src/tensor/{ops,kernels}.cc
+                     and the forward/backward hot loops in src/nn/ and
+                     src/data/augment.cc) — inner loops there must walk
+                     raw pointers; bounds are checked once at the op
+                     boundary, not per element.
+  tensor-vector-partials
+                     no `std::vector<Tensor>` in backward hot files —
+                     per-item gradient partials go into thread-local
+                     Arena scratch and are folded serially in ascending
+                     item order (see DESIGN.md), not into heap-allocated
+                     per-item tensors.
 
 Usage:  tools/leca_lint.py [DIR-or-FILE ...]
         (defaults to: src tests bench examples)
@@ -108,6 +115,14 @@ LINE_RULES = [
         True,
         False,
     ),
+    (
+        "tensor-vector-partials",
+        re.compile(r"\bstd::vector<\s*Tensor\s*>"),
+        "per-item std::vector<Tensor> partials in a backward hot file; "
+        "use thread-local Arena scratch folded in ascending item order",
+        True,
+        False,
+    ),
 ]
 
 # Rule name -> repo-relative paths where the rule does not apply.
@@ -120,8 +135,16 @@ RULE_EXEMPT_PATHS = {
 # Rule name -> repo-relative paths the rule is restricted to (the rule
 # applies only there; everywhere else it is silent).
 RULE_ONLY_PATHS = {
-    # The two files holding the hot inner loops.
-    "tensor-at-in-kernel": re.compile(r"^src/tensor/(ops|kernels)\.cc$"),
+    # The files holding the hot inner loops: the tensor kernels plus
+    # every layer forward/backward on the training path.
+    "tensor-at-in-kernel": re.compile(
+        r"^src/(tensor/(ops|kernels)\.cc"
+        r"|nn/(conv|conv_transpose|activation|batchnorm|pool|loss"
+        r"|optimizer)\.cc"
+        r"|data/augment\.cc)$"),
+    # Gradient-partial storage on the training path.
+    "tensor-vector-partials": re.compile(
+        r"^src/nn/.*\.cc$|^src/core/encoder\.cc$"),
 }
 
 COMMENT_OR_STRING = re.compile(
