@@ -4,59 +4,167 @@
 #include <fstream>
 
 #include "nn/layer.hh"
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace leca {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4C654341; // "LeCA"
+constexpr std::uint32_t kMagic = 0x4C654341;       // "LeCA"
+constexpr std::uint32_t kLegacyLayerMagic = kMagic + 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kKindParams = 1;
+constexpr std::uint32_t kKindLayerState = 2;
 
-} // namespace
+/** FNV-1a over every byte written/read after the magic word. */
+class Fnv1a
+{
+  public:
+    void
+    update(const void *bytes, std::size_t count)
+    {
+        const auto *p = static_cast<const unsigned char *>(bytes);
+        for (std::size_t i = 0; i < count; ++i) {
+            _state ^= p[i];
+            _state *= 0x100000001B3ULL;
+        }
+    }
 
+    std::uint64_t digest() const { return _state; }
+
+  private:
+    std::uint64_t _state = 0xCBF29CE484222325ULL;
+};
+
+/** Write @p count bytes, folding them into the checksum. */
 void
-saveParams(const std::vector<Param *> &params, const std::string &path)
+writeHashed(std::ofstream &os, Fnv1a &hash, const void *bytes,
+            std::size_t count)
+{
+    os.write(static_cast<const char *>(bytes),
+             static_cast<std::streamsize>(count));
+    hash.update(bytes, count);
+}
+
+/** Read @p count bytes into @p bytes; CheckError on truncation. */
+void
+readHashed(std::ifstream &is, Fnv1a &hash, void *bytes, std::size_t count,
+           const std::string &path)
+{
+    is.read(static_cast<char *>(bytes),
+            static_cast<std::streamsize>(count));
+    LECA_CHECK(static_cast<std::size_t>(is.gcount()) == count && is,
+               "corrupt checkpoint ", path, ": truncated");
+    hash.update(bytes, count);
+}
+
+/**
+ * Write a tensor list in the versioned format:
+ *
+ *   u32 magic 'LeCA' | u32 version | u32 kind | u32 count
+ *   count x (u64 numel, numel x f32)
+ *   u64 FNV-1a checksum over every byte after the magic word
+ *
+ * The trailing checksum lets loaders refuse truncated or bit-flipped
+ * checkpoints instead of silently mis-inferring from them.
+ */
+void
+saveTensors(const std::vector<const Tensor *> &tensors,
+            const std::string &path, std::uint32_t kind)
 {
     std::ofstream os(path, std::ios::binary);
     if (!os)
         fatal("cannot open ", path, " for writing");
+    Fnv1a hash;
     const std::uint32_t magic = kMagic;
-    const std::uint32_t count = static_cast<std::uint32_t>(params.size());
     os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
-    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
-    for (const Param *p : params) {
-        const std::uint64_t numel = p->value.numel();
-        os.write(reinterpret_cast<const char *>(&numel), sizeof(numel));
-        os.write(reinterpret_cast<const char *>(p->value.data()),
-                 static_cast<std::streamsize>(numel * sizeof(float)));
+    const std::uint32_t version = kVersion;
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(tensors.size());
+    writeHashed(os, hash, &version, sizeof(version));
+    writeHashed(os, hash, &kind, sizeof(kind));
+    writeHashed(os, hash, &count, sizeof(count));
+    for (const Tensor *t : tensors) {
+        const std::uint64_t numel = t->numel();
+        writeHashed(os, hash, &numel, sizeof(numel));
+        writeHashed(os, hash, t->data(), numel * sizeof(float));
     }
+    const std::uint64_t digest = hash.digest();
+    os.write(reinterpret_cast<const char *>(&digest), sizeof(digest));
 }
 
+/**
+ * Load a tensor list saved by saveTensors().
+ *
+ * Returns false for recoverable "retrain instead" situations: missing
+ * file, stale format version (including pre-versioning legacy files),
+ * or a tensor count/shape that does not match the receiving model.
+ * Throws CheckError for corruption — wrong kind, truncation, or a
+ * checksum mismatch — so callers never quietly serve from a damaged
+ * checkpoint.
+ */
 bool
-loadParams(const std::vector<Param *> &params, const std::string &path)
+loadTensors(const std::vector<Tensor *> &tensors, const std::string &path,
+            std::uint32_t kind)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
         return false;
-    std::uint32_t magic = 0, count = 0;
+    std::uint32_t magic = 0;
     is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-    is.read(reinterpret_cast<char *>(&count), sizeof(count));
-    if (!is || magic != kMagic || count != params.size())
+    LECA_CHECK(is && is.gcount() == sizeof(magic), "corrupt checkpoint ",
+               path, ": shorter than its magic word");
+    LECA_CHECK(magic == kMagic || magic == kLegacyLayerMagic,
+               "not a LeCA checkpoint: ", path);
+    if (magic == kLegacyLayerMagic) {
+        warn("stale pre-versioning checkpoint ", path, "; retraining");
         return false;
-    for (Param *p : params) {
+    }
+    Fnv1a hash;
+    std::uint32_t version = 0, file_kind = 0, count = 0;
+    readHashed(is, hash, &version, sizeof(version), path);
+    if (version != kVersion) {
+        warn("stale checkpoint ", path, " (format v", version,
+             ", expected v", kVersion, "); retraining");
+        return false;
+    }
+    readHashed(is, hash, &file_kind, sizeof(file_kind), path);
+    LECA_CHECK(file_kind == kind, "checkpoint ", path, " holds kind ",
+               file_kind, ", expected kind ", kind,
+               " (params=1, layer state=2)");
+    readHashed(is, hash, &count, sizeof(count), path);
+    if (count != tensors.size())
+        return false; // different model structure: retrain
+    // Two passes: verify the payload checksum fully before touching
+    // any destination tensor, so a corrupt file cannot leave the model
+    // half-overwritten.
+    std::vector<std::vector<float>> staged;
+    staged.reserve(tensors.size());
+    for (const Tensor *t : tensors) {
         std::uint64_t numel = 0;
-        is.read(reinterpret_cast<char *>(&numel), sizeof(numel));
-        if (!is || numel != p->value.numel())
-            return false;
-        is.read(reinterpret_cast<char *>(p->value.data()),
-                static_cast<std::streamsize>(numel * sizeof(float)));
-        if (!is)
-            return false;
+        readHashed(is, hash, &numel, sizeof(numel), path);
+        if (numel != t->numel())
+            return false; // shape mismatch: retrain
+        std::vector<float> values(numel);
+        readHashed(is, hash, values.data(), numel * sizeof(float), path);
+        staged.push_back(std::move(values));
+    }
+    std::uint64_t stored = 0;
+    is.read(reinterpret_cast<char *>(&stored), sizeof(stored));
+    LECA_CHECK(is && is.gcount() == sizeof(stored), "corrupt checkpoint ",
+               path, ": missing checksum");
+    LECA_CHECK(stored == hash.digest(), "corrupt checkpoint ", path,
+               ": checksum mismatch (stored ", stored, ", computed ",
+               hash.digest(), ")");
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+        float *dst = tensors[i]->data();
+        const std::vector<float> &values = staged[i];
+        for (std::size_t j = 0; j < values.size(); ++j)
+            dst[j] = values[j];
     }
     return true;
 }
-
-namespace {
 
 /** Gather a layer's params and state as one flat tensor list. */
 std::vector<Tensor *>
@@ -70,50 +178,44 @@ allTensorsOf(Layer &layer)
     return tensors;
 }
 
+std::vector<const Tensor *>
+constView(const std::vector<Tensor *> &tensors)
+{
+    return {tensors.begin(), tensors.end()};
+}
+
 } // namespace
+
+void
+saveParams(const std::vector<Param *> &params, const std::string &path)
+{
+    std::vector<const Tensor *> tensors;
+    tensors.reserve(params.size());
+    for (const Param *p : params)
+        tensors.push_back(&p->value);
+    saveTensors(tensors, path, kKindParams);
+}
+
+bool
+loadParams(const std::vector<Param *> &params, const std::string &path)
+{
+    std::vector<Tensor *> tensors;
+    tensors.reserve(params.size());
+    for (Param *p : params)
+        tensors.push_back(&p->value);
+    return loadTensors(tensors, path, kKindParams);
+}
 
 void
 saveLayerState(Layer &layer, const std::string &path)
 {
-    const auto tensors = allTensorsOf(layer);
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("cannot open ", path, " for writing");
-    const std::uint32_t magic = kMagic + 1; // layer-state format
-    const std::uint32_t count = static_cast<std::uint32_t>(tensors.size());
-    os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
-    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
-    for (const Tensor *t : tensors) {
-        const std::uint64_t numel = t->numel();
-        os.write(reinterpret_cast<const char *>(&numel), sizeof(numel));
-        os.write(reinterpret_cast<const char *>(t->data()),
-                 static_cast<std::streamsize>(numel * sizeof(float)));
-    }
+    saveTensors(constView(allTensorsOf(layer)), path, kKindLayerState);
 }
 
 bool
 loadLayerState(Layer &layer, const std::string &path)
 {
-    const auto tensors = allTensorsOf(layer);
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        return false;
-    std::uint32_t magic = 0, count = 0;
-    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-    is.read(reinterpret_cast<char *>(&count), sizeof(count));
-    if (!is || magic != kMagic + 1 || count != tensors.size())
-        return false;
-    for (Tensor *t : tensors) {
-        std::uint64_t numel = 0;
-        is.read(reinterpret_cast<char *>(&numel), sizeof(numel));
-        if (!is || numel != t->numel())
-            return false;
-        is.read(reinterpret_cast<char *>(t->data()),
-                static_cast<std::streamsize>(numel * sizeof(float)));
-        if (!is)
-            return false;
-    }
-    return true;
+    return loadTensors(allTensorsOf(layer), path, kKindLayerState);
 }
 
 } // namespace leca

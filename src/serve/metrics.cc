@@ -1,0 +1,132 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace leca::serve {
+
+int
+LatencyHistogram::bucketOf(std::int64_t value)
+{
+    if (value < kExactBuckets)
+        return static_cast<int>(std::max<std::int64_t>(value, 0));
+    const auto v = static_cast<std::uint64_t>(value);
+    const int octave = std::bit_width(v) - 1; // floor(log2 v), 4..62
+    // Two bits below the leading one select the sub-bucket.
+    const int sub = static_cast<int>((v >> (octave - 2)) & 3);
+    return std::min(kBuckets - 1,
+                    (octave - kExactOctaves) * 4 + sub + kExactBuckets);
+}
+
+std::int64_t
+LatencyHistogram::bucketLowerBound(int b)
+{
+    if (b < kExactBuckets)
+        return b; // buckets 0..15 hold exactly their own value
+    const int octave = (b - kExactBuckets) / 4 + kExactOctaves;
+    const int sub = (b - kExactBuckets) % 4;
+    if (octave >= 63) // beyond any representable int64 sample
+        return std::numeric_limits<std::int64_t>::max();
+    const std::uint64_t base = std::uint64_t{1} << octave;
+    return static_cast<std::int64_t>(
+        base + static_cast<std::uint64_t>(sub) * (base >> 2));
+}
+
+void
+LatencyHistogram::record(std::int64_t value)
+{
+    value = std::max<std::int64_t>(value, 0);
+    _buckets[static_cast<std::size_t>(bucketOf(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(value, std::memory_order_relaxed);
+    std::int64_t seen = _min.load(std::memory_order_relaxed);
+    while (value < seen
+           && !_min.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+    }
+    seen = _max.load(std::memory_order_relaxed);
+    while (value > seen
+           && !_max.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.count = _count.load(std::memory_order_relaxed);
+    if (snap.count > 0) {
+        snap.minValue = _min.load(std::memory_order_relaxed);
+        snap.maxValue = _max.load(std::memory_order_relaxed);
+        snap.mean = static_cast<double>(_sum.load(std::memory_order_relaxed))
+                    / static_cast<double>(snap.count);
+    }
+    for (int b = 0; b < kBuckets; ++b)
+        snap.buckets[static_cast<std::size_t>(b)] =
+            _buckets[static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed);
+    return snap;
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(count - 1);
+    double seen = 0.0;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        const double in_bucket =
+            static_cast<double>(buckets[static_cast<std::size_t>(b)]);
+        if (in_bucket > 0.0 && rank < seen + in_bucket) {
+            // Interpolate within the bucket's value range.
+            const double lo =
+                static_cast<double>(LatencyHistogram::bucketLowerBound(b));
+            const double hi = static_cast<double>(
+                b + 1 < LatencyHistogram::kBuckets
+                    ? LatencyHistogram::bucketLowerBound(b + 1)
+                    : maxValue);
+            const double frac = (rank - seen) / in_bucket;
+            const double value = lo + (hi - lo) * frac;
+            return std::clamp(value, static_cast<double>(minValue),
+                              static_cast<double>(maxValue));
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(maxValue);
+}
+
+void
+ServeMetrics::recordQueueDepth(std::int64_t depth)
+{
+    std::int64_t seen = _maxQueueDepth.load(std::memory_order_relaxed);
+    while (depth > seen
+           && !_maxQueueDepth.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed)) {
+    }
+}
+
+MetricsSnapshot
+ServeMetrics::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.submitted = _submitted.load(std::memory_order_relaxed);
+    snap.completed = _completed.load(std::memory_order_relaxed);
+    snap.shed = _shed.load(std::memory_order_relaxed);
+    snap.expired = _expired.load(std::memory_order_relaxed);
+    snap.rejectedClosed = _rejectedClosed.load(std::memory_order_relaxed);
+    snap.errored = _errored.load(std::memory_order_relaxed);
+    snap.batches = _batches.load(std::memory_order_relaxed);
+    snap.maxQueueDepth = _maxQueueDepth.load(std::memory_order_relaxed);
+    snap.queueNanos = _queueNanos.snapshot();
+    snap.batchNanos = _batchNanos.snapshot();
+    snap.totalNanos = _totalNanos.snapshot();
+    snap.batchSize = _batchSize.snapshot();
+    return snap;
+}
+
+} // namespace leca::serve

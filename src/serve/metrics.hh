@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Lock-free per-stage metrics for the serve runtime.
+ *
+ * Every counter and histogram bucket is a relaxed std::atomic, so the
+ * submit path and the dispatcher record without taking any lock and
+ * without perturbing each other. Readers take a Snapshot (plain
+ * values) at any time; a snapshot taken while traffic is in flight is
+ * approximate in the usual lock-free sense (counters may be mid-update
+ * relative to each other) and exact once the server has quiesced.
+ *
+ * Latency histograms use fixed buckets: values below 16 get one exact
+ * bucket each, larger values 4 log-spaced sub-buckets per power of two
+ * (<= 25 % bucket width), 256 buckets total, covering the whole int64
+ * nanosecond range with no allocation after construction. Recording is
+ * one index computation plus one
+ * fetch_add. Exact min/max/sum are kept alongside, so means are exact
+ * and only the interior quantiles are bucket-interpolated.
+ */
+
+#ifndef LECA_SERVE_METRICS_HH
+#define LECA_SERVE_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace leca::serve {
+
+/** Plain-value view of one histogram; see LatencyHistogram::snapshot. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    std::int64_t minValue = 0; //!< exact (0 when count == 0)
+    std::int64_t maxValue = 0; //!< exact
+    double mean = 0.0;         //!< exact (sum / count)
+
+    /**
+     * Bucket-interpolated quantile, @p q in [0, 1]. Clamped to the
+     * exact min/max so p0/p100 never leave the observed range.
+     */
+    double quantile(double q) const;
+
+    std::array<std::uint64_t, 256> buckets{};
+};
+
+/**
+ * Fixed-bucket log-spaced histogram of non-negative int64 samples
+ * (nanosecond latencies, batch sizes). All methods are thread-safe;
+ * record() is lock-free and allocation-free.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 256;
+
+    /** Values below 16 get one exact bucket each (the first four
+     *  octaves); above that, 4 log-spaced sub-buckets per octave. */
+    static constexpr int kExactBuckets = 16;
+    static constexpr int kExactOctaves = 4; // log2(kExactBuckets)
+
+    /** Record one sample (negative samples clamp to 0). */
+    void record(std::int64_t value);
+
+    /** Plain-value copy of the current state. */
+    HistogramSnapshot snapshot() const;
+
+    /** Bucket index of @p value: 4 sub-buckets per ns octave. */
+    static int bucketOf(std::int64_t value);
+
+    /** Inclusive lower bound of bucket @p b (upper = lower of b+1). */
+    static std::int64_t bucketLowerBound(int b);
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> _buckets{};
+    std::atomic<std::uint64_t> _count{0};
+    std::atomic<std::int64_t> _sum{0};
+    std::atomic<std::int64_t> _min{INT64_MAX};
+    std::atomic<std::int64_t> _max{INT64_MIN};
+};
+
+/** Plain-value view of all serve metrics at one instant. */
+struct MetricsSnapshot
+{
+    // Request accounting. Every submitted request ends in exactly one
+    // of the five terminal counters once the server quiesces:
+    //   submitted == completed + shed + expired + rejectedClosed + errored.
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;     //!< dropped by DropNewest / DropOldest
+    std::uint64_t expired = 0;  //!< deadline passed while queued
+    std::uint64_t rejectedClosed = 0; //!< submitted after stop()
+    std::uint64_t errored = 0;  //!< backend threw for the frame's batch
+
+    std::uint64_t batches = 0;       //!< dispatched batched forwards
+    std::int64_t maxQueueDepth = 0;  //!< high-water queued requests
+
+    HistogramSnapshot queueNanos; //!< enqueue -> dispatch, per request
+    HistogramSnapshot batchNanos; //!< batched forward wall time
+    HistogramSnapshot totalNanos; //!< submit -> completion, per request
+    HistogramSnapshot batchSize;  //!< frames per dispatched batch
+};
+
+/** The live lock-free counters; owned by a Server. */
+class ServeMetrics
+{
+  public:
+    void recordSubmitted() { bump(_submitted); }
+    void recordCompleted() { bump(_completed); }
+    void recordShed() { bump(_shed); }
+    void recordExpired() { bump(_expired); }
+    void recordRejectedClosed() { bump(_rejectedClosed); }
+    void recordErrored() { bump(_errored); }
+    void recordBatch() { bump(_batches); }
+
+    /** Raise the queue-depth high-water mark to at least @p depth. */
+    void recordQueueDepth(std::int64_t depth);
+
+    LatencyHistogram &queueNanos() { return _queueNanos; }
+    LatencyHistogram &batchNanos() { return _batchNanos; }
+    LatencyHistogram &totalNanos() { return _totalNanos; }
+    LatencyHistogram &batchSize() { return _batchSize; }
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    static void
+    bump(std::atomic<std::uint64_t> &counter)
+    {
+        counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::atomic<std::uint64_t> _submitted{0};
+    std::atomic<std::uint64_t> _completed{0};
+    std::atomic<std::uint64_t> _shed{0};
+    std::atomic<std::uint64_t> _expired{0};
+    std::atomic<std::uint64_t> _rejectedClosed{0};
+    std::atomic<std::uint64_t> _errored{0};
+    std::atomic<std::uint64_t> _batches{0};
+    std::atomic<std::int64_t> _maxQueueDepth{0};
+
+    LatencyHistogram _queueNanos;
+    LatencyHistogram _batchNanos;
+    LatencyHistogram _totalNanos;
+    LatencyHistogram _batchSize;
+};
+
+} // namespace leca::serve
+
+#endif // LECA_SERVE_METRICS_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Bounded MPMC ring queue with explicit backpressure, the one queue
+ * primitive of the serve runtime.
+ *
+ * Capacity is mandatory (there is no growing path, and
+ * tools/leca_lint.py rule `serve-unbounded-queue` rejects unbounded
+ * standard containers anywhere in src/serve/), so queue memory is
+ * bounded by construction: overload must surface as blocking, a
+ * rejected push, or an evicted oldest element — never as unbounded
+ * growth.
+ *
+ * Slots are reused in place: producers write into the tail slot
+ * through a fill callback and consumers read the head slot through a
+ * use callback, so element-owned buffers (e.g. a request's frame
+ * pixels) are recycled ring-round and the steady-state queue performs
+ * no heap traffic. The fill/use callbacks run under the queue lock and
+ * must stay short.
+ *
+ * close() wakes every waiter; pushes after close fail with Closed and
+ * pops drain the remaining elements before reporting empty-and-closed.
+ */
+
+#ifndef LECA_SERVE_QUEUE_HH
+#define LECA_SERVE_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/check.hh"
+
+namespace leca::serve {
+
+/** Outcome of a push attempt; see BoundedQueue. */
+enum class PushOutcome
+{
+    Ok,      //!< element enqueued
+    Full,    //!< rejected, queue at capacity (tryPush only)
+    Evicted, //!< enqueued after evicting the oldest (pushEvictOldest)
+    Closed   //!< rejected, queue closed
+};
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(int capacity)
+        : _slots(static_cast<std::size_t>(checkedCapacity(capacity))),
+          _capacity(capacity)
+    {
+    }
+
+    int capacity() const { return _capacity; }
+
+    /** Current element count (racy outside the producer/consumer). */
+    int
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _size;
+    }
+
+    /** Block until space or close; fill(slot) writes the element. */
+    template <typename Fill>
+    PushOutcome
+    pushBlocking(Fill &&fill)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _spaceAvailable.wait(lock,
+                             [this] { return _closed || _size < _capacity; });
+        if (_closed)
+            return PushOutcome::Closed;
+        enqueueLocked(fill);
+        _itemAvailable.notify_one();
+        return PushOutcome::Ok;
+    }
+
+    /** Non-blocking push; Full when at capacity. */
+    template <typename Fill>
+    PushOutcome
+    tryPush(Fill &&fill)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_closed)
+            return PushOutcome::Closed;
+        if (_size == _capacity)
+            return PushOutcome::Full;
+        enqueueLocked(fill);
+        _itemAvailable.notify_one();
+        return PushOutcome::Ok;
+    }
+
+    /**
+     * Push, evicting the oldest queued element when full. The evicted
+     * element is handed to evict(slot) before its slot is reused (the
+     * caller completes its ticket as shed).
+     */
+    template <typename Fill, typename Evict>
+    PushOutcome
+    pushEvictOldest(Fill &&fill, Evict &&evict)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_closed)
+            return PushOutcome::Closed;
+        bool evicted = false;
+        if (_size == _capacity) {
+            evict(_slots[_head]);
+            _head = (_head + 1) % _slots.size();
+            --_size;
+            evicted = true;
+        }
+        enqueueLocked(fill);
+        _itemAvailable.notify_one();
+        return evicted ? PushOutcome::Evicted : PushOutcome::Ok;
+    }
+
+    /**
+     * Pop the oldest element through use(slot). Blocks until an
+     * element arrives or the queue is closed AND drained; returns
+     * false only in the latter case.
+     */
+    template <typename Use>
+    bool
+    popBlocking(Use &&use)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _itemAvailable.wait(lock, [this] { return _closed || _size > 0; });
+        if (_size == 0)
+            return false; // closed and drained
+        dequeueLocked(use);
+        _spaceAvailable.notify_one();
+        return true;
+    }
+
+    /**
+     * Pop like popBlocking but give up at @p deadline. Returns false
+     * on timeout or on closed-and-drained (the caller distinguishes
+     * via closed() if it needs to).
+     */
+    template <typename Use>
+    bool
+    popUntil(std::chrono::steady_clock::time_point deadline, Use &&use)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        if (!_itemAvailable.wait_until(
+                lock, deadline, [this] { return _closed || _size > 0; }))
+            return false;
+        if (_size == 0)
+            return false;
+        dequeueLocked(use);
+        _spaceAvailable.notify_one();
+        return true;
+    }
+
+    /** Reject future pushes and wake every waiter. Pops keep draining. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _closed = true;
+        _itemAvailable.notify_all();
+        _spaceAvailable.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _closed;
+    }
+
+  private:
+    static int
+    checkedCapacity(int capacity)
+    {
+        LECA_CHECK(capacity >= 1, "queue capacity must be >= 1, got ",
+                   capacity);
+        return capacity;
+    }
+
+    template <typename Fill>
+    void
+    enqueueLocked(Fill &fill)
+    {
+        fill(_slots[_tail]);
+        _tail = (_tail + 1) % _slots.size();
+        ++_size;
+    }
+
+    template <typename Use>
+    void
+    dequeueLocked(Use &use)
+    {
+        use(_slots[_head]);
+        _head = (_head + 1) % _slots.size();
+        --_size;
+    }
+
+    mutable std::mutex _mutex;
+    std::condition_variable _itemAvailable;
+    std::condition_variable _spaceAvailable;
+    std::vector<T> _slots;
+    std::size_t _head = 0;
+    std::size_t _tail = 0;
+    int _size = 0;
+    const int _capacity;
+    bool _closed = false;
+};
+
+} // namespace leca::serve
+
+#endif // LECA_SERVE_QUEUE_HH

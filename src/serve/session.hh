@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Client sessions of the serve runtime.
+ *
+ * A Session is the unit of stream identity and of randomness: it owns
+ * a private Rng stream forked deterministically from the server's root
+ * seed at openSession() time, and forks one child stream per submitted
+ * frame. Because each session is driven by exactly one client thread
+ * (sessions are NOT thread-safe; the Server is), the per-frame streams
+ * depend only on (server seed, session open order, frame index) —
+ * never on how frames from different sessions interleave in the shared
+ * queue or how the batcher coalesces them. That is the determinism
+ * contract of DESIGN.md §10: open sessions in a fixed order (e.g. all
+ * of them before starting client threads) and every response is
+ * bit-identical across thread counts, batch shapes, and overload
+ * timing (modulo which requests get shed, which is timing-dependent by
+ * design).
+ */
+
+#ifndef LECA_SERVE_SESSION_HH
+#define LECA_SERVE_SESSION_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+
+namespace leca::serve {
+
+/** One client's frame stream; created by Server::openSession(). */
+class Session
+{
+  public:
+    /** Stable id (the open-order index). */
+    std::uint64_t id() const { return _id; }
+
+    /** Frames submitted so far on this session. */
+    std::uint64_t framesSubmitted() const { return _nextFrame; }
+
+  private:
+    friend class Server;
+
+    Session(std::uint64_t id, Rng rng) : _id(id), _rng(rng) {}
+
+    /** Per-frame child stream; advances the session stream once. */
+    Rng
+    nextFrameRng()
+    {
+        ++_nextFrame;
+        return _rng.fork();
+    }
+
+    std::uint64_t _id;
+    Rng _rng;
+    std::uint64_t _nextFrame = 0;
+};
+
+} // namespace leca::serve
+
+#endif // LECA_SERVE_SESSION_HH

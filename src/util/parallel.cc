@@ -328,4 +328,44 @@ AsyncTask::wait()
     }
 }
 
+ServiceThread::~ServiceThread()
+{
+    if (_thread.joinable())
+        _thread.join();
+}
+
+void
+ServiceThread::start(std::function<void()> fn)
+{
+    LECA_CHECK(!_running, "ServiceThread::start while already running");
+    if (_thread.joinable())
+        _thread.join();
+    _error = nullptr;
+    _running = true;
+    // Deliberately NOT marked as a parallel region: service threads are
+    // foreground compute owners (the serve dispatcher) and contend for
+    // the pool through ThreadPool::run's one-task-at-a-time gate.
+    _thread = std::thread([this, fn = std::move(fn)] {
+        try {
+            fn();
+        } catch (...) {
+            _error = std::current_exception();
+        }
+    });
+}
+
+void
+ServiceThread::join()
+{
+    if (!_running)
+        return;
+    _thread.join();
+    _running = false;
+    if (_error) {
+        std::exception_ptr err = _error;
+        _error = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
 } // namespace leca

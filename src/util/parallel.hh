@@ -148,6 +148,44 @@ class AsyncTask
     bool _running = false;
 };
 
+/**
+ * A long-running owned runtime thread (the serve-runtime primitive,
+ * see src/serve/). Unlike AsyncTask, the body is NOT marked as a
+ * parallel region: parallelFor calls it makes dispatch onto the global
+ * pool through the normal one-task-at-a-time gate, so a service thread
+ * (e.g. the batching dispatcher in leca::serve) gets full pool
+ * parallelism for its compute.
+ *
+ * Ownership rules: the thread is always joined — by join() or by the
+ * destructor — never detached. Holders are responsible for making the
+ * body return (close a queue, set a stop flag) before destruction,
+ * otherwise the join blocks. join() rethrows the first exception the
+ * body raised; the destructor joins and discards it.
+ */
+class ServiceThread
+{
+  public:
+    ServiceThread() = default;
+    ~ServiceThread(); //!< joins a running thread, discarding its exception
+
+    ServiceThread(const ServiceThread &) = delete;
+    ServiceThread &operator=(const ServiceThread &) = delete;
+
+    /** Launch fn. The thread must not already be running. */
+    void start(std::function<void()> fn);
+
+    /** True between start() and the matching join(). */
+    bool running() const { return _running; }
+
+    /** Join the thread and rethrow the exception it raised, if any. */
+    void join();
+
+  private:
+    std::thread _thread;
+    std::exception_ptr _error;
+    bool _running = false;
+};
+
 } // namespace leca
 
 #endif // LECA_UTIL_PARALLEL_HH

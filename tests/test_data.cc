@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "data/augment.hh"
 #include "data/backbone.hh"
@@ -20,6 +22,7 @@
 #include "nn/linear.hh"
 #include "nn/pool.hh"
 #include "tensor/ops.hh"
+#include "util/check.hh"
 
 namespace leca {
 namespace {
@@ -238,6 +241,97 @@ TEST(Serialize, MissingFileReturnsFalse)
     Rng rng(7);
     Linear fc(2, 2, rng);
     EXPECT_FALSE(loadParams(fc.params(), "/tmp/leca_does_not_exist.bin"));
+}
+
+TEST(Serialize, RejectsCorruptPayloadWithCheckError)
+{
+    Rng rng(7);
+    Linear fc(4, 4, rng);
+    const std::string path = "/tmp/leca_test_corrupt.bin";
+    saveParams(fc.params(), path);
+
+    // Flip one payload byte: the trailing checksum must catch it.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(24); // inside the first tensor's float data
+        char byte = 0;
+        f.seekg(24);
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x40);
+        f.seekp(24);
+        f.write(&byte, 1);
+    }
+    const float before = fc.params()[0]->value[0];
+    EXPECT_THROW(loadParams(fc.params(), path), CheckError);
+    // And the model was not half-overwritten by the attempt.
+    EXPECT_EQ(fc.params()[0]->value[0], before);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTruncationWithCheckError)
+{
+    Rng rng(7);
+    Linear fc(4, 4, rng);
+    const std::string path = "/tmp/leca_test_truncated.bin";
+    saveParams(fc.params(), path);
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full / 2);
+    EXPECT_THROW(loadParams(fc.params(), path), CheckError);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsForeignFileWithCheckError)
+{
+    Rng rng(7);
+    Linear fc(2, 2, rng);
+    const std::string path = "/tmp/leca_test_foreign.bin";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "this is not a checkpoint at all";
+    }
+    EXPECT_THROW(loadParams(fc.params(), path), CheckError);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, StaleFormatVersionReturnsFalse)
+{
+    Rng rng(7);
+    Linear fc(2, 2, rng);
+    const std::string path = "/tmp/leca_test_stale.bin";
+    saveParams(fc.params(), path);
+    {
+        // Rewrite the version word (bytes 4..7) to a future version.
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        const std::uint32_t future = 999;
+        f.seekp(4);
+        f.write(reinterpret_cast<const char *>(&future), sizeof(future));
+    }
+    EXPECT_FALSE(loadParams(fc.params(), path)); // stale, not corrupt
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsKindMismatchWithCheckError)
+{
+    Rng rng(7);
+    Linear fc(2, 2, rng);
+    const std::string path = "/tmp/leca_test_kind.bin";
+    saveLayerState(fc, path); // kind = layer state
+    EXPECT_THROW(loadParams(fc.params(), path), CheckError);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, LayerStateRoundTripsBatchNormStats)
+{
+    Rng rng(7);
+    Linear a(3, 5, rng), b(3, 5, rng);
+    a.weight().value[0] = 42.0f;
+    const std::string path = "/tmp/leca_test_layer_state.bin";
+    saveLayerState(a, path);
+    ASSERT_TRUE(loadLayerState(b, path));
+    EXPECT_EQ(b.weight().value[0], 42.0f);
+    std::remove(path.c_str());
 }
 
 TEST(Backbone, OutputShapeMatchesClasses)

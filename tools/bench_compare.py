@@ -3,11 +3,14 @@
 
 Usage:
     tools/bench_compare.py OLD.json NEW.json [--threshold 0.10]
+                           [--require NAME ...]
 
 Entries are matched by name. For every shared entry the tool prints the
 old and new wall time and the speedup factor (old / new, so > 1 means
 the new run is faster). Entries present in only one report are listed
-separately and never affect the exit status.
+separately and never affect the exit status, except that every
+--require NAME must exist in the NEW report — this keeps CI honest when
+a benchmark silently stops emitting an entry.
 
 Exit status is non-zero when any shared entry regressed past the
 threshold: new_wall_ms > old_wall_ms * (1 + threshold). The default
@@ -47,10 +50,21 @@ def main():
     parser.add_argument(
         "--threshold", type=float, default=0.10,
         help="allowed slowdown fraction before failing (default 0.10)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="fail unless NAME is an entry of the NEW report "
+             "(repeatable)")
     args = parser.parse_args()
 
     old = load_entries(args.old)
     new = load_entries(args.new)
+
+    missing = [name for name in args.require if name not in new]
+    if missing:
+        print(f"{args.new}: missing required entr"
+              f"{'y' if len(missing) == 1 else 'ies'}:"
+              f" {', '.join(missing)}")
+        return 1
 
     shared = [name for name in old if name in new]
     only_old = [name for name in old if name not in new]

@@ -39,6 +39,18 @@ Enforces invariants clang-tidy cannot express:
                      Arena scratch and are folded serially in ascending
                      item order (see DESIGN.md), not into heap-allocated
                      per-item tensors.
+  serve-unbounded-queue
+                     no growable standard queues (`std::queue`,
+                     `std::deque`, `std::list`, `std::forward_list`,
+                     `std::priority_queue`) in src/serve/ — the serve
+                     runtime admits work only through the bounded ring
+                     in serve/queue.hh, so overload surfaces as
+                     backpressure or shedding, never as queue growth.
+  serve-detached-thread
+                     no `.detach()` or `std::thread` in src/serve/ —
+                     the runtime's only thread is a util/parallel
+                     ServiceThread, which is always joined so shutdown
+                     is deterministic and sanitizer-clean.
 
 Usage:  tools/leca_lint.py [DIR-or-FILE ...]
         (defaults to: src tests bench examples)
@@ -123,6 +135,24 @@ LINE_RULES = [
         True,
         False,
     ),
+    (
+        "serve-unbounded-queue",
+        re.compile(r"\bstd::(queue|deque|list|forward_list"
+                   r"|priority_queue)\b"),
+        "unbounded standard queue in the serve runtime; use the "
+        "bounded ring in serve/queue.hh so overload sheds instead of "
+        "growing",
+        True,
+        False,
+    ),
+    (
+        "serve-detached-thread",
+        re.compile(r"\.detach\s*\(\s*\)"),
+        "detached thread in the serve runtime; use a joined "
+        "leca::ServiceThread (util/parallel.hh)",
+        True,
+        False,
+    ),
 ]
 
 # Rule name -> repo-relative paths where the rule does not apply.
@@ -145,6 +175,9 @@ RULE_ONLY_PATHS = {
     # Gradient-partial storage on the training path.
     "tensor-vector-partials": re.compile(
         r"^src/nn/.*\.cc$|^src/core/encoder\.cc$"),
+    # The serve runtime must stay bounded-memory and join-on-shutdown.
+    "serve-unbounded-queue": re.compile(r"^src/serve/.*$"),
+    "serve-detached-thread": re.compile(r"^src/serve/.*$"),
 }
 
 COMMENT_OR_STRING = re.compile(
