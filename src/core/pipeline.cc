@@ -103,6 +103,7 @@ class PipelineBundle : public Layer
     Tensor forward(const Tensor &x, Mode) override { return x; }
     Tensor backward(const Tensor &g) override { return g; }
 
+    // leca-analyze: cold — parameter enumeration (checkpoint/optimizer setup)
     std::vector<Param *>
     params() override
     {
@@ -114,6 +115,7 @@ class PipelineBundle : public Layer
         return out;
     }
 
+    // leca-analyze: cold — state enumeration (checkpoint setup)
     std::vector<Tensor *>
     state() override
     {

@@ -104,6 +104,7 @@ saveTensors(const std::vector<const Tensor *> &tensors,
  * checksum mismatch — so callers never quietly serve from a damaged
  * checkpoint.
  */
+// leca-analyze: cold — checkpoint I/O
 bool
 loadTensors(const std::vector<Tensor *> &tensors, const std::string &path,
             std::uint32_t kind)
@@ -167,6 +168,7 @@ loadTensors(const std::vector<Tensor *> &tensors, const std::string &path,
 }
 
 /** Gather a layer's params and state as one flat tensor list. */
+// leca-analyze: cold — checkpoint setup
 std::vector<Tensor *>
 allTensorsOf(Layer &layer)
 {

@@ -100,6 +100,7 @@ ResidualBlock::backward(const Tensor &grad_out)
     return dx;
 }
 
+// leca-analyze: cold — parameter enumeration (setup)
 std::vector<Param *>
 ResidualBlock::params()
 {
@@ -109,6 +110,7 @@ ResidualBlock::params()
     return out;
 }
 
+// leca-analyze: cold — state enumeration (setup)
 std::vector<Tensor *>
 ResidualBlock::state()
 {

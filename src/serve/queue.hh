@@ -17,6 +17,11 @@
  * no heap traffic. The fill/use callbacks run under the queue lock and
  * must stay short.
  *
+ * Lock discipline is compile-time checked (DESIGN.md §11): every field
+ * of the ring is LECA_GUARDED_BY(_mutex) and the locked helpers carry
+ * LECA_REQUIRES(_mutex), so a Clang `-Wthread-safety` build fails on
+ * any unlocked access path.
+ *
  * close() wakes every waiter; pushes after close fail with Closed and
  * pops drain the remaining elements before reporting empty-and-closed.
  */
@@ -27,10 +32,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "util/check.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 
 namespace leca::serve {
 
@@ -57,20 +63,20 @@ class BoundedQueue
 
     /** Current element count (racy outside the producer/consumer). */
     int
-    size() const
+    size() const LECA_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         return _size;
     }
 
     /** Block until space or close; fill(slot) writes the element. */
     template <typename Fill>
     PushOutcome
-    pushBlocking(Fill &&fill)
+    pushBlocking(Fill &&fill) LECA_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
-        _spaceAvailable.wait(lock,
-                             [this] { return _closed || _size < _capacity; });
+        UniqueLock lock(_mutex);
+        while (!_closed && _size == _capacity)
+            _spaceAvailable.wait(lock.raw());
         if (_closed)
             return PushOutcome::Closed;
         enqueueLocked(fill);
@@ -81,9 +87,9 @@ class BoundedQueue
     /** Non-blocking push; Full when at capacity. */
     template <typename Fill>
     PushOutcome
-    tryPush(Fill &&fill)
+    tryPush(Fill &&fill) LECA_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         if (_closed)
             return PushOutcome::Closed;
         if (_size == _capacity)
@@ -100,9 +106,9 @@ class BoundedQueue
      */
     template <typename Fill, typename Evict>
     PushOutcome
-    pushEvictOldest(Fill &&fill, Evict &&evict)
+    pushEvictOldest(Fill &&fill, Evict &&evict) LECA_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         if (_closed)
             return PushOutcome::Closed;
         bool evicted = false;
@@ -124,10 +130,11 @@ class BoundedQueue
      */
     template <typename Use>
     bool
-    popBlocking(Use &&use)
+    popBlocking(Use &&use) LECA_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
-        _itemAvailable.wait(lock, [this] { return _closed || _size > 0; });
+        UniqueLock lock(_mutex);
+        while (!_closed && _size == 0)
+            _itemAvailable.wait(lock.raw());
         if (_size == 0)
             return false; // closed and drained
         dequeueLocked(use);
@@ -143,13 +150,16 @@ class BoundedQueue
     template <typename Use>
     bool
     popUntil(std::chrono::steady_clock::time_point deadline, Use &&use)
+        LECA_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
-        if (!_itemAvailable.wait_until(
-                lock, deadline, [this] { return _closed || _size > 0; }))
-            return false;
+        UniqueLock lock(_mutex);
+        while (!_closed && _size == 0) {
+            if (_itemAvailable.wait_until(lock.raw(), deadline)
+                == std::cv_status::timeout)
+                break;
+        }
         if (_size == 0)
-            return false;
+            return false; // timed out, or closed and drained
         dequeueLocked(use);
         _spaceAvailable.notify_one();
         return true;
@@ -157,18 +167,18 @@ class BoundedQueue
 
     /** Reject future pushes and wake every waiter. Pops keep draining. */
     void
-    close()
+    close() LECA_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         _closed = true;
         _itemAvailable.notify_all();
         _spaceAvailable.notify_all();
     }
 
     bool
-    closed() const
+    closed() const LECA_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexLock lock(_mutex);
         return _closed;
     }
 
@@ -183,7 +193,7 @@ class BoundedQueue
 
     template <typename Fill>
     void
-    enqueueLocked(Fill &fill)
+    enqueueLocked(Fill &fill) LECA_REQUIRES(_mutex)
     {
         fill(_slots[_tail]);
         _tail = (_tail + 1) % _slots.size();
@@ -192,22 +202,22 @@ class BoundedQueue
 
     template <typename Use>
     void
-    dequeueLocked(Use &use)
+    dequeueLocked(Use &use) LECA_REQUIRES(_mutex)
     {
         use(_slots[_head]);
         _head = (_head + 1) % _slots.size();
         --_size;
     }
 
-    mutable std::mutex _mutex;
+    mutable Mutex _mutex;
     std::condition_variable _itemAvailable;
     std::condition_variable _spaceAvailable;
-    std::vector<T> _slots;
-    std::size_t _head = 0;
-    std::size_t _tail = 0;
-    int _size = 0;
+    std::vector<T> _slots LECA_GUARDED_BY(_mutex);
+    std::size_t _head LECA_GUARDED_BY(_mutex) = 0;
+    std::size_t _tail LECA_GUARDED_BY(_mutex) = 0;
+    int _size LECA_GUARDED_BY(_mutex) = 0;
     const int _capacity;
-    bool _closed = false;
+    bool _closed LECA_GUARDED_BY(_mutex) = false;
 };
 
 } // namespace leca::serve

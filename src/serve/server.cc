@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/pipeline.hh"
+#include "util/alloc_guard.hh"
 #include "util/check.hh"
 
 namespace leca::serve {
@@ -13,29 +14,33 @@ namespace leca::serve {
 const FrameResult &
 FrameTicket::wait()
 {
-    std::unique_lock<std::mutex> lock(_mutex);
-    _done.wait(lock, [this] { return _ready; });
+    UniqueLock lock(_mutex);
+    // Explicit wait loop (not a predicate lambda): the thread-safety
+    // analysis cannot see into lambdas, so the guarded read of _ready
+    // must happen in this scope where the capability is visibly held.
+    while (!_ready)
+        _done.wait(lock.raw());
     return _result;
 }
 
 bool
 FrameTicket::done() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _ready;
 }
 
 bool
 FrameTicket::pending() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     return _pending;
 }
 
 void
 FrameTicket::arm(std::uint64_t session, std::uint64_t frame_index)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexLock lock(_mutex);
     LECA_CHECK(!_pending, "FrameTicket resubmitted while still pending "
                "(session ", _result.session, ", frame ",
                _result.frameIndex, ")");
@@ -47,19 +52,6 @@ FrameTicket::arm(std::uint64_t session, std::uint64_t frame_index)
     _result.argmax = -1;
     _result.queueNanos = _result.batchNanos = _result.totalNanos = 0;
     _result.batchSize = 0;
-}
-
-void
-FrameTicket::complete(const std::function<void(FrameResult &)> &fill)
-{
-    // Notify while still holding the lock: the waiter may destroy the
-    // ticket the moment wait() returns, and it cannot return before we
-    // release the mutex — so notify_all never touches a dead condvar.
-    std::lock_guard<std::mutex> lock(_mutex);
-    fill(_result);
-    _pending = false;
-    _ready = true;
-    _done.notify_all();
 }
 
 // ---- ServerOptions -------------------------------------------------------
@@ -99,6 +91,14 @@ Server::Server(Backend backend, std::vector<int> frame_shape,
     _staging.resize(static_cast<std::size_t>(_options.maxBatch)
                     * _frameElems);
     _staged.resize(static_cast<std::size_t>(_options.maxBatch));
+    // Pre-build the borrowed batch views (one per batch size) now that
+    // _staging has its final storage; dispatch then never constructs a
+    // Tensor per forward. See the _batchViews field comment.
+    _batchViews.reserve(static_cast<std::size_t>(_options.maxBatch));
+    for (int n = 1; n <= _options.maxBatch; ++n)
+        _batchViews.push_back(Tensor::borrow(
+            {n, _frameShape[0], _frameShape[1], _frameShape[2]},
+            _staging.data()));
     _dispatcher.start([this] { runDispatcher(); });
 }
 
@@ -115,7 +115,7 @@ Server::~Server()
 Session
 Server::openSession()
 {
-    std::lock_guard<std::mutex> lock(_sessionMutex);
+    MutexLock lock(_sessionMutex);
     return Session(_nextSessionId++, _sessionRoot.fork());
 }
 
@@ -184,7 +184,7 @@ Server::submit(Session &session, const Tensor &frame, FrameTicket &ticket,
 void
 Server::stop()
 {
-    std::lock_guard<std::mutex> lock(_stopMutex);
+    MutexLock lock(_stopMutex);
     if (_stopped)
         return;
     _stopped = true;
@@ -275,8 +275,6 @@ Server::collectBatch()
 void
 Server::dispatchLoop()
 {
-    const int channels = _frameShape[0], height = _frameShape[1];
-    const int width = _frameShape[2];
     for (;;) {
         const int count = collectBatch();
         if (count == 0)
@@ -299,8 +297,13 @@ Server::dispatchLoop()
         const auto forward_start = Clock::now();
         Tensor logits;
         try {
-            const Tensor batch = Tensor::borrow(
-                {count, channels, height, width}, _staging.data());
+            const Tensor &batch =
+                _batchViews[static_cast<std::size_t>(count) - 1];
+            // The serve layer itself is allocation-free at steady
+            // state; the backend owns its own allocation budget
+            // (documented contract), so exempt the forward from any
+            // enclosing DenyAllocScope.
+            AllowAllocScope allow_backend;
             logits = _backend(batch);
         } catch (...) {
             for (int i = 0; i < count; ++i) {

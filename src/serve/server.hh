@@ -43,7 +43,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "sensor/noise.hh"
@@ -51,8 +51,10 @@
 #include "serve/queue.hh"
 #include "serve/session.hh"
 #include "tensor/tensor.hh"
+#include "util/mutex.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
+#include "util/thread_annotations.hh"
 
 namespace leca {
 class LecaPipeline;
@@ -110,25 +112,48 @@ class FrameTicket
     FrameTicket &operator=(const FrameTicket &) = delete;
 
     /** Block until completion and return the result. */
-    const FrameResult &wait();
+    const FrameResult &wait() LECA_EXCLUDES(_mutex);
 
     /** True when a result is ready (non-blocking). */
-    bool done() const;
+    bool done() const LECA_EXCLUDES(_mutex);
 
     /** True between submit() and completion. */
-    bool pending() const;
+    bool pending() const LECA_EXCLUDES(_mutex);
 
   private:
     friend class Server;
 
-    void arm(std::uint64_t session, std::uint64_t frame_index);
-    void complete(const std::function<void(FrameResult &)> &fill);
+    void arm(std::uint64_t session, std::uint64_t frame_index)
+        LECA_EXCLUDES(_mutex);
 
-    mutable std::mutex _mutex;
+    /**
+     * Complete the ticket: run @p fill on the result slot under the
+     * lock, then wake the waiter. Templated on the callable so the
+     * dispatcher's capture-heavy completion lambdas never round-trip
+     * through a heap-allocating std::function — ticket completion is
+     * on the per-frame hot path.
+     *
+     * Notify happens while still holding the lock: the waiter may
+     * destroy the ticket the moment wait() returns, and it cannot
+     * return before we release the mutex — so notify_all never touches
+     * a dead condvar.
+     */
+    template <typename Fill>
+    void
+    complete(Fill &&fill) LECA_EXCLUDES(_mutex)
+    {
+        MutexLock lock(_mutex);
+        std::forward<Fill>(fill)(_result);
+        _pending = false;
+        _ready = true;
+        _done.notify_all();
+    }
+
+    mutable Mutex _mutex;
     std::condition_variable _done;
-    FrameResult _result;
-    bool _pending = false;
-    bool _ready = false;
+    FrameResult _result LECA_GUARDED_BY(_mutex);
+    bool _pending LECA_GUARDED_BY(_mutex) = false;
+    bool _ready LECA_GUARDED_BY(_mutex) = false;
 };
 
 /** Serve-runtime configuration. Every knob is explicit and bounded. */
@@ -182,7 +207,7 @@ class Server
      * the session's Rng stream is forked from the server seed in open
      * order. The returned Session belongs to one client thread.
      */
-    Session openSession();
+    Session openSession() LECA_EXCLUDES(_sessionMutex);
 
     /**
      * Submit one frame ({C, H, W}, matching frame_shape) on @p session
@@ -201,7 +226,7 @@ class Server
      * the dispatcher died on one (queued tickets are then completed
      * with ServeStatus::Closed, so no client is left hanging).
      */
-    void stop();
+    void stop() LECA_EXCLUDES(_stopMutex);
 
     /** Point-in-time copy of all counters and histograms. */
     MetricsSnapshot metrics() const { return _metrics.snapshot(); }
@@ -264,16 +289,26 @@ class Server
     BoundedQueue<Request> _queue;
     ServeMetrics _metrics;
 
-    std::mutex _sessionMutex;
-    Rng _sessionRoot;
-    std::uint64_t _nextSessionId = 0;
+    Mutex _sessionMutex;
+    Rng _sessionRoot LECA_GUARDED_BY(_sessionMutex);
+    std::uint64_t _nextSessionId LECA_GUARDED_BY(_sessionMutex) = 0;
 
     std::vector<float> _staging;  //!< [maxBatch * frameElems], reused
     std::vector<Staged> _staged;  //!< [maxBatch], reused
+
+    /**
+     * Borrowed [n, C, H, W] views over _staging for every batch size
+     * n in 1..maxBatch, built once in the constructor. _staging never
+     * reallocates after construction, so the views stay valid for the
+     * server's lifetime and dispatch reuses _batchViews[count - 1]
+     * instead of constructing a fresh view (and its shape vector) per
+     * batched forward. Dispatcher-only, like _staging itself.
+     */
+    std::vector<Tensor> _batchViews;
     bool _expiredThisCollect = false;
 
-    std::mutex _stopMutex;
-    bool _stopped = false;
+    Mutex _stopMutex;
+    bool _stopped LECA_GUARDED_BY(_stopMutex) = false;
     ServiceThread _dispatcher; //!< declared last: joins before members die
 };
 

@@ -1,6 +1,8 @@
 #include "tensor.hh"
 
+#include <cstdlib>
 #include <numeric>
+#include <utility>
 
 #include "util/check.hh"
 
@@ -19,28 +21,221 @@ shapeProduct(const std::vector<int> &shape)
     return n;
 }
 
+// ---- Recycled-buffer pool (DESIGN.md §11) ---------------------------
+//
+// Every Tensor owns a std::vector<float> (data) and a std::vector<int>
+// (shape), so a training step or a served batch that creates and drops
+// a few dozen same-shaped tensors used to perform a few dozen matching
+// heap round-trips — the dominant steady-state allocation source the
+// DenyAllocScope guards flagged once kernel scratch moved to the
+// Arena. Destroyed tensors now donate their storage to a per-thread
+// pool and constructors take a best-fit buffer back out, so warm
+// construct/destroy cycles recycle capacity instead of touching the
+// heap. Values are never reused (every acquire is followed by an
+// assign/resize that overwrites), so determinism is untouched.
+//
+// The pool is capped (slots and total floats); anything beyond the cap
+// frees normally. Under AddressSanitizer the pool is disabled so
+// use-after-free coverage of tensor storage stays exactly as it was.
+
+#if defined(__SANITIZE_ADDRESS__)
+constexpr bool kPoolCompiledIn = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+constexpr bool kPoolCompiledIn = false;
+#else
+constexpr bool kPoolCompiledIn = true;
+#endif
+#else
+constexpr bool kPoolCompiledIn = true;
+#endif
+
+bool
+poolEnabled()
+{
+    // LECA_TENSOR_POOL=0 is a debugging kill switch.
+    static const bool enabled = [] {
+        const char *env = std::getenv("LECA_TENSOR_POOL");
+        return env == nullptr || env[0] != '0';
+    }();
+    return kPoolCompiledIn && enabled;
+}
+
+template <typename T>
+class BufferPool
+{
+  public:
+    /** Slots scanned linearly on acquire; small enough to stay cheap,
+     *  large enough for the live set of a train step or serve batch. */
+    static constexpr std::size_t kMaxSlots = 128;
+
+    ~BufferPool()
+    {
+        if (_deadFlag != nullptr)
+            *_deadFlag = true;
+    }
+
+    void
+    bindDeadFlag(bool *flag)
+    {
+        _deadFlag = flag;
+    }
+
+    /**
+     * Best-fit buffer with capacity >= n (moved out of the pool), or
+     * an empty vector when nothing fits — the caller's assign/resize
+     * then allocates exactly as it would have without the pool.
+     */
+    std::vector<T>
+    acquire(std::size_t n)
+    {
+        std::size_t best = _count;
+        for (std::size_t i = 0; i < _count; ++i) {
+            if (_slots[i].capacity() < n)
+                continue;
+            if (best == _count
+                || _slots[i].capacity() < _slots[best].capacity())
+                best = i;
+        }
+        if (best == _count)
+            return {};
+        std::vector<T> out = std::move(_slots[best]);
+        _totalElems -= out.capacity();
+        _slots[best] = std::move(_slots[--_count]);
+        return out;
+    }
+
+    /** Donate a buffer; drops it (normal free) when the pool is full
+     *  or the buffer is empty or oversized. */
+    void
+    retire(std::vector<T> &&buffer)
+    {
+        if (buffer.capacity() == 0)
+            return;
+        if (_count == kMaxSlots || buffer.capacity() > kMaxBufferElems
+            || _totalElems + buffer.capacity() > kMaxTotalElems)
+            return; // vector destructor frees it
+        _totalElems += buffer.capacity();
+        _slots[_count++] = std::move(buffer);
+    }
+
+  private:
+    /** Per-buffer cap: 64 Mi elements. */
+    static constexpr std::size_t kMaxBufferElems = std::size_t{1} << 26;
+    /** Per-thread cap on pooled elements: 128 Mi. */
+    static constexpr std::size_t kMaxTotalElems = std::size_t{1} << 27;
+
+    std::vector<T> _slots[kMaxSlots];
+    std::size_t _count = 0;
+    std::size_t _totalElems = 0;
+    bool *_deadFlag = nullptr;
+};
+
+/**
+ * The calling thread's pool, guarded against the thread_local
+ * destruction-order fiasco: t_poolDead is trivially destructible (so
+ * it outlives every other thread_local), and the pool destructor
+ * flips it, after which retirements fall back to plain frees.
+ */
+template <typename T>
+BufferPool<T> *
+localPool()
+{
+    static thread_local bool t_poolDead = false;
+    if (t_poolDead)
+        return nullptr;
+    static thread_local BufferPool<T> t_pool;
+    t_pool.bindDeadFlag(&t_poolDead);
+    return &t_pool;
+}
+
+/** Fill @p out with n elements of @p value, recycling pooled capacity. */
+template <typename T>
+void
+pooledAssign(std::vector<T> &out, std::size_t n, T value)
+{
+    if (poolEnabled() && out.capacity() < n) {
+        if (BufferPool<T> *pool = localPool<T>()) {
+            std::vector<T> buffer = pool->acquire(n);
+            if (buffer.capacity() >= n)
+                out = std::move(buffer);
+        }
+    }
+    out.assign(n, value);
+}
+
+/** Copy [first, last) into @p out, recycling pooled capacity. */
+template <typename T>
+void
+pooledCopy(std::vector<T> &out, const T *first, const T *last)
+{
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    if (poolEnabled() && out.capacity() < n) {
+        if (BufferPool<T> *pool = localPool<T>()) {
+            std::vector<T> buffer = pool->acquire(n);
+            if (buffer.capacity() >= n)
+                out = std::move(buffer);
+        }
+    }
+    out.assign(first, last);
+}
+
+template <typename T>
+void
+retireBuffer(std::vector<T> &&buffer)
+{
+    if (!poolEnabled())
+        return;
+    if (BufferPool<T> *pool = localPool<T>())
+        pool->retire(std::move(buffer));
+}
+
 } // namespace
 
-Tensor::Tensor(std::vector<int> shape)
-    : _shape(std::move(shape)), _data(shapeProduct(_shape), 0.0f)
+Tensor::~Tensor()
 {
+    retireBuffer(std::move(_data));
+    retireBuffer(std::move(_shape));
+}
+
+Tensor::Tensor(const std::vector<int> &shape)
+{
+    pooledCopy(_shape, shape.data(), shape.data() + shape.size());
+    pooledAssign(_data, shapeProduct(_shape), 0.0f);
 }
 
 Tensor::Tensor(std::initializer_list<int> shape)
-    : Tensor(std::vector<int>(shape))
 {
+    pooledCopy(_shape, shape.begin(), shape.end());
+    pooledAssign(_data, shapeProduct(_shape), 0.0f);
+}
+
+Tensor &
+Tensor::operator=(Tensor &&other) noexcept
+{
+    _shape.swap(other._shape);
+    _data.swap(other._data);
+    std::swap(_borrowed, other._borrowed);
+    std::swap(_borrowedSize, other._borrowedSize);
+    return *this;
 }
 
 Tensor
-Tensor::zeros(std::vector<int> shape)
+Tensor::zeros(const std::vector<int> &shape)
 {
-    return Tensor(std::move(shape));
+    return Tensor(shape);
 }
 
 Tensor
-Tensor::full(std::vector<int> shape, float value)
+Tensor::zeros(std::initializer_list<int> shape)
 {
-    Tensor t(std::move(shape));
+    return Tensor(shape);
+}
+
+Tensor
+Tensor::full(const std::vector<int> &shape, float value)
+{
+    Tensor t(shape);
     t.fill(value);
     return t;
 }
@@ -70,14 +265,31 @@ Tensor::borrow(std::vector<int> shape, const float *data)
     return t;
 }
 
-Tensor::Tensor(const Tensor &other) : _shape(other._shape)
+Tensor
+Tensor::borrow(std::initializer_list<int> shape, const float *data)
 {
+    Tensor t;
+    pooledCopy(t._shape, shape.begin(), shape.end());
+    LECA_CHECK(data != nullptr || shapeProduct(t._shape) == 0,
+               "borrow of null storage for non-empty shape ",
+               detail::formatShape(t._shape));
+    t._borrowedSize = shapeProduct(t._shape);
+    t._borrowed = data;
+    return t;
+}
+
+Tensor::Tensor(const Tensor &other)
+{
+    pooledCopy(_shape, other._shape.data(),
+               other._shape.data() + other._shape.size());
     // Copying a borrowed view materialises an owning tensor, so the
     // copy never outlives the storage it was viewing.
     if (other._borrowed)
-        _data.assign(other._borrowed, other._borrowed + other._borrowedSize);
+        pooledCopy(_data, other._borrowed,
+                   other._borrowed + other._borrowedSize);
     else
-        _data = other._data;
+        pooledCopy(_data, other._data.data(),
+                   other._data.data() + other._data.size());
 }
 
 Tensor &
@@ -85,11 +297,14 @@ Tensor::operator=(const Tensor &other)
 {
     if (this == &other)
         return *this;
-    _shape = other._shape;
+    pooledCopy(_shape, other._shape.data(),
+               other._shape.data() + other._shape.size());
     if (other._borrowed)
-        _data.assign(other._borrowed, other._borrowed + other._borrowedSize);
+        pooledCopy(_data, other._borrowed,
+                   other._borrowed + other._borrowedSize);
     else
-        _data = other._data;
+        pooledCopy(_data, other._data.data(),
+                   other._data.data() + other._data.size());
     _borrowed = nullptr;
     _borrowedSize = 0;
     return *this;
@@ -207,32 +422,46 @@ Tensor::fill(float value)
 }
 
 Tensor
-Tensor::reshape(std::vector<int> new_shape) const
+Tensor::reshape(const std::vector<int> &new_shape) const
 {
+    return reshapeFrom(new_shape.data(),
+                       new_shape.data() + new_shape.size());
+}
+
+Tensor
+Tensor::reshape(std::initializer_list<int> new_shape) const
+{
+    return reshapeFrom(new_shape.begin(), new_shape.end());
+}
+
+Tensor
+Tensor::reshapeFrom(const int *first, const int *last) const
+{
+    Tensor t;
+    pooledCopy(t._shape, first, last);
+    std::vector<int> &shape = t._shape;
     int infer = -1;
     std::size_t known = 1;
-    for (std::size_t i = 0; i < new_shape.size(); ++i) {
-        if (new_shape[i] == -1) {
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (shape[i] == -1) {
             LECA_CHECK(infer < 0, "multiple -1 extents in reshape ",
-                       detail::formatShape(new_shape));
+                       detail::formatShape(shape));
             infer = static_cast<int>(i);
         } else {
-            known *= static_cast<std::size_t>(new_shape[i]);
+            known *= static_cast<std::size_t>(shape[i]);
         }
     }
     if (infer >= 0) {
         LECA_CHECK(known > 0 && numel() % known == 0,
                    "cannot infer reshape extent: ", numel(),
                    " elements over ", known);
-        new_shape[static_cast<std::size_t>(infer)] =
+        shape[static_cast<std::size_t>(infer)] =
             static_cast<int>(numel() / known);
     }
-    LECA_CHECK(shapeProduct(new_shape) == numel(),
-               "reshape to ", detail::formatShape(new_shape),
+    LECA_CHECK(shapeProduct(shape) == numel(),
+               "reshape to ", detail::formatShape(shape),
                " changes element count from ", numel());
-    Tensor t;
-    t._shape = std::move(new_shape);
-    t._data.assign(data(), data() + numel());
+    pooledCopy(t._data, data(), data() + numel());
     return t;
 }
 

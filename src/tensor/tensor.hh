@@ -29,17 +29,25 @@ class Tensor
     /** Empty rank-0 tensor. */
     Tensor() = default;
 
-    /** Zero-initialised tensor with the given shape. */
-    explicit Tensor(std::vector<int> shape);
+    /** Zero-initialised tensor with the given shape. Takes the shape
+     *  by const reference and copies it through the recycled-buffer
+     *  pool, so `Tensor(x.shape())` performs no call-site argument
+     *  allocation (it used to copy the vector into a by-value param). */
+    explicit Tensor(const std::vector<int> &shape);
 
     /** Convenience initializer-list constructor: Tensor({n, c, h, w}). */
     Tensor(std::initializer_list<int> shape);
 
     /** Zero-filled factory (reads better at call sites). */
-    static Tensor zeros(std::vector<int> shape);
+    static Tensor zeros(const std::vector<int> &shape);
+
+    /** Zero-filled factory, brace form: Tensor::zeros({n, c}) builds
+     *  its shape from the recycled-buffer pool instead of a fresh
+     *  call-site std::vector (hot-path allocation hygiene, §11). */
+    static Tensor zeros(std::initializer_list<int> shape);
 
     /** Constant-filled factory. */
-    static Tensor full(std::vector<int> shape, float value);
+    static Tensor full(const std::vector<int> &shape, float value);
 
     /** Adopt existing data; size must match the shape product. */
     static Tensor fromData(std::vector<int> shape, std::vector<float> data);
@@ -58,13 +66,27 @@ class Tensor
      */
     static Tensor borrow(std::vector<int> shape, const float *data);
 
+    /** borrow(), brace form (avoids a call-site shape allocation). */
+    static Tensor borrow(std::initializer_list<int> shape,
+                         const float *data);
+
     /** True when this tensor is a non-owning borrow() view. */
     bool borrowed() const { return _borrowed != nullptr; }
 
     Tensor(const Tensor &other);
     Tensor &operator=(const Tensor &other);
     Tensor(Tensor &&other) noexcept = default;
-    Tensor &operator=(Tensor &&other) noexcept = default;
+
+    /** Swap-based move assignment: the displaced buffers travel into
+     *  @p other, whose destructor retires them to the recycled pool —
+     *  a defaulted move would free them outright, leaking recyclable
+     *  capacity on every `_cache = Tensor(...)` style reassignment. */
+    Tensor &operator=(Tensor &&other) noexcept;
+
+    /** Donates the storage to the calling thread's recycled-buffer
+     *  pool so steady-state construct/destroy cycles of same-shaped
+     *  tensors stop touching the heap (see tensor.cc, DESIGN.md §11). */
+    ~Tensor();
 
     /** Number of dimensions. */
     int dim() const { return static_cast<int>(_shape.size()); }
@@ -104,9 +126,15 @@ class Tensor
 
     /**
      * Return a copy with a new shape; the element count must match.
-     * A single -1 extent is inferred from the rest.
+     * A single -1 extent is inferred from the rest. Takes the shape by
+     * const reference (and, for brace call sites, by initializer list)
+     * so neither form allocates a call-site argument vector; the
+     * result's buffers come from the recycled pool.
      */
-    Tensor reshape(std::vector<int> new_shape) const;
+    Tensor reshape(const std::vector<int> &new_shape) const;
+
+    /** reshape(), brace form: x.reshape({n, -1}). */
+    Tensor reshape(std::initializer_list<int> new_shape) const;
 
     /** True if both tensors have identical shape. */
     bool sameShape(const Tensor &other) const
@@ -127,6 +155,7 @@ class Tensor
     std::size_t _borrowedSize = 0;    //!< element count of the view
 
     std::size_t flatIndex(int n, int c, int h, int w) const;
+    Tensor reshapeFrom(const int *first, const int *last) const;
 };
 
 } // namespace leca

@@ -64,6 +64,8 @@ Arena::alloc(std::size_t n)
     return p;
 }
 
+// leca-analyze: cold — the one sanctioned growth path; warm steady
+// state never reaches it (asserted by the totalBlockAllocs tests)
 void
 Arena::grow(std::size_t n)
 {

@@ -126,10 +126,14 @@ throwCheckError(const char *condition, const char *file, int line,
 #define LECA_DCHECK(cond, ...) LECA_CHECK(cond, ##__VA_ARGS__)
 #endif
 
-/** Check that a Tensor-like object has exactly the expected shape. */
+/** Check that a Tensor-like object has exactly the expected shape.
+ *  Binds the expected shape by const reference: an lvalue vector
+ *  argument is compared in place (no per-call copy on hot paths such
+ *  as Server::submit), while a brace temporary is lifetime-extended
+ *  for the duration of the check. */
 #define LECA_CHECK_SHAPE(tensor, ...)                                        \
     do {                                                                     \
-        const std::vector<int> leca_check_expected_ = __VA_ARGS__;           \
+        const std::vector<int> &leca_check_expected_ = __VA_ARGS__;          \
         if ((tensor).shape() != leca_check_expected_) {                      \
             ::leca::detail::throwCheckError(                                 \
                 #tensor " has expected shape", __FILE__, __LINE__,           \

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Annotated mutex primitives for Clang thread-safety analysis.
+ *
+ * libstdc++'s std::mutex / std::lock_guard / std::unique_lock carry no
+ * capability attributes, so code locking them is invisible to
+ * `-Wthread-safety`. These wrappers are the annotated equivalents every
+ * mutex-protected structure in the repository uses (queue ring,
+ * dispatcher state, ticket completion slots, pool internals):
+ *
+ *   leca::Mutex       an annotated std::mutex (a CAPABILITY)
+ *   leca::MutexLock   scoped lock, the std::lock_guard replacement
+ *   leca::UniqueLock  scoped lock exposing the underlying
+ *                     std::unique_lock for condition_variable waits
+ *
+ * Zero overhead: every method is an inline forward to the std type.
+ * Condition-variable waits go through UniqueLock::raw(); write the wait
+ * as an explicit `while (!predicate) cv.wait(lock.raw());` loop so the
+ * predicate reads of guarded fields sit in the annotated function body
+ * (the analysis does not propagate capabilities into wait-predicate
+ * lambdas).
+ */
+
+#ifndef LECA_UTIL_MUTEX_HH
+#define LECA_UTIL_MUTEX_HH
+
+#include <mutex>
+
+#include "util/thread_annotations.hh"
+
+namespace leca {
+
+/** std::mutex with capability annotations; see file comment. */
+class LECA_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() LECA_ACQUIRE() { _mutex.lock(); }
+    void unlock() LECA_RELEASE() { _mutex.unlock(); }
+    bool try_lock() LECA_TRY_ACQUIRE(true) { return _mutex.try_lock(); }
+
+    /** The wrapped std::mutex (for std lock adapters; prefer the
+     *  annotated MutexLock / UniqueLock wrappers below). */
+    std::mutex &native() LECA_RETURN_CAPABILITY(this) { return _mutex; }
+
+  private:
+    std::mutex _mutex;
+};
+
+/** RAII lock for the common hold-to-end-of-scope case. */
+class LECA_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) LECA_ACQUIRE(mutex)
+        : _lock(mutex.native())
+    {
+    }
+    ~MutexLock() LECA_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    std::lock_guard<std::mutex> _lock;
+};
+
+/** RAII lock whose underlying std::unique_lock can be handed to
+ *  condition_variable::wait via raw(). The capability is treated as
+ *  held for the whole scope, which matches the wait postcondition (the
+ *  lock is reacquired before wait returns). */
+class LECA_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mutex) LECA_ACQUIRE(mutex)
+        : _lock(mutex.native())
+    {
+    }
+    ~UniqueLock() LECA_RELEASE() {}
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    /** The std lock, for condition_variable::wait / wait_until only. */
+    std::unique_lock<std::mutex> &raw() { return _lock; }
+
+  private:
+    std::unique_lock<std::mutex> _lock;
+};
+
+} // namespace leca
+
+#endif // LECA_UTIL_MUTEX_HH

@@ -4,10 +4,11 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "util/check.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 
 namespace leca {
 
@@ -53,26 +54,27 @@ class ThreadPool
 
     ~ThreadPool()
     {
-        std::lock_guard<std::mutex> run_lock(_runMutex);
+        MutexLock run_lock(_runMutex);
+        MutexLock lock(_configMutex);
         stopWorkers();
     }
 
     int
-    threads()
+    threads() LECA_EXCLUDES(_configMutex)
     {
-        std::lock_guard<std::mutex> lock(_configMutex);
+        MutexLock lock(_configMutex);
         return _threads;
     }
 
     void
-    resize(int threads)
+    resize(int threads) LECA_EXCLUDES(_runMutex, _configMutex)
     {
         LECA_CHECK(threads >= 1 && threads <= 256,
                    "thread count must be in [1, 256], got ", threads);
         LECA_CHECK(!t_inParallelRegion,
                    "setThreadCount from inside a parallel region");
-        std::lock_guard<std::mutex> run_lock(_runMutex);
-        std::lock_guard<std::mutex> lock(_configMutex);
+        MutexLock run_lock(_runMutex);
+        MutexLock lock(_configMutex);
         if (threads == _threads)
             return;
         stopWorkers();
@@ -80,8 +82,8 @@ class ThreadPool
     }
 
     void
-    run(std::int64_t chunk_count,
-        const std::function<void(std::int64_t)> &fn)
+    run(std::int64_t chunk_count, FunctionRef<void(std::int64_t)> fn)
+        LECA_EXCLUDES(_runMutex)
     {
         if (chunk_count <= 0)
             return;
@@ -89,9 +91,9 @@ class ThreadPool
             runSerial(chunk_count, fn);
             return;
         }
-        std::lock_guard<std::mutex> run_lock(_runMutex);
+        MutexLock run_lock(_runMutex);
         {
-            std::lock_guard<std::mutex> lock(_configMutex);
+            MutexLock lock(_configMutex);
             if (_workers.empty() && _threads > 1)
                 startWorkers();
         }
@@ -104,8 +106,7 @@ class ThreadPool
     explicit ThreadPool(int threads) : _threads(threads) {}
 
     void
-    runSerial(std::int64_t chunk_count,
-              const std::function<void(std::int64_t)> &fn)
+    runSerial(std::int64_t chunk_count, FunctionRef<void(std::int64_t)> fn)
     {
         const bool was_in_region = t_inParallelRegion;
         t_inParallelRegion = true;
@@ -122,14 +123,15 @@ class ThreadPool
     // ---- task lifecycle (_runMutex held by the submitting thread) ---
 
     void
-    beginTask(std::int64_t chunk_count,
-              const std::function<void(std::int64_t)> &fn)
+    beginTask(std::int64_t chunk_count, FunctionRef<void(std::int64_t)> fn)
+        LECA_EXCLUDES(_taskMutex)
     {
-        std::unique_lock<std::mutex> lock(_taskMutex);
+        UniqueLock lock(_taskMutex);
         // Wait out stragglers from the previous task so the fields
         // below are never written while another thread reads them.
-        _idle.wait(lock, [this] { return _activeClaimers == 0; });
-        _taskFn = &fn;
+        while (_activeClaimers != 0)
+            _idle.wait(lock.raw());
+        _taskFn = fn;
         _chunkCount = chunk_count;
         _nextChunk.store(0, std::memory_order_relaxed);
         _pendingChunks = chunk_count;
@@ -140,9 +142,12 @@ class ThreadPool
     }
 
     /** Claim and run chunks until the current task runs dry. The
-     *  caller must be registered in _activeClaimers. */
+     *  caller must be registered in _activeClaimers. _taskFn and
+     *  _chunkCount are read without the lock: they are published
+     *  before the wake-up that registered this claimer and stay
+     *  frozen until _activeClaimers drains back to zero. */
     void
-    claimChunks()
+    claimChunks() LECA_EXCLUDES(_taskMutex)
     {
         t_inParallelRegion = true;
         for (;;) {
@@ -151,43 +156,44 @@ class ThreadPool
             if (c >= _chunkCount)
                 break;
             try {
-                (*_taskFn)(c);
+                _taskFn(c);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(_taskMutex);
+                MutexLock lock(_taskMutex);
                 if (!_error)
                     _error = std::current_exception();
             }
-            std::lock_guard<std::mutex> lock(_taskMutex);
+            MutexLock lock(_taskMutex);
             if (--_pendingChunks == 0)
                 _done.notify_all();
         }
         t_inParallelRegion = false;
-        std::lock_guard<std::mutex> lock(_taskMutex);
+        MutexLock lock(_taskMutex);
         if (--_activeClaimers == 0)
             _idle.notify_all();
     }
 
     void
-    finishTask()
+    finishTask() LECA_EXCLUDES(_taskMutex)
     {
-        std::unique_lock<std::mutex> lock(_taskMutex);
-        _done.wait(lock, [this] { return _pendingChunks == 0; });
-        _taskFn = nullptr;
+        UniqueLock lock(_taskMutex);
+        while (_pendingChunks != 0)
+            _done.wait(lock.raw());
+        _taskFn = FunctionRef<void(std::int64_t)>();
         if (_error) {
             std::exception_ptr err = _error;
             _error = nullptr;
-            lock.unlock();
             std::rethrow_exception(err);
         }
     }
 
     // ---- worker management (caller holds _configMutex) --------------
 
+    // leca-analyze: cold — configure-time worker launch
     void
-    startWorkers()
+    startWorkers() LECA_REQUIRES(_configMutex) LECA_EXCLUDES(_taskMutex)
     {
         {
-            std::lock_guard<std::mutex> lock(_taskMutex);
+            MutexLock lock(_taskMutex);
             _stopping = false;
         }
         _workers.reserve(static_cast<std::size_t>(_threads - 1));
@@ -196,10 +202,10 @@ class ThreadPool
     }
 
     void
-    stopWorkers()
+    stopWorkers() LECA_REQUIRES(_configMutex) LECA_EXCLUDES(_taskMutex)
     {
         {
-            std::lock_guard<std::mutex> lock(_taskMutex);
+            MutexLock lock(_taskMutex);
             _stopping = true;
             _wake.notify_all();
         }
@@ -209,15 +215,14 @@ class ThreadPool
     }
 
     void
-    workerLoop()
+    workerLoop() LECA_EXCLUDES(_taskMutex)
     {
         std::uint64_t seen_generation = 0;
         for (;;) {
             {
-                std::unique_lock<std::mutex> lock(_taskMutex);
-                _wake.wait(lock, [&] {
-                    return _stopping || _generation != seen_generation;
-                });
+                UniqueLock lock(_taskMutex);
+                while (!_stopping && _generation == seen_generation)
+                    _wake.wait(lock.raw());
                 if (_stopping)
                     return;
                 seen_generation = _generation;
@@ -227,24 +232,27 @@ class ThreadPool
         }
     }
 
-    std::mutex _runMutex; //!< one task at a time
+    Mutex _runMutex; //!< one task at a time
 
-    std::mutex _configMutex;
-    int _threads;
-    std::vector<std::thread> _workers;
+    Mutex _configMutex;
+    int _threads LECA_GUARDED_BY(_configMutex);
+    std::vector<std::thread> _workers LECA_GUARDED_BY(_configMutex);
 
-    std::mutex _taskMutex;
+    Mutex _taskMutex;
     std::condition_variable _wake;
     std::condition_variable _done;
     std::condition_variable _idle;
-    const std::function<void(std::int64_t)> *_taskFn = nullptr;
+    // _taskFn / _chunkCount are guarded by protocol, not by _taskMutex:
+    // written in beginTask only after _activeClaimers drained to zero,
+    // read lock-free by registered claimers (see claimChunks).
+    FunctionRef<void(std::int64_t)> _taskFn;
     std::int64_t _chunkCount = 0;
     std::atomic<std::int64_t> _nextChunk{0};
-    std::int64_t _pendingChunks = 0;
-    std::int64_t _activeClaimers = 0;
-    std::uint64_t _generation = 0;
-    std::exception_ptr _error = nullptr;
-    bool _stopping = false;
+    std::int64_t _pendingChunks LECA_GUARDED_BY(_taskMutex) = 0;
+    std::int64_t _activeClaimers LECA_GUARDED_BY(_taskMutex) = 0;
+    std::uint64_t _generation LECA_GUARDED_BY(_taskMutex) = 0;
+    std::exception_ptr _error LECA_GUARDED_BY(_taskMutex) = nullptr;
+    bool _stopping LECA_GUARDED_BY(_taskMutex) = false;
 };
 
 } // namespace
@@ -264,8 +272,7 @@ setThreadCount(int threads)
 namespace detail {
 
 void
-runChunks(std::int64_t chunk_count,
-          const std::function<void(std::int64_t)> &fn)
+runChunks(std::int64_t chunk_count, FunctionRef<void(std::int64_t)> fn)
 {
     ThreadPool::instance().run(chunk_count, fn);
 }
@@ -274,7 +281,7 @@ runChunks(std::int64_t chunk_count,
 
 void
 parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
-            const std::function<void(std::int64_t, std::int64_t)> &fn)
+            FunctionRef<void(std::int64_t, std::int64_t)> fn)
 {
     const std::int64_t n = end - begin;
     if (n <= 0)

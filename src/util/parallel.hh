@@ -27,6 +27,13 @@
  * Raw std::thread / std::async are forbidden outside this file
  * (enforced by tools/leca_lint.py rule `concurrency-primitive`); all
  * concurrency flows through this one audited primitive.
+ *
+ * Allocation note: parallelFor / parallelReduce / runChunks take the
+ * loop body as a leca::FunctionRef (util/function_ref.hh), not a
+ * std::function — the callable is only invoked synchronously, so the
+ * non-owning reference is safe and the hot path stays heap-free (a
+ * std::function here allocated on every kernel call; asserted
+ * allocation-free by the DenyAllocScope tests, DESIGN.md §11).
  */
 
 #ifndef LECA_UTIL_PARALLEL_HH
@@ -37,6 +44,8 @@
 #include <functional>
 #include <thread>
 #include <vector>
+
+#include "util/function_ref.hh"
 
 namespace leca {
 
@@ -60,7 +69,7 @@ namespace detail {
  * all chunks finish. Nested calls from inside a worker run serially.
  */
 void runChunks(std::int64_t chunk_count,
-               const std::function<void(std::int64_t)> &fn);
+               FunctionRef<void(std::int64_t)> fn);
 
 /** Number of grain-sized chunks covering n iterations. */
 inline std::int64_t
@@ -79,7 +88,7 @@ chunkCount(std::int64_t n, std::int64_t grain)
  * LECA_THREADS setting. fn must not touch shared mutable state.
  */
 void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                 const std::function<void(std::int64_t, std::int64_t)> &fn);
+                 FunctionRef<void(std::int64_t, std::int64_t)> fn);
 
 /**
  * Deterministic reduction: evaluates chunk(chunk_begin, chunk_end) -> T

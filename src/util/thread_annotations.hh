@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros (DESIGN.md §11).
+ *
+ * These wrap Clang's `-Wthread-safety` attributes so lock discipline is
+ * proved at compile time instead of sampled at runtime: a field marked
+ * LECA_GUARDED_BY(m) cannot be read or written without holding m, a
+ * function marked LECA_REQUIRES(m) cannot be called without it, and the
+ * CI static-analysis job promotes every violation to a build error.
+ * Under GCC (and any compiler without the attributes) every macro
+ * expands to nothing, so the annotations are zero-cost documentation
+ * there and binding contracts under Clang.
+ *
+ * The annotations only attach to capability types. std::mutex in
+ * libstdc++ is not annotated, so util/mutex.hh provides leca::Mutex /
+ * leca::MutexLock / leca::UniqueLock — thin annotated wrappers that all
+ * guarded code in this repository uses instead of the raw std types
+ * (enforced by tools/leca_analyze.py check `unannotated-mutex`).
+ *
+ * How to annotate a new mutex-protected structure:
+ *   1. Declare the lock as `leca::Mutex _mutex;`.
+ *   2. Mark every field it protects `LECA_GUARDED_BY(_mutex)`.
+ *   3. Take the lock with `MutexLock lock(_mutex);` (or UniqueLock for
+ *      condition-variable waits, via lock.raw()).
+ *   4. Mark private helpers that assume the lock is already held
+ *      `LECA_REQUIRES(_mutex)` instead of re-locking.
+ *   5. Write condition-variable waits as explicit while-loops in the
+ *      annotated function body, not as predicate lambdas — the analysis
+ *      does not propagate capabilities into lambdas.
+ */
+
+#ifndef LECA_UTIL_THREAD_ANNOTATIONS_HH
+#define LECA_UTIL_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LECA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define LECA_THREAD_ANNOTATION_ATTRIBUTE(x) // no-op
+#endif
+
+/** Marks a class as a lockable capability ("mutex" names its kind). */
+#define LECA_CAPABILITY(x) LECA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/** Marks an RAII class whose lifetime acquires/releases a capability. */
+#define LECA_SCOPED_CAPABILITY LECA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/** Field access requires holding the named capability. */
+#define LECA_GUARDED_BY(x) LECA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/** Pointee access requires holding the named capability. */
+#define LECA_PT_GUARDED_BY(x) LECA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/** Caller must hold the capabilities (the function does not acquire). */
+#define LECA_REQUIRES(...)                                                    \
+    LECA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capabilities and holds them on return. */
+#define LECA_ACQUIRE(...)                                                     \
+    LECA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/** Function releases capabilities the caller held on entry. */
+#define LECA_RELEASE(...)                                                     \
+    LECA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability only when returning @p ret. */
+#define LECA_TRY_ACQUIRE(ret, ...)                                            \
+    LECA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Caller must NOT hold the capabilities (deadlock prevention). */
+#define LECA_EXCLUDES(...)                                                    \
+    LECA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/** Declares that the function returns a reference to the capability. */
+#define LECA_RETURN_CAPABILITY(x)                                             \
+    LECA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/** Escape hatch: disables analysis inside one function. Every use must
+ *  carry a comment explaining why the protocol is safe. */
+#define LECA_NO_THREAD_SAFETY_ANALYSIS                                        \
+    LECA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif // LECA_UTIL_THREAD_ANNOTATIONS_HH

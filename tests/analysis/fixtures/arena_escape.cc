@@ -1,0 +1,33 @@
+// Known-bad fixture for tools/leca_analyze.py: arena storage escaping
+// its scope. The Arena rewinds when the enclosing ArenaScope dies, so
+// both escapes below hand out pointers into storage the next kernel
+// call will overwrite.
+// Never compiled — analyzed only.
+//
+// expect: arena-escape
+
+#include <cstddef>
+
+struct FakeArena
+{
+    float *alloc(std::size_t n);
+};
+
+struct ScratchCache
+{
+    float *_cached = nullptr;
+
+    float *
+    grabAndKeep(FakeArena &arena, std::size_t n)
+    {
+        float *buffer = arena.alloc(n);
+        _cached = buffer; // escapes into a member: use-after-rewind
+        return buffer;    // and escapes through the return value
+    }
+};
+
+float *
+borrowScratch(FakeArena &arena, std::size_t n)
+{
+    return arena.alloc(n); // direct return of rewindable storage
+}

@@ -1,0 +1,15 @@
+// Known-bad fixture for tools/leca_analyze.py: a detached thread.
+// Never compiled — analyzed only (see tests/analysis/CMakeLists.txt).
+//
+// expect: detached-thread
+
+#include <thread>
+
+void
+fireAndForget()
+{
+    std::thread worker([] {
+        // ... work the process can no longer wait for ...
+    });
+    worker.detach(); // shutdown now races the worker; TSan flags it
+}

@@ -1,0 +1,40 @@
+// Known-bad fixture for tools/leca_analyze.py: heap allocation hiding
+// two calls below a hot-path entry point. The `leca-analyze: entry`
+// marker promotes processFrame to an entry; the analyzer walks the
+// textual call graph and flags the std::function construction and the
+// growing vector in the helpers it reaches.
+// Never compiled — analyzed only.
+//
+// expect: hidden-alloc
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace {
+
+void
+accumulate(std::vector<float> &sink, float value)
+{
+    sink.push_back(value); // grows on the hot path
+}
+
+float
+applyGain(float value, float gain)
+{
+    std::function<float(float)> op = [gain](float v) {
+        return v * gain; // capture-heavy std::function heap-allocates
+    };
+    return op(value);
+}
+
+} // namespace
+
+// leca-analyze: entry
+void
+processFrame(const float *pixels, std::size_t count,
+             std::vector<float> &out)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        accumulate(out, applyGain(pixels[i], 2.0f));
+}

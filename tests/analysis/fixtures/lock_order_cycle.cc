@@ -1,0 +1,39 @@
+// Known-bad fixture for tools/leca_analyze.py: two paths taking the
+// same two mutexes in opposite order. Thread 1 in transferAtoB and
+// thread 2 in transferBtoA deadlock the moment each holds its first
+// lock. The analyzer extracts per-function acquisition sequences,
+// qualifies the mutex names by their enclosing class, and reports the
+// cycle in the combined graph.
+// Never compiled — analyzed only.
+//
+// expect: lock-order-cycle
+
+#include <mutex>
+
+class Ledger
+{
+  public:
+    void
+    transferAtoB()
+    {
+        std::lock_guard<std::mutex> first(_accountA);
+        std::lock_guard<std::mutex> second(_accountB); // A -> B
+        _balanceB += _balanceA;
+        _balanceA = 0;
+    }
+
+    void
+    transferBtoA()
+    {
+        std::lock_guard<std::mutex> first(_accountB);
+        std::lock_guard<std::mutex> second(_accountA); // B -> A: cycle
+        _balanceA += _balanceB;
+        _balanceB = 0;
+    }
+
+  private:
+    std::mutex _accountA;
+    std::mutex _accountB;
+    int _balanceA = 0;
+    int _balanceB = 0;
+};

@@ -1,0 +1,21 @@
+// Known-bad fixture for tools/leca_analyze.py: iterating an unordered
+// container straight into model output. Hash order varies across
+// libstdc++ versions, hash seeds, and insertion histories, so the
+// logits (and therefore every downstream number) stop being
+// bit-reproducible.
+// Never compiled — analyzed only.
+//
+// expect: unordered-iteration
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<float>
+classScores(const std::unordered_map<std::string, float> &scores)
+{
+    std::vector<float> out;
+    for (const auto &entry : scores)
+        out.push_back(entry.second); // order = hash order, not stable
+    return out;
+}

@@ -17,6 +17,7 @@
 #include "nn/conv.hh"
 #include "tensor/kernels.hh"
 #include "tensor/ops.hh"
+#include "util/alloc_guard.hh"
 #include "util/arena.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -284,6 +285,29 @@ TEST_F(KernelsTest, WarmGemmAllocatesNoHeapBlocks)
         gemmBlocked(m, n, k, a.data(), k, false, b.data(), n, false,
                     c.data(), n, false);
     EXPECT_EQ(Arena::totalBlockAllocs(), warm);
+}
+
+TEST_F(KernelsTest, WarmGemmRunsUnderDenyAllocScope)
+{
+    // Stronger than the arena-block check above: with the counting
+    // operator-new hooks compiled in, a warm blocked GEMM must perform
+    // literally zero heap allocations on any participating thread.
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    setThreadCount(2);
+    const int m = 150, n = 96, k = 300;
+    const std::vector<float> a = randomVec(static_cast<std::size_t>(m) * k, 1);
+    const std::vector<float> b = randomVec(static_cast<std::size_t>(k) * n, 2);
+    std::vector<float> c(static_cast<std::size_t>(m) * n);
+    for (int i = 0; i < 3; ++i)
+        gemmBlocked(m, n, k, a.data(), k, false, b.data(), n, false,
+                    c.data(), n, false);
+    DenyAllocScope deny;
+    for (int i = 0; i < 10; ++i)
+        gemmBlocked(m, n, k, a.data(), k, false, b.data(), n, false,
+                    c.data(), n, false);
+    EXPECT_EQ(deny.violations(), 0u)
+        << "warm blocked GEMM allocated on the heap";
 }
 
 TEST_F(KernelsTest, Im2colRoundTripAdjoint)

@@ -26,6 +26,7 @@
 #include "serve/metrics.hh"
 #include "serve/queue.hh"
 #include "serve/server.hh"
+#include "util/alloc_guard.hh"
 #include "util/check.hh"
 #include "util/parallel.hh"
 
@@ -647,6 +648,48 @@ TEST(Serve, MetricsCoverEveryServedFrame)
     EXPECT_EQ(m.batchSize.count, m.batches);
     EXPECT_GE(m.totalNanos.quantile(0.99), m.totalNanos.quantile(0.50));
     EXPECT_LE(m.batchSize.maxValue, options.maxBatch);
+}
+
+TEST(Serve, SteadyStateDispatchRunsUnderDenyAllocScope)
+{
+    // The serve layer's memory-model promise (server.hh header comment)
+    // made checkable: once the ring slots, tickets, and staging are
+    // warm, submit -> stage -> dispatch -> complete performs zero heap
+    // allocations in the serve layer itself. The backend runs inside
+    // the dispatcher's AllowAllocScope (its allocation budget is its
+    // own business), so this catches exactly serve-side regressions:
+    // a per-dispatch Tensor view, a std::function in ticket
+    // completion, a shape copy in the submit-path check.
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    ServerOptions options;
+    options.queueCapacity = 16;
+    options.maxBatch = 4;
+    options.maxWaitMicros = 0; // dispatch immediately, no coalescing wait
+    Server server([](const Tensor &batch) {
+        Tensor logits({batch.size(0), 3});
+        for (std::size_t i = 0; i < logits.numel(); ++i)
+            logits.data()[i] = static_cast<float>(i % 3);
+        return logits;
+    }, {3, kHw, kHw}, options);
+    Session session = server.openSession();
+    const Tensor frame = makeFrame(0, 0);
+
+    // Warm-up: recycle every ring slot at least once, give the ticket
+    // its logits capacity, let per-thread tensor pools fill.
+    FrameTicket ticket;
+    for (int i = 0; i < 2 * options.queueCapacity; ++i) {
+        server.submit(session, frame, ticket);
+        ASSERT_EQ(ticket.wait().status, ServeStatus::Ok);
+    }
+
+    DenyAllocScope deny;
+    for (int i = 0; i < 32; ++i) {
+        server.submit(session, frame, ticket);
+        ASSERT_EQ(ticket.wait().status, ServeStatus::Ok);
+    }
+    EXPECT_EQ(deny.violations(), 0u)
+        << "steady-state serve dispatch allocated outside the backend";
 }
 
 } // namespace

@@ -22,6 +22,7 @@
 #include "nn/loss.hh"
 #include "nn/optimizer.hh"
 #include "tensor/kernels.hh"
+#include "util/alloc_guard.hh"
 #include "util/arena.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -400,6 +401,42 @@ TEST_F(TrainLoopTest, WarmTrainStepAllocatesNoArenaBlocks)
         step();
     EXPECT_EQ(Arena::totalBlockAllocs(), before)
         << "warm train steps must not grow any thread's arena";
+}
+
+TEST_F(TrainLoopTest, WarmTrainStepRunsUnderDenyAllocScope)
+{
+    // The full-strength version of the arena check above: with the
+    // counting operator-new hooks compiled in, a warm train step —
+    // forward, loss, backward, optimizer — performs zero heap
+    // allocations. Tensor buffers recycle through the per-thread pool,
+    // kernel scratch lives on the arena, and the parallel loops hand
+    // out FunctionRef (not std::function) task bodies.
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    setThreadCount(2);
+    Rng init(3);
+    auto net = makeBackbone(BackboneStyle::Proxy, 3, 3, init);
+    Adam adam(net->params(), 1e-3);
+    SoftmaxCrossEntropy loss;
+    const Tensor x = randomTensor({8, 3, 16, 16}, 47);
+    const std::vector<int> labels = {0, 1, 2, 0, 1, 2, 0, 1};
+
+    const auto step = [&] {
+        adam.zeroGrad();
+        const Tensor logits = net->forward(x, Mode::Train);
+        loss.forward(logits, labels);
+        net->backward(loss.backward());
+        adam.step();
+    };
+    // Warm-up: arenas reach high-water, tensor pools fill, metric and
+    // cache vectors reach steady capacity.
+    for (int i = 0; i < 3; ++i)
+        step();
+    DenyAllocScope deny;
+    for (int i = 0; i < 3; ++i)
+        step();
+    EXPECT_EQ(deny.violations(), 0u)
+        << "warm train step allocated on the heap";
 }
 
 // ---------------------------------------------------------------------

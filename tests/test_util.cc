@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
+#include "util/alloc_guard.hh"
+#include "util/function_ref.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
@@ -156,6 +160,104 @@ TEST(Table, NumAndPctFormatting)
     EXPECT_EQ(Table::num(1.23456, 2), "1.23");
     EXPECT_EQ(Table::num(1.0, 0), "1");
     EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(FunctionRef, InvokesLambdaWithCaptures)
+{
+    int calls = 0;
+    std::int64_t seen = -1;
+    const auto body = [&](std::int64_t v) {
+        ++calls;
+        seen = v;
+    };
+    FunctionRef<void(std::int64_t)> ref(body);
+    ref(7);
+    ref(11);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(seen, 11);
+}
+
+TEST(FunctionRef, ReturnsValueAndRebinds)
+{
+    const auto doubler = [](int v) { return 2 * v; };
+    const auto tripler = [](int v) { return 3 * v; };
+    FunctionRef<int(int)> ref(doubler);
+    EXPECT_EQ(ref(21), 42);
+    ref = FunctionRef<int(int)>(tripler);
+    EXPECT_EQ(ref(14), 42);
+}
+
+TEST(FunctionRef, CaptureHeavyLambdaDoesNotAllocate)
+{
+    // The reason FunctionRef exists: a std::function built from this
+    // lambda would exceed libstdc++'s small-buffer optimisation and
+    // heap-allocate; FunctionRef is two words regardless of capture
+    // size.
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    double a = 1, b = 2, c = 3, d = 4, e = 5;
+    double sum = 0;
+    const auto body = [&](std::int64_t v) {
+        sum = a + b + c + d + e + static_cast<double>(v);
+    };
+    DenyAllocScope deny;
+    FunctionRef<void(std::int64_t)> ref(body);
+    ref(10);
+    EXPECT_EQ(deny.violations(), 0u);
+    EXPECT_EQ(sum, 25.0);
+}
+
+TEST(AllocGuard, CountsHeapAllocations)
+{
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    const std::uint64_t before = totalHeapAllocs();
+    std::vector<int> v(100);
+    v[99] = 1;
+    EXPECT_GT(totalHeapAllocs(), before);
+}
+
+TEST(AllocGuard, DenyScopeFlagsViolations)
+{
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    DenyAllocScope deny;
+    EXPECT_TRUE(DenyAllocScope::active());
+    EXPECT_EQ(deny.violations(), 0u);
+    {
+        std::vector<int> v(100);
+        v[0] = 1;
+    }
+    EXPECT_GE(deny.violations(), 1u);
+}
+
+TEST(AllocGuard, AllowScopeExemptsThread)
+{
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    DenyAllocScope deny;
+    {
+        AllowAllocScope allow;
+        std::vector<int> v(100);
+        v[0] = 1;
+    }
+    EXPECT_EQ(deny.violations(), 0u);
+}
+
+TEST(AllocGuard, DenyScopesNest)
+{
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    EXPECT_FALSE(DenyAllocScope::active());
+    {
+        DenyAllocScope outer;
+        {
+            DenyAllocScope inner;
+            EXPECT_TRUE(DenyAllocScope::active());
+        }
+        EXPECT_TRUE(DenyAllocScope::active());
+    }
+    EXPECT_FALSE(DenyAllocScope::active());
 }
 
 TEST(Table, RowCount)

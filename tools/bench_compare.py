@@ -3,7 +3,7 @@
 
 Usage:
     tools/bench_compare.py OLD.json NEW.json [--threshold 0.10]
-                           [--require NAME ...]
+                           [--require NAME[:TOL] ...]
 
 Entries are matched by name. For every shared entry the tool prints the
 old and new wall time and the speedup factor (old / new, so > 1 means
@@ -12,8 +12,13 @@ separately and never affect the exit status, except that every
 --require NAME must exist in the NEW report — this keeps CI honest when
 a benchmark silently stops emitting an entry.
 
-Exit status is non-zero when any shared entry regressed past the
-threshold: new_wall_ms > old_wall_ms * (1 + threshold). The default
+A required entry may carry its own tolerance as NAME:TOL (for example
+`--require serve.dispatch:0.05`), which overrides --threshold for that
+entry only. This lets CI hold a low-noise microbenchmark to a tight
+bound while leaving a jittery end-to-end benchmark at the default.
+
+Exit status is non-zero when any shared entry regressed past its
+tolerance: new_wall_ms > old_wall_ms * (1 + tol). The default
 threshold of 10% absorbs ordinary timer noise; raise it when comparing
 runs from different machines.
 """
@@ -42,6 +47,34 @@ def load_entries(path):
     return entries
 
 
+def parse_requires(specs):
+    """Split --require NAME[:TOL] specs into (names, {name: tol}).
+
+    The tolerance is a slowdown fraction like --threshold; a bare NAME
+    keeps the global threshold. The split is on the LAST colon so entry
+    names containing colons still parse when no tolerance is given.
+    """
+    names = []
+    tolerances = {}
+    for spec in specs:
+        name, sep, tol = spec.rpartition(":")
+        if sep and name:
+            try:
+                value = float(tol)
+            except ValueError:
+                # Not a number after the colon: the whole spec is a
+                # name (e.g. an entry literally called "a:b").
+                names.append(spec)
+                continue
+            if value < 0:
+                sys.exit(f"--require {spec}: tolerance must be >= 0")
+            names.append(name)
+            tolerances[name] = value
+        else:
+            names.append(spec)
+    return names, tolerances
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two leca-bench JSON reports by entry name.")
@@ -51,15 +84,18 @@ def main():
         "--threshold", type=float, default=0.10,
         help="allowed slowdown fraction before failing (default 0.10)")
     parser.add_argument(
-        "--require", action="append", default=[], metavar="NAME",
-        help="fail unless NAME is an entry of the NEW report "
-             "(repeatable)")
+        "--require", action="append", default=[], metavar="NAME[:TOL]",
+        help="fail unless NAME is an entry of the NEW report; an "
+             "optional :TOL fraction overrides --threshold for that "
+             "entry (repeatable)")
     args = parser.parse_args()
+
+    required, tolerances = parse_requires(args.require)
 
     old = load_entries(args.old)
     new = load_entries(args.new)
 
-    missing = [name for name in args.require if name not in new]
+    missing = [name for name in required if name not in new]
     if missing:
         print(f"{args.new}: missing required entr"
               f"{'y' if len(missing) == 1 else 'ies'}:"
@@ -77,10 +113,11 @@ def main():
         for name in shared:
             o, n = old[name], new[name]
             speedup = o / n if n > 0 else float("inf")
+            tol = tolerances.get(name, args.threshold)
             flag = ""
-            if n > o * (1.0 + args.threshold):
+            if n > o * (1.0 + tol):
                 regressions.append(name)
-                flag = "  REGRESSION"
+                flag = f"  REGRESSION (tol {tol * 100:.0f}%)"
             print(f"{name:<{width}}  {o:>10.4f}  {n:>10.4f}  "
                   f"{speedup:>6.2f}x{flag}")
     else:
@@ -93,7 +130,7 @@ def main():
 
     if regressions:
         print(f"{len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'}"
-              f" regressed more than {args.threshold * 100:.0f}%:"
+              f" regressed past tolerance:"
               f" {', '.join(regressions)}")
         return 1
     return 0

@@ -1,0 +1,736 @@
+#!/usr/bin/env python3
+"""Tier-2 semantic analysis for the LeCA simulator (stdlib only).
+
+Where tools/leca_lint.py matches single lines, this tool understands
+just enough C++ structure — function bodies, call edges, lock scopes,
+enclosing classes — to check cross-line invariants:
+
+  unordered-iteration  range-for over a std::unordered_{map,set,...}
+                       anywhere in the analyzed tree. Hash-order
+                       iteration feeding tensors or serve output breaks
+                       the bit-reproducibility contract; the repo
+                       standardises on ordered containers or explicit
+                       index order.
+  hidden-alloc         heap-allocation constructs (new, std::function
+                       construction, make_unique/make_shared, sized
+                       std::vector / std::string locals, push_back /
+                       emplace_back / reserve / resize growth) in any
+                       function reachable from a hot-path entry point
+                       (blocked GEMM, serve submit/dispatch, pool task
+                       claiming) through the textual call graph. The
+                       warm hot paths are allocation-free by contract
+                       (enforced at runtime by DenyAllocScope; this is
+                       the static half).
+  arena-escape         a pointer obtained from Arena/ArenaScope alloc
+                       that is returned or stored into a member. Arena
+                       storage rewinds when the enclosing ArenaScope
+                       dies, so any escape is a use-after-rewind.
+  lock-order-cycle     a cycle in the directed graph of nested lock
+                       acquisitions (mutex names qualified by their
+                       enclosing class). Acquiring A then B in one
+                       function and B then A in another is a latent
+                       deadlock even if it has never fired.
+  detached-thread      any .detach() call. Every thread in this repo
+                       is joined (ServiceThread / the pool), so
+                       shutdown is deterministic and sanitizer-clean.
+
+Engine: uses libclang (python clang.cindex) for the function index
+when available, and falls back to a hand-rolled lexer otherwise — the
+checks themselves are engine-independent, so the tool degrades
+gracefully on machines without a clang toolchain (prints which engine
+ran; never silently weakens).
+
+Usage:
+  tools/leca_analyze.py [DIR-or-FILE ...]       analyze (default: src)
+  tools/leca_analyze.py --fixtures DIR          self-test against
+                                                known-bad fixtures with
+                                                `// expect: <check>`
+                                                annotations
+  --format text|json                            output format
+  --compile-commands PATH                       compile_commands.json,
+                                                used by the libclang
+                                                engine for flags
+  --engine auto|lexer|libclang                  engine selection
+
+Exits 0 when clean (or all fixtures behave), 1 on findings (or a
+fixture miss), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
+
+# Functions whose transitive callees must not allocate. Fixture and
+# project files can add more with a `// leca-analyze: entry` comment on
+# the line directly above a function definition.
+DEFAULT_ENTRY_POINTS = {
+    "gemmBlocked",      # blocked GEMM kernel (tensor/kernels.cc)
+    "submit",           # Server::submit — client-side serve hot path
+    "dispatchLoop",     # Server::dispatchLoop — dispatcher hot loop
+    "collectBatch",     # Server::collectBatch — batch staging
+    "stageRequest",     # Server::stageRequest — frame copy into staging
+    "claimChunks",      # ThreadPool::claimChunks — per-task work loop
+    "runChunks",        # parallel entry that fans a task body out
+}
+
+# Checks that are skipped for these repo-relative paths (the files that
+# implement the machinery the check polices).
+CHECK_EXEMPT_PATHS = {
+    # The arena implementation hands out its own storage by design.
+    "arena-escape": re.compile(r"^src/util/arena\.(hh|cc)$"),
+    # The pool implementation owns the worker threads (always joined).
+    "detached-thread": re.compile(r"^src/util/parallel\.(hh|cc)$"),
+}
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "do", "else", "new", "delete", "throw", "case", "default",
+    "alignof", "alignas", "static_assert", "decltype", "noexcept",
+    "operator", "template", "typename", "using", "namespace",
+}
+
+COMMENT_OR_STRING = re.compile(
+    r"//[^\n]*"
+    r"|/\*.*?\*/"
+    r"|\"(?:[^\"\\]|\\.)*\""
+    r"|'(?:[^'\\]|\\.)*'",
+    re.DOTALL,
+)
+
+
+class Finding:
+    def __init__(self, check: str, path: pathlib.Path, line: int,
+                 message: str):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def text(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "path": str(self.path),
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class Function:
+    """One function definition: name, span, body text."""
+
+    def __init__(self, name: str, qualifier: str | None,
+                 path: pathlib.Path, line: int, body: str,
+                 body_line: int):
+        self.name = name
+        self.qualifier = qualifier  # class name, or None for free fns
+        self.path = path
+        self.line = line            # line of the signature
+        self.body = body            # stripped body text (no comments)
+        self.body_line = body_line  # line the body's '{' is on
+        self.cold = False           # `// leca-analyze: cold` marked
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.qualifier}::{self.name}" if self.qualifier \
+            else self.name
+
+
+def strip_noise(text: str) -> str:
+    """Blank comments and string/char literals, preserving newlines."""
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+    return COMMENT_OR_STRING.sub(blank, text)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def repo_relative(path: pathlib.Path) -> str | None:
+    try:
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return None
+
+
+def check_exempt(check: str, path: pathlib.Path) -> bool:
+    pattern = CHECK_EXEMPT_PATHS.get(check)
+    if pattern is None:
+        return False
+    rel = repo_relative(path)
+    return rel is not None and bool(pattern.match(rel))
+
+
+# --------------------------------------------------------------------
+# Lexer engine: function extraction
+# --------------------------------------------------------------------
+
+# identifier( ... with optional Class:: qualifier; the closing paren
+# is found by matching, not by this regex.
+SIGNATURE = re.compile(
+    r"(?:([A-Za-z_]\w*)\s*::\s*)?(~?[A-Za-z_]\w*)\s*\(")
+
+# What may legally sit between the parameter list and the body.
+BETWEEN_PARAMS_AND_BODY = re.compile(
+    r"^(?:\s|const|noexcept|override|final|mutable|&&|&"
+    r"|->\s*[\w:<>,*&\s]+?"
+    r"|LECA_\w+\s*(?:\([^()]*\))?"
+    r"|__attribute__\s*\(\([^()]*\)\)"
+    r"|:\s*[^{;]*"          # constructor init list
+    r")*$")
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Index just past the brace matching text[open_idx] ('{' or '(')."""
+    opener = text[open_idx]
+    closer = {"{": "}", "(": ")"}[opener]
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == opener:
+            depth += 1
+        elif c == closer:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def enclosing_classes(text: str) -> list[tuple[int, int, str]]:
+    """(start, end, name) spans of class/struct bodies in text."""
+    spans = []
+    for match in re.finditer(
+            r"\b(?:class|struct)\s+(?:LECA_\w+\s*(?:\([^()]*\))?\s*)?"
+            r"([A-Za-z_]\w*)[^;{(]*\{", text):
+        open_idx = match.end() - 1
+        spans.append((open_idx, match_brace(text, open_idx),
+                      match.group(1)))
+    return spans
+
+
+def extract_functions_lexer(path: pathlib.Path,
+                            text: str) -> list[Function]:
+    stripped = strip_noise(text)
+    classes = enclosing_classes(stripped)
+    functions: list[Function] = []
+    pos = 0
+    while True:
+        match = SIGNATURE.search(stripped, pos)
+        if match is None:
+            break
+        pos = match.end()
+        name = match.group(2)
+        if name in KEYWORDS or match.group(1) in KEYWORDS:
+            continue
+        paren_open = match.end() - 1
+        paren_close = match_brace(stripped, paren_open)
+        # Scan forward for the body '{'; give up at ';' (declaration)
+        # or anything BETWEEN_PARAMS_AND_BODY does not allow.
+        brace = stripped.find("{", paren_close)
+        semi = stripped.find(";", paren_close)
+        if brace < 0 or (0 <= semi < brace):
+            continue
+        between = stripped[paren_close:brace]
+        if not BETWEEN_PARAMS_AND_BODY.match(between):
+            continue
+        body_end = match_brace(stripped, brace)
+        qualifier = match.group(1)
+        if qualifier is None:
+            for start, end, cls in classes:
+                if start < match.start() < end:
+                    qualifier = cls
+        functions.append(Function(
+            name, qualifier, path,
+            line_of(stripped, match.start()),
+            stripped[brace:body_end],
+            line_of(stripped, brace)))
+        pos = body_end
+    return functions
+
+
+# --------------------------------------------------------------------
+# Optional libclang engine (graceful fallback)
+# --------------------------------------------------------------------
+
+def extract_functions_libclang(path: pathlib.Path, text: str,
+                               compile_commands: pathlib.Path | None
+                               ) -> list[Function] | None:
+    """Function index via clang.cindex, or None when unavailable.
+
+    The bodies are still handed to the same textual checks — libclang
+    only improves function/boundary detection (macros, templates,
+    operator overloads), so both engines report through one code path.
+    """
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return None
+    try:
+        args = ["-std=c++20", f"-I{REPO_ROOT / 'src'}"]
+        if compile_commands is not None and compile_commands.exists():
+            try:
+                db = cindex.CompilationDatabase.fromDirectory(
+                    str(compile_commands.parent))
+                cmds = db.getCompileCommands(str(path))
+                if cmds:
+                    args = [a for a in list(cmds[0].arguments)[1:]
+                            if a not in ("-c", "-o", str(path))]
+            except Exception:
+                pass
+        tu = cindex.Index.create().parse(
+            str(path), args=args,
+            options=cindex.TranslationUnit
+            .PARSE_DETAILED_PROCESSING_RECORD)
+        stripped = strip_noise(text)
+        functions: list[Function] = []
+        fn_kinds = {
+            cindex.CursorKind.FUNCTION_DECL,
+            cindex.CursorKind.CXX_METHOD,
+            cindex.CursorKind.CONSTRUCTOR,
+            cindex.CursorKind.DESTRUCTOR,
+            cindex.CursorKind.FUNCTION_TEMPLATE,
+        }
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in fn_kinds:
+                continue
+            if cursor.location.file is None \
+                    or cursor.location.file.name != str(path):
+                continue
+            if not cursor.is_definition():
+                continue
+            start = cursor.extent.start.offset
+            end = cursor.extent.end.offset
+            brace = stripped.find("{", start)
+            if brace < 0 or brace >= end:
+                continue
+            parent = cursor.semantic_parent
+            qualifier = parent.spelling if parent is not None \
+                and parent.kind in (cindex.CursorKind.CLASS_DECL,
+                                    cindex.CursorKind.STRUCT_DECL) \
+                else None
+            functions.append(Function(
+                cursor.spelling, qualifier, path,
+                cursor.location.line, stripped[brace:end],
+                line_of(stripped, brace)))
+        return functions
+    except Exception:
+        return None  # any parse hiccup: fall back to the lexer
+
+
+# --------------------------------------------------------------------
+# Checks
+# --------------------------------------------------------------------
+
+UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{}=]*?>\s*"
+    r"&?\s*([A-Za-z_]\w*)")
+RANGE_FOR = re.compile(
+    r"\bfor\s*\([^();]*?:\s*([A-Za-z_]\w*)\s*\)")
+
+
+def check_unordered_iteration(path: pathlib.Path,
+                              stripped: str) -> list[Finding]:
+    names = set(UNORDERED_DECL.findall(stripped))
+    findings = []
+    for match in RANGE_FOR.finditer(stripped):
+        name = match.group(1)
+        if name in names:
+            findings.append(Finding(
+                "unordered-iteration", path,
+                line_of(stripped, match.start()),
+                f"range-for over unordered container '{name}': hash "
+                f"order is not deterministic; iterate a sorted copy "
+                f"or an ordered container"))
+    return findings
+
+
+ALLOC_PATTERNS = [
+    (re.compile(r"(?<![\w.])new\s+[A-Za-z_(]"), "new expression"),
+    (re.compile(r"\bstd::function\s*<"),
+     "std::function construction (capture-heavy lambdas heap-allocate; "
+     "use leca::FunctionRef for synchronous calls)"),
+    (re.compile(r"\bstd::make_(?:unique|shared)\b"),
+     "make_unique/make_shared"),
+    (re.compile(r"\bstd::vector\s*<[^;{}()]*>\s+[A-Za-z_]\w*\s*"
+                r"(?:\([^)]|\{[^}]|=)"),
+     "sized std::vector local"),
+    (re.compile(r"\bstd::string\s+[A-Za-z_]\w*\s*(?:\([^)]|\{[^}]|=)"),
+     "std::string local"),
+    (re.compile(r"\.(?:push_back|emplace_back|reserve|resize)\s*\("),
+     "container growth"),
+]
+
+CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def body_calls(body: str) -> set[str]:
+    return {name for name in CALL.findall(body)
+            if name not in KEYWORDS and not name.startswith("LECA_")}
+
+
+def check_hidden_alloc(functions: list[Function],
+                       entries: set[str]) -> list[Finding]:
+    # Functions marked `// leca-analyze: cold` are allocation-allowed
+    # by contract (construction, configuration, checkpoint I/O, the
+    # arena's own growth path); they neither get flagged nor extend
+    # the reachable set — everything below a cold boundary is cold.
+    by_name: dict[str, list[Function]] = {}
+    for fn in functions:
+        if fn.cold:
+            continue
+        by_name.setdefault(fn.name, []).append(fn)
+        by_name.setdefault(fn.qualified, []).append(fn)
+
+    # BFS over the textual call graph from the entry points.
+    reached: dict[str, str] = {}  # function name -> entry it came from
+    queue: list[tuple[str, str]] = [(e, e) for e in sorted(entries)]
+    while queue:
+        name, entry = queue.pop(0)
+        if name in reached:
+            continue
+        reached[name] = entry
+        for fn in by_name.get(name, []):
+            for callee in sorted(body_calls(fn.body)):
+                if callee not in reached and callee in by_name:
+                    queue.append((callee, entry))
+
+    findings = []
+    seen: set[tuple[str, int]] = set()
+    for fn in functions:
+        if fn.cold:
+            continue
+        entry = reached.get(fn.name) or reached.get(fn.qualified)
+        if entry is None:
+            continue
+        for pattern, what in ALLOC_PATTERNS:
+            for match in pattern.finditer(fn.body):
+                line = fn.body_line + fn.body.count(
+                    "\n", 0, match.start())
+                key = (str(fn.path), line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                via = "" if fn.name == entry \
+                    else f" (reachable from entry '{entry}')"
+                findings.append(Finding(
+                    "hidden-alloc", fn.path, line,
+                    f"{what} in hot-path function "
+                    f"'{fn.qualified}'{via}: warm steady state must "
+                    f"not touch the heap (DenyAllocScope contract)"))
+    return findings
+
+
+ARENA_BIND = re.compile(
+    r"[*&]\s*([A-Za-z_]\w*)\s*=\s*[\w:.()\->]*\balloc\s*[<(]")
+ARENA_DIRECT_RETURN = re.compile(
+    r"\breturn\s+[\w:.()\->]*\balloc\s*[<(]")
+
+
+def check_arena_escape(functions: list[Function]) -> list[Finding]:
+    findings = []
+    for fn in functions:
+        if check_exempt("arena-escape", fn.path):
+            continue
+        body = fn.body
+        for match in ARENA_DIRECT_RETURN.finditer(body):
+            findings.append(Finding(
+                "arena-escape", fn.path,
+                fn.body_line + body.count("\n", 0, match.start()),
+                f"'{fn.qualified}' returns arena storage directly: it "
+                f"is rewound when the enclosing ArenaScope dies"))
+        for bind in ARENA_BIND.finditer(body):
+            var = bind.group(1)
+            after = body[bind.end():]
+            escape = re.search(
+                rf"\breturn\s+{var}\b"
+                rf"|\b(?:this->|_)\w*\s*=\s*{var}\b", after)
+            if escape:
+                findings.append(Finding(
+                    "arena-escape", fn.path,
+                    fn.body_line
+                    + body.count("\n", 0, bind.end() + escape.start()),
+                    f"arena pointer '{var}' escapes '{fn.qualified}' "
+                    f"(returned or stored to a member): arena storage "
+                    f"is rewound when the enclosing ArenaScope dies"))
+    return findings
+
+
+LOCK_ACQ = re.compile(
+    r"\b(?:MutexLock|UniqueLock"
+    r"|std::lock_guard\s*<[^>]*>"
+    r"|std::unique_lock\s*<[^>]*>"
+    r"|std::scoped_lock(?:\s*<[^>]*>)?)\s+"
+    r"[A-Za-z_]\w*\s*[({]\s*(?:this->)?([A-Za-z_]\w*)"
+    r"|(?:this->)?([A-Za-z_]\w*)\s*\.\s*lock\s*\(\s*\)")
+
+
+def lock_edges(fn: Function) -> list[tuple[str, str, int]]:
+    """(held, acquired, line) pairs for nested acquisitions in fn."""
+    owner = fn.qualifier or f"{fn.path.stem}::{fn.name}"
+
+    def qualify(raw: str) -> str:
+        return f"{owner}::{raw}"
+
+    held: list[tuple[str, int]] = []  # (qualified name, brace depth)
+    edges = []
+    depth = 0
+    pos = 0
+    body = fn.body
+    events = sorted(
+        [(m.start(), "acq", qualify(m.group(1) or m.group(2)))
+         for m in LOCK_ACQ.finditer(body)]
+        + [(i, "open", "") for i, c in enumerate(body) if c == "{"]
+        + [(i, "close", "") for i, c in enumerate(body) if c == "}"])
+    for offset, kind, name in events:
+        if kind == "open":
+            depth += 1
+        elif kind == "close":
+            depth -= 1
+            held = [(n, d) for n, d in held if d <= depth]
+        else:
+            line = fn.body_line + body.count("\n", 0, offset)
+            for prior, _ in held:
+                if prior != name:
+                    edges.append((prior, name, line))
+            held.append((name, depth))
+        pos = offset
+    del pos
+    return edges
+
+
+def check_lock_order(functions: list[Function]) -> list[Finding]:
+    graph: dict[str, dict[str, tuple[pathlib.Path, int]]] = {}
+    for fn in functions:
+        for held, acquired, line in lock_edges(fn):
+            graph.setdefault(held, {}).setdefault(
+                acquired, (fn.path, line))
+
+    findings = []
+    reported: set[frozenset] = set()
+
+    def dfs(node: str, stack: list[str], visiting: set[str],
+            done: set[str]) -> None:
+        visiting.add(node)
+        stack.append(node)
+        for nxt in sorted(graph.get(node, {})):
+            if nxt in visiting:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    path, line = graph[node][nxt]
+                    findings.append(Finding(
+                        "lock-order-cycle", path, line,
+                        "lock acquisition cycle: "
+                        + " -> ".join(cycle)
+                        + " (two threads taking these in opposite "
+                          "order deadlock)"))
+            elif nxt not in done:
+                dfs(nxt, stack, visiting, done)
+        stack.pop()
+        visiting.discard(node)
+        done.add(node)
+
+    done: set[str] = set()
+    for node in sorted(graph):
+        if node not in done:
+            dfs(node, [], set(), done)
+    return findings
+
+
+DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
+
+
+def check_detached_thread(path: pathlib.Path,
+                          stripped: str) -> list[Finding]:
+    if check_exempt("detached-thread", path):
+        return []
+    return [Finding(
+        "detached-thread", path, line_of(stripped, m.start()),
+        "detached thread: every thread must be joined (use "
+        "leca::ServiceThread or the util/parallel pool) so shutdown "
+        "is deterministic and sanitizer-clean")
+        for m in DETACH.finditer(stripped)]
+
+
+ENTRY_MARKER = re.compile(r"//\s*leca-analyze:\s*entry\b")
+COLD_MARKER = re.compile(r"//\s*leca-analyze:\s*cold\b")
+
+
+def marker_lines(pattern: re.Pattern, text: str) -> set[int]:
+    """Line numbers (1-based) carrying the marker."""
+    return {text.count("\n", 0, m.start()) + 1
+            for m in pattern.finditer(text)}
+
+
+def near_marker(fn: Function, markers: set[int]) -> bool:
+    """True when a marker sits on or just above the signature (the
+    signature line itself, or up to 3 lines above it, covering the
+    separate return-type line of the repo's definition style)."""
+    return any(line in markers
+               for line in range(fn.line - 3, fn.line + 1))
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+def collect(targets: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for target in targets:
+        path = pathlib.Path(target)
+        if not path.is_absolute():
+            path = REPO_ROOT / path
+        if path.is_dir():
+            files.extend(p for p in sorted(path.rglob("*"))
+                         if p.suffix in CXX_SUFFIXES and p.is_file())
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"leca_analyze: no such target: {target}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def analyze(files: list[pathlib.Path], engine: str,
+            compile_commands: pathlib.Path | None
+            ) -> tuple[list[Finding], str]:
+    functions: list[Function] = []
+    entries = set(DEFAULT_ENTRY_POINTS)
+    findings: list[Finding] = []
+    engine_used = "lexer"
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            findings.append(Finding("io", path, 0,
+                                    f"cannot read: {err}"))
+            continue
+        stripped = strip_noise(text)
+
+        fns = None
+        if engine in ("auto", "libclang"):
+            fns = extract_functions_libclang(path, text,
+                                             compile_commands)
+            if fns is not None:
+                engine_used = "libclang"
+        if fns is None:
+            if engine == "libclang":
+                print(f"leca_analyze: libclang unavailable for {path}, "
+                      f"using lexer", file=sys.stderr)
+            fns = extract_functions_lexer(path, stripped)
+        functions.extend(fns)
+
+        # `// leca-analyze: entry` above a definition promotes it to a
+        # hot-path entry point; `// leca-analyze: cold` exempts it (and
+        # its callees) from the hidden-alloc walk.
+        entry_marks = marker_lines(ENTRY_MARKER, text)
+        cold_marks = marker_lines(COLD_MARKER, text)
+        for fn in fns:
+            if near_marker(fn, entry_marks):
+                entries.add(fn.name)
+            if near_marker(fn, cold_marks):
+                fn.cold = True
+
+        findings.extend(check_unordered_iteration(path, stripped))
+        findings.extend(check_detached_thread(path, stripped))
+
+    findings.extend(check_hidden_alloc(functions, entries))
+    findings.extend(check_arena_escape(functions))
+    findings.extend(check_lock_order(functions))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.check))
+    return findings, engine_used
+
+
+def run_fixtures(fixture_dir: pathlib.Path, engine: str,
+                 compile_commands: pathlib.Path | None) -> int:
+    files = collect([str(fixture_dir)])
+    if not files:
+        print(f"leca_analyze: no fixtures under {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        expected = set(re.findall(r"//\s*expect:\s*([\w-]+)", text))
+        if not expected:
+            print(f"FIXTURE {path.name}: no '// expect:' annotations",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        findings, _ = analyze([path], engine, compile_commands)
+        found = {f.check for f in findings}
+        missing = expected - found
+        if missing:
+            failures += 1
+            print(f"FIXTURE {path.name}: MISSED "
+                  f"{', '.join(sorted(missing))} "
+                  f"(found: {', '.join(sorted(found)) or 'nothing'})")
+            for f in findings:
+                print(f"    {f.text()}")
+        else:
+            print(f"FIXTURE {path.name}: ok "
+                  f"({', '.join(sorted(expected))})")
+    if failures:
+        print(f"leca_analyze: {failures} fixture(s) missed their "
+              f"expected findings", file=sys.stderr)
+        return 1
+    print(f"leca_analyze: all {len(files)} fixtures flagged as "
+          f"expected", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="leca_analyze.py",
+        description="Tier-2 semantic analysis (see module docstring)")
+    parser.add_argument("targets", nargs="*", default=None)
+    parser.add_argument("--fixtures", metavar="DIR")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--compile-commands", metavar="PATH")
+    parser.add_argument("--engine",
+                        choices=("auto", "lexer", "libclang"),
+                        default="auto")
+    args = parser.parse_args(argv)
+
+    compile_commands = (pathlib.Path(args.compile_commands)
+                        if args.compile_commands else None)
+
+    if args.fixtures:
+        return run_fixtures(pathlib.Path(args.fixtures), args.engine,
+                            compile_commands)
+
+    targets = args.targets or ["src"]
+    files = collect(targets)
+    findings, engine_used = analyze(files, args.engine,
+                                    compile_commands)
+    if args.format == "json":
+        print(json.dumps({
+            "engine": engine_used,
+            "files": len(files),
+            "findings": [f.as_dict() for f in findings],
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.text())
+        status = f"{len(findings)} finding(s)" if findings else "OK"
+        print(f"leca_analyze: {status} ({len(files)} files, "
+              f"engine: {engine_used})", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -52,14 +52,27 @@ Enforces invariants clang-tidy cannot express:
                      ServiceThread, which is always joined so shutdown
                      is deterministic and sanitizer-clean.
 
+Tier interplay (DESIGN.md §11): rules listed in CLANG_PREFERRED_RULES
+are better expressed by the Tier-2 semantic analyzer
+(tools/leca_analyze.py on libclang). When python libclang is
+importable this linter skips them — the semantic tier owns them — but
+when it is absent they still run here, so coverage never silently
+drops on machines without a clang toolchain. --all-rules forces them
+on regardless.
+
 Usage:  tools/leca_lint.py [DIR-or-FILE ...]
         (defaults to: src tests bench examples)
+        --format text|json|sarif   output format (default text)
+        --all-rules                run clang-preferred rules even when
+                                   libclang is available
 
 Exits 0 when clean, 1 when any finding is reported.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import pathlib
 import re
 import sys
@@ -160,7 +173,28 @@ RULE_EXEMPT_PATHS = {
     # The audited pool implementation is the one place allowed to own
     # threads.
     "concurrency-primitive": re.compile(r"^src/util/parallel\.(hh|cc)$"),
+    # The allocation-guard TU replaces global operator new/delete, so
+    # it must call malloc/free directly (anything else would recurse
+    # into the hooks it implements).
+    "raw-allocation": re.compile(r"^src/util/alloc_guard\.cc$"),
 }
+
+# Files skipped entirely: the static-analysis fixtures are known-bad
+# snippets by design (tools/leca_analyze.py must flag them; linting
+# them would just restate the intent).
+SKIP_PATHS = re.compile(r"^tests/analysis/fixtures/")
+
+# Rules the Tier-2 semantic analyzer (tools/leca_analyze.py) owns when
+# python libclang is available; see the module docstring.
+CLANG_PREFERRED_RULES = {"serve-detached-thread"}
+
+
+def libclang_available() -> bool:
+    try:
+        import clang.cindex  # type: ignore  # noqa: F401
+        return True
+    except Exception:
+        return False
 
 # Rule name -> repo-relative paths the rule is restricted to (the rule
 # applies only there; everywhere else it is silent).
@@ -228,29 +262,64 @@ def expected_guard(path: pathlib.Path) -> str:
     return "LECA_" + cleaned.upper() + "_HH"
 
 
-def check_header_guard(path: pathlib.Path, lines: list[str]) -> list[str]:
+def finding(path: pathlib.Path, line: int, rule: str,
+            message: str, snippet: str = "") -> dict:
+    return {"path": str(path), "line": line, "rule": rule,
+            "message": message, "snippet": snippet}
+
+
+def format_text(item: dict) -> str:
+    snippet = f"'{item['snippet']}': " if item["snippet"] else ""
+    return (f"{item['path']}:{item['line']}: [{item['rule']}] "
+            f"{snippet}{item['message']}")
+
+
+def check_header_guard(path: pathlib.Path,
+                       lines: list[str]) -> list[dict]:
     guard = expected_guard(path)
     ifndef = f"#ifndef {guard}"
     define = f"#define {guard}"
     stripped = [ln.strip() for ln in lines]
     if ifndef not in stripped:
-        return [f"{path}:1: [header-guard] expected '{ifndef}'"]
+        return [finding(path, 1, "header-guard",
+                        f"expected '{ifndef}'")]
     idx = stripped.index(ifndef)
     if idx + 1 >= len(stripped) or stripped[idx + 1] != define:
-        return [f"{path}:{idx + 2}: [header-guard] expected '{define}' "
-                f"directly after '{ifndef}'"]
+        return [finding(path, idx + 2, "header-guard",
+                        f"expected '{define}' directly after "
+                        f"'{ifndef}'")]
+    # The guard's closing #endif must carry the canonical trailing
+    # comment — `#endif // GUARD` — so the reader of a long header can
+    # tell which conditional just closed without scrolling back up.
+    endif_expected = f"#endif // {guard}"
+    last_endif = None
+    for lineno, ln in enumerate(stripped, start=1):
+        if ln.startswith("#endif"):
+            last_endif = (lineno, ln)
+    if last_endif is None:
+        return [finding(path, len(lines), "header-guard",
+                        f"missing closing '{endif_expected}'")]
+    lineno, ln = last_endif
+    if ln != endif_expected:
+        return [finding(path, lineno, "header-guard",
+                        f"closing '#endif' must read exactly "
+                        f"'{endif_expected}', got '{ln}'")]
     return []
 
 
-def lint_file(path: pathlib.Path) -> list[str]:
-    findings: list[str] = []
+def lint_file(path: pathlib.Path,
+              active_rules: list | None = None) -> list[dict]:
+    rules = active_rules if active_rules is not None else LINE_RULES
+    findings: list[dict] = []
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as err:
-        return [f"{path}:0: [io] cannot read: {err}"]
+        return [finding(path, 0, "io", f"cannot read: {err}")]
     lines = text.splitlines()
 
     rel = repo_relative(path)
+    if rel is not None and SKIP_PATHS.match(rel.as_posix()):
+        return []
     in_src = rel is not None and rel.parts[0] == "src"
 
     in_block = False
@@ -258,7 +327,7 @@ def lint_file(path: pathlib.Path) -> list[str]:
         code, in_block = strip_noise(raw, in_block)
         if not code.strip() and "#" not in raw:
             continue
-        for name, pattern, message, src_only, scan_raw in LINE_RULES:
+        for name, pattern, message, src_only, scan_raw in rules:
             if src_only and not in_src:
                 continue
             exempt = RULE_EXEMPT_PATHS.get(name)
@@ -270,8 +339,9 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 continue
             match = pattern.search(raw if scan_raw else code)
             if match:
-                findings.append(f"{path}:{lineno}: [{name}] "
-                                f"'{match.group(0).strip()}': {message}")
+                findings.append(finding(
+                    path, lineno, name, message,
+                    match.group(0).strip()))
 
     if path.suffix in HEADER_SUFFIXES:
         findings.extend(check_header_guard(path, lines))
@@ -295,14 +365,84 @@ def collect(targets: list[str]) -> list[pathlib.Path]:
     return files
 
 
+def emit_json(findings: list[dict], file_count: int) -> None:
+    print(json.dumps({"findings": findings,
+                      "files_scanned": file_count,
+                      "count": len(findings)}, indent=2))
+
+
+def emit_sarif(findings: list[dict]) -> None:
+    """Minimal SARIF 2.1.0 so CI annotation uploaders can ingest us."""
+    rule_ids = sorted({item["rule"] for item in findings})
+    results = []
+    for item in findings:
+        rel = repo_relative(pathlib.Path(item["path"]))
+        uri = rel.as_posix() if rel is not None else item["path"]
+        results.append({
+            "ruleId": item["rule"],
+            "level": "error",
+            "message": {"text": item["message"]},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": max(1, item["line"])},
+                },
+            }],
+        })
+    sarif = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "leca_lint",
+                "informationUri":
+                    "https://example.invalid/leca/tools/leca_lint.py",
+                "rules": [{"id": rid} for rid in rule_ids],
+            }},
+            "results": results,
+        }],
+    }
+    print(json.dumps(sarif, indent=2))
+
+
 def main(argv: list[str]) -> int:
-    targets = argv or ["src", "tests", "bench", "examples"]
-    files = collect(targets)
-    findings: list[str] = []
+    parser = argparse.ArgumentParser(
+        prog="leca_lint.py",
+        description="Repo-specific lint for the LeCA simulator.")
+    parser.add_argument("targets", nargs="*",
+                        default=["src", "tests", "bench", "examples"],
+                        help="directories or files to lint")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="fmt",
+                        help="output format (default: text)")
+    parser.add_argument("--all-rules", action="store_true",
+                        help="run clang-preferred rules even when "
+                             "libclang is available")
+    args = parser.parse_args(argv)
+
+    active_rules = LINE_RULES
+    skipped_rules: list[str] = []
+    if not args.all_rules and libclang_available():
+        active_rules = [r for r in LINE_RULES
+                        if r[0] not in CLANG_PREFERRED_RULES]
+        skipped_rules = sorted(CLANG_PREFERRED_RULES)
+
+    files = collect(args.targets)
+    findings: list[dict] = []
     for path in files:
-        findings.extend(lint_file(path))
-    for finding in findings:
-        print(finding)
+        findings.extend(lint_file(path, active_rules))
+
+    if args.fmt == "json":
+        emit_json(findings, len(files))
+    elif args.fmt == "sarif":
+        emit_sarif(findings)
+    else:
+        for item in findings:
+            print(format_text(item))
+
+    if skipped_rules:
+        print(f"leca_lint: deferred to tier-2 analyzer (libclang "
+              f"present): {', '.join(skipped_rules)}", file=sys.stderr)
     if findings:
         print(f"leca_lint: {len(findings)} finding(s) in "
               f"{len(files)} file(s)", file=sys.stderr)
