@@ -62,7 +62,16 @@ JsonReport::add(const std::string &name, double wall_ms,
 {
     if (!enabled())
         return;
-    _entries.push_back(Entry{name, wall_ms, images_per_sec, gflops});
+    _entries.push_back(Entry{name, wall_ms, images_per_sec, gflops,
+                             0.0, false});
+}
+
+void
+JsonReport::addValue(const std::string &name, double value)
+{
+    if (!enabled())
+        return;
+    _entries.push_back(Entry{name, 0.0, 0.0, 0.0, value, true});
 }
 
 void
@@ -81,12 +90,16 @@ JsonReport::write()
         << "  \"entries\": [\n";
     for (std::size_t i = 0; i < _entries.size(); ++i) {
         const Entry &e = _entries[i];
-        out << "    {\"name\": \"" << escape(e.name)
-            << "\", \"wall_ms\": " << e.wallMs;
-        if (e.imagesPerSec > 0.0)
-            out << ", \"images_per_sec\": " << e.imagesPerSec;
-        if (e.gflops > 0.0)
-            out << ", \"gflops\": " << e.gflops;
+        out << "    {\"name\": \"" << escape(e.name) << "\", ";
+        if (e.isValue) {
+            out << "\"value\": " << e.value;
+        } else {
+            out << "\"wall_ms\": " << e.wallMs;
+            if (e.imagesPerSec > 0.0)
+                out << ", \"images_per_sec\": " << e.imagesPerSec;
+            if (e.gflops > 0.0)
+                out << ", \"gflops\": " << e.gflops;
+        }
         out << "}" << (i + 1 < _entries.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

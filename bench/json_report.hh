@@ -47,6 +47,16 @@ class JsonReport
     void add(const std::string &name, double wall_ms,
              double images_per_sec, double gflops = 0.0);
 
+    /**
+     * Record one value metric — a quantity that is not a timing
+     * (accuracy delta in points, max-abs quantization error, a
+     * compression ratio). Emitted as {"name": ..., "value": ...} with
+     * no wall_ms key, so tools/bench_compare.py compares it with an
+     * absolute bound (tolerances.json "max") instead of a relative
+     * timing threshold.
+     */
+    void addValue(const std::string &name, double value);
+
     /** Force the write now (also happens in the destructor). */
     void write();
 
@@ -57,6 +67,8 @@ class JsonReport
         double wallMs;
         double imagesPerSec;
         double gflops;
+        double value = 0.0;
+        bool isValue = false;
     };
 
     std::string _path;

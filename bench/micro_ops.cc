@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "analog/chain.hh"
@@ -22,8 +24,11 @@
 #include "hw/sensor_chip.hh"
 #include "hw/weights.hh"
 #include "json_report.hh"
+#include "tensor/isa.hh"
 #include "tensor/kernels.hh"
 #include "tensor/ops.hh"
+#include "tensor/quant.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
@@ -178,6 +183,41 @@ BM_ChipFrameEncode64(benchmark::State &state)
 BENCHMARK(BM_ChipFrameEncode64);
 
 void
+BM_GemmQ8_256x1024(benchmark::State &state)
+{
+    const std::int64_t m = 256, n = 256, k = 1024;
+    const Tensor a = randomTensor({(int)m, (int)k}, 11);
+    const Tensor b = randomTensor({(int)n, (int)k}, 12);
+    const QuantTensor qa = quantizeRowMajor(a, m, k);
+    const QuantTensor qb = quantizeRowMajor(b, n, k);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    for (auto _ : state) {
+        gemmQ8(m, n, qa.nb, qa.q.data(), qa.scales.data(), qb.q.data(),
+               qb.scales.data(), c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_GemmQ8_256x1024);
+
+void
+BM_QuantizeRows(benchmark::State &state)
+{
+    const std::int64_t m = 256, cols = 1024;
+    const Tensor src = randomTensor({(int)m, (int)cols}, 13);
+    const std::int64_t nb = quantBlocks(cols);
+    std::vector<std::int8_t> q(static_cast<std::size_t>(m * nb
+                                                        * kQuantBlock));
+    std::vector<float> scales(static_cast<std::size_t>(m * nb));
+    for (auto _ : state) {
+        quantizeRowsInto(src.data(), m, cols, q.data(), scales.data());
+        benchmark::DoNotOptimize(q.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m * cols);
+}
+BENCHMARK(BM_QuantizeRows);
+
+void
 BM_CsBlockReconstruction(benchmark::State &state)
 {
     CompressiveSensing cs(4);
@@ -254,6 +294,138 @@ compareKernels(leca::bench::JsonReport &report)
 
     printBanner(std::cout, "blocked vs naive kernels (single GEMM call)");
     table.print(std::cout);
+}
+
+/**
+ * Estimated core clock in GHz from a serially dependent integer
+ * chain: one xorshift64 step is three shift->xor pairs, each pair two
+ * dependent 1-cycle ALU ops, so an iteration costs 6 cycles of pure
+ * latency on every x86-64 and AArch64 core this targets (the loop
+ * branch hides under the chain). Gives the roofline a denominator
+ * without reading MSRs. Turbo and frequency scaling make this an
+ * estimate; set LECA_PEAK_GHZ to pin the nominal clock instead.
+ */
+double
+estimateClockGhz()
+{
+    if (const char *env = std::getenv("LECA_PEAK_GHZ")) {
+        const double pinned = std::atof(env);
+        if (pinned > 0.0)
+            return pinned;
+    }
+    constexpr std::int64_t iters = 1 << 25;
+    constexpr double cycles_per_iter = 6.0;
+    std::uint64_t x = 88172645463325252ULL;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(x);
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    return cycles_per_iter * static_cast<double>(iters) / ns;
+}
+
+/**
+ * int8 quantized kernels vs the fp32 blocked GEMM at the serving
+ * shape, plus a roofline: measured GFLOP/s (fp32) and GOP/s (int8,
+ * 2 ops per MAC) against the dispatched KernelSet's theoretical
+ * per-cycle peak x estimated clock x worker threads.
+ */
+void
+compareQuantKernels(leca::bench::JsonReport &report)
+{
+    using leca::bench::timeWallMs;
+    const std::int64_t m = 256, n = 256, k = 1024;
+    const double ops = 2.0 * static_cast<double>(m) * n * k;
+
+    const Tensor a = randomTensor({(int)m, (int)k}, 11);
+    const Tensor b = randomTensor({(int)n, (int)k}, 12);
+    const QuantTensor qa = quantizeRowMajor(a, m, k);
+    const QuantTensor qb = quantizeRowMajor(b, n, k);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+
+    const double f32_ms = timeWallMs([&] {
+        gemmBlocked(m, n, k, a.data(), k, false, b.data(), k, true,
+                    c.data(), n, false);
+        benchmark::DoNotOptimize(c.data());
+    }, 20);
+    const double i8_ms = timeWallMs([&] {
+        gemmQ8(m, n, qa.nb, qa.q.data(), qa.scales.data(), qb.q.data(),
+               qb.scales.data(), c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }, 20);
+    const double f32_gfs = ops / f32_ms / 1e6;
+    const double i8_gops = ops / i8_ms / 1e6;
+
+    // Quantize / dequantize bandwidth: bytes read + bytes written.
+    const std::int64_t nb = quantBlocks(k);
+    std::vector<std::int8_t> q(static_cast<std::size_t>(m * nb
+                                                        * kQuantBlock));
+    std::vector<float> scales(static_cast<std::size_t>(m * nb));
+    const double quant_bytes =
+        static_cast<double>(m) * (4.0 * k + nb * (kQuantBlock + 4.0));
+    const double quant_ms = timeWallMs([&] {
+        quantizeRowsInto(a.data(), m, k, q.data(), scales.data());
+        benchmark::DoNotOptimize(q.data());
+    }, 50);
+    Tensor back({(int)m, (int)k});
+    const double dequant_ms = timeWallMs([&] {
+        const Tensor t = dequantizeRowMajor(qa);
+        benchmark::DoNotOptimize(t.data());
+    }, 50);
+    const double quant_gbps = quant_bytes / quant_ms / 1e6;
+    const double dequant_gbps = quant_bytes / dequant_ms / 1e6;
+
+    Table table({"kernel", "ms", "rate", "GB/s"});
+    table.addRow({"gemm_f32_256x1024", Table::num(f32_ms, 3),
+                  Table::num(f32_gfs, 2) + " GF/s", "-"});
+    table.addRow({"gemm_q8_256x1024", Table::num(i8_ms, 3),
+                  Table::num(i8_gops, 2) + " GOP/s", "-"});
+    table.addRow({"quantize_rows", Table::num(quant_ms, 3), "-",
+                  Table::num(quant_gbps, 2)});
+    table.addRow({"dequantize_rows", Table::num(dequant_ms, 3), "-",
+                  Table::num(dequant_gbps, 2)});
+    printBanner(std::cout, "int8 quantized kernels (vs fp32 blocked)");
+    table.print(std::cout);
+    std::cout << "int8 GEMM speedup over fp32: "
+              << Table::num(f32_ms / i8_ms, 2) << "x\n";
+
+    report.add("gemm_f32_256x1024", f32_ms, 0.0, f32_gfs);
+    report.add("gemm_q8_256x1024", i8_ms, 0.0, i8_gops);
+    report.add("quantize_rows_256x1024", quant_ms, 0.0);
+    report.add("dequantize_rows_256x1024", dequant_ms, 0.0);
+    report.addValue("quantize_rows_gbps", quant_gbps);
+    report.addValue("dequantize_rows_gbps", dequant_gbps);
+    report.addValue("gemm_q8_speedup_vs_f32", f32_ms / i8_ms);
+
+    // Roofline: the dispatched KernelSet advertises its per-core
+    // per-cycle peak; scale by estimated clock and pool width. int8
+    // peak is in ops (2 x MACs) to match the measured GOP/s.
+    const KernelSet &ks = activeKernels();
+    const double ghz = estimateClockGhz();
+    const int threads = threadCount();
+    const double f32_peak = ghz * ks.f32FlopsPerCycle * threads;
+    const double i8_peak = ghz * 2.0 * ks.i8MacsPerCycle * threads;
+    Table roof({"path", "measured", "peak", "% of peak"});
+    roof.addRow({"fp32 (" + std::string(ks.name) + ")",
+                 Table::num(f32_gfs, 2) + " GF/s",
+                 Table::num(f32_peak, 2),
+                 Table::num(100.0 * f32_gfs / f32_peak, 1)});
+    roof.addRow({"int8 (" + std::string(ks.name) + ")",
+                 Table::num(i8_gops, 2) + " GOP/s",
+                 Table::num(i8_peak, 2),
+                 Table::num(100.0 * i8_gops / i8_peak, 1)});
+    printBanner(std::cout, "roofline (clock est. "
+                               + Table::num(ghz, 2)
+                               + " GHz, LECA_PEAK_GHZ overrides)");
+    roof.print(std::cout);
+    report.addValue("clock_ghz_est", ghz);
+    report.addValue("roofline_f32_pct_peak", 100.0 * f32_gfs / f32_peak);
+    report.addValue("roofline_i8_pct_peak", 100.0 * i8_gops / i8_peak);
 }
 
 /**
@@ -357,6 +529,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     compareKernels(report);
+    compareQuantKernels(report);
     if (report.enabled()) {
         reportJson(report);
         reportTrainEpoch(report);

@@ -67,10 +67,36 @@ makeServePipeline()
     return std::make_unique<LecaPipeline>(options, std::move(backbone));
 }
 
-Tensor
-makeFrame(std::uint64_t session, std::uint64_t frame)
+constexpr int kQuantHw = 48; //!< serving frames for the int8 experiment
+constexpr int kQuantBatch = 8;
+
+/**
+ * Compute-bound pipeline for the fp32-vs-int8 serving comparison: the
+ * Full backbone (32/64/128/128 channels) at 48x48 frames with a wide
+ * DnCNN decoder, so the batched forward is GEMM time at channel
+ * counts representative of a quantized deployment, not dispatch
+ * overhead — the backend kernels are what is being measured.
+ */
+std::unique_ptr<LecaPipeline>
+makeQuantPipeline()
 {
-    Tensor t({3, kHw, kHw});
+    LecaConfig cfg;
+    cfg.nch = 8;
+    cfg.qbits = QBits(3.0);
+    cfg.decoderDncnnLayers = 3;
+    cfg.decoderFilters = 64;
+    Rng rng(3);
+    auto backbone = makeBackbone(BackboneStyle::Full, 3, kClasses, rng);
+    LecaPipeline::Options options;
+    options.leca = cfg;
+    options.seed = 21;
+    return std::make_unique<LecaPipeline>(options, std::move(backbone));
+}
+
+Tensor
+makeFrame(std::uint64_t session, std::uint64_t frame, int hw = kHw)
+{
+    Tensor t({3, hw, hw});
     float *p = t.data();
     for (std::size_t i = 0; i < t.numel(); ++i)
         p[i] = static_cast<float>((session * 131 + frame * 17 + i * 7)
@@ -116,6 +142,59 @@ runClosedLoop(int sessions, int frames_per_session, int max_batch,
                 server.submit(handles[static_cast<std::size_t>(s)],
                               makeFrame(static_cast<std::uint64_t>(s),
                                         static_cast<std::uint64_t>(f)),
+                              ticket);
+                (void)ticket.wait();
+            }
+        });
+    for (auto &client : clients)
+        client.join();
+    const auto stop = std::chrono::steady_clock::now();
+    server.stop();
+
+    RunResult result;
+    result.wallMs = std::chrono::duration<double, std::milli>(stop - start)
+                        .count();
+    result.framesPerSec = 1000.0 * sessions * frames_per_session
+                          / result.wallMs;
+    result.metrics = server.metrics();
+    return result;
+}
+
+/**
+ * Closed loop over the compute-bound pipeline, serving either the
+ * fp32 kernels or the int8 block-quantized backend (DESIGN.md §12).
+ * Same traffic either way; only the backend differs.
+ */
+RunResult
+runQuantLoop(int sessions, int frames_per_session, bool quantized)
+{
+    auto pipeline = makeQuantPipeline();
+    ServerOptions options;
+    options.queueCapacity = std::max(2 * sessions, 8);
+    options.maxBatch = kQuantBatch;
+    options.maxWaitMicros = 2000;
+    options.policy = OverloadPolicy::Block;
+    options.seed = 7;
+    Server server(quantized ? quantizedPipelineBackend(*pipeline)
+                            : pipelineBackend(*pipeline),
+                  {3, kQuantHw, kQuantHw}, options);
+
+    std::vector<Session> handles;
+    handles.reserve(static_cast<std::size_t>(sessions));
+    for (int s = 0; s < sessions; ++s)
+        handles.push_back(server.openSession());
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<ServiceThread> clients(
+        static_cast<std::size_t>(sessions));
+    for (int s = 0; s < sessions; ++s)
+        clients[static_cast<std::size_t>(s)].start([&, s] {
+            FrameTicket ticket;
+            for (int f = 0; f < frames_per_session; ++f) {
+                server.submit(handles[static_cast<std::size_t>(s)],
+                              makeFrame(static_cast<std::uint64_t>(s),
+                                        static_cast<std::uint64_t>(f),
+                                        kQuantHw),
                               ticket);
                 (void)ticket.wait();
             }
@@ -251,6 +330,30 @@ main(int argc, char **argv)
     const double speedup = batched.framesPerSec / unbatched.framesPerSec;
     std::cout << "batching speedup: " << Table::num(speedup, 2)
               << "x\n\n";
+
+    // Compute-bound serving: fp32 vs int8 block-quantized backend at
+    // kQuantHw frames (DESIGN.md §12). Fewer frames — each is real work.
+    const int quant_frames = std::max(frames / 8, fast ? 8 : 20);
+    (void)runQuantLoop(sessions, std::max(quant_frames / 4, 2), false);
+    const RunResult quant_f32 = runQuantLoop(sessions, quant_frames,
+                                             false);
+    const RunResult quant_i8 = runQuantLoop(sessions, quant_frames,
+                                            true);
+    report.add("serve_quant_fp32", quant_f32.wallMs,
+               quant_f32.framesPerSec);
+    report.add("serve_quant_int8", quant_i8.wallMs,
+               quant_i8.framesPerSec);
+    const double quant_speedup =
+        quant_i8.framesPerSec / quant_f32.framesPerSec;
+    report.addValue("serve_quant_speedup", quant_speedup);
+    std::cout << "quantized serving (" << kQuantHw << "x"
+              << kQuantHw << ", " << quant_frames
+              << " frames/session):\n  fp32 backend: "
+              << Table::num(quant_f32.framesPerSec, 1)
+              << " frames/s\n  int8 backend: "
+              << Table::num(quant_i8.framesPerSec, 1)
+              << " frames/s\n  int8 speedup: "
+              << Table::num(quant_speedup, 2) << "x\n\n";
 
     const RunResult overload = runOpenLoopOverload(sessions, frames);
     report.add("serve_open_overload_10x", overload.wallMs,

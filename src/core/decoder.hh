@@ -31,6 +31,15 @@ class LecaDecoder : public Layer
     {
         _net.setStatsRefresh(enable);
     }
+    void
+    quantizeWeights(std::vector<QuantStat> &stats) override
+    {
+        _net.quantizeWeights(stats);
+    }
+    std::vector<QuantTensor *> quantTensors() override
+    {
+        return _net.quantTensors();
+    }
 
     /** Total parameter count (for the Table 2 size discussion). */
     std::size_t parameterCount();

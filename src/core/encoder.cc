@@ -39,6 +39,21 @@ LecaEncoder::params()
 }
 
 void
+LecaEncoder::quantizeWeights(std::vector<QuantStat> &stats)
+{
+    if (_modality != EncoderModality::Soft)
+        return; // hard/noisy forwards are the circuit model, not a GEMM
+    const int kdim =
+        _config.inChannels * _config.kernel * _config.kernel;
+    _qweight = quantizeRowMajor(_weight.value, _config.nch, kdim);
+    stats.push_back({"Encoder conv " + std::to_string(_config.inChannels)
+                         + "->" + std::to_string(_config.nch) + " k"
+                         + std::to_string(_config.kernel),
+                     _qweight.fp32Bytes(), _qweight.quantBytes(),
+                     quantMaxAbsError(_weight.value, _qweight)});
+}
+
+void
 LecaEncoder::setModality(EncoderModality modality)
 {
     if (modality != EncoderModality::Soft) {
@@ -116,16 +131,31 @@ LecaEncoder::forwardSoft(const Tensor &x, Mode mode)
 
     _inShape = x.shape();
 
-    const Tensor wmat = _weight.value.reshape({nch, c * k * k});
-    const Tensor no_bias;
     Tensor pre({n, nch, oh, ow});
-    // Every image packs straight into arena scratch (conv2dImageInto):
-    // no column matrix, no per-image allocation. Backward recomputes
-    // the im2col it needs from the cached input.
-    parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
-        for (int i = static_cast<int>(n0); i < n1; ++i)
-            conv2dImageInto(x, i, wmat, no_bias, k, k, k, 0, pre);
-    });
+    if (!_qweight.empty()) {
+        LECA_CHECK(mode == Mode::Eval,
+                   "quantized encoder cannot run a Train-mode forward");
+        const std::size_t in_sz = static_cast<std::size_t>(c) * h * w;
+        const std::size_t out_sz =
+            static_cast<std::size_t>(nch) * oh * ow;
+        parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+            for (std::int64_t i = n0; i < n1; ++i)
+                convForwardQuant(
+                    x.data() + static_cast<std::size_t>(i) * in_sz, c, h,
+                    w, k, k, k, 0, _qweight, nullptr,
+                    pre.data() + static_cast<std::size_t>(i) * out_sz);
+        });
+    } else {
+        const Tensor wmat = _weight.value.reshape({nch, c * k * k});
+        const Tensor no_bias;
+        // Every image packs straight into arena scratch
+        // (conv2dImageInto): no column matrix, no per-image allocation.
+        // Backward recomputes the im2col it needs from the cached input.
+        parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+            for (int i = static_cast<int>(n0); i < n1; ++i)
+                conv2dImageInto(x, i, wmat, no_bias, k, k, k, 0, pre);
+        });
+    }
 
     const float s = std::max(_outScale.value[0], 0.05f);
     const int levels = _config.qbits.levels();

@@ -32,6 +32,7 @@
 #include "core/leca_config.hh"
 #include "nn/layer.hh"
 #include "sensor/sensor_config.hh"
+#include "tensor/quant.hh"
 #include "util/rng.hh"
 
 namespace leca {
@@ -52,6 +53,15 @@ class LecaEncoder : public Layer
     Tensor forward(const Tensor &x, Mode mode) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Param *> params() override;
+
+    /**
+     * Quantize the conv weight for int8 serving. Soft modality only:
+     * the hard/noisy forward is the per-tap circuit recurrence, not a
+     * GEMM, so there is nothing for int8 kernels to accelerate there
+     * (and the cap-DAC already quantizes the weights in its own way).
+     */
+    void quantizeWeights(std::vector<QuantStat> &stats) override;
+    std::vector<QuantTensor *> quantTensors() override { return {&_qweight}; }
 
     /** Switch forward model; resets the output scale to a sane value. */
     void setModality(EncoderModality modality);
@@ -91,6 +101,7 @@ class LecaEncoder : public Layer
 
     Param _weight;
     Param _outScale;
+    QuantTensor _qweight; //!< int8 weights; empty until quantizeWeights
 
     AnalogNoiseModel _noiseModel;
     bool _hasNoiseModel = false;

@@ -125,6 +125,27 @@ class PipelineBundle : public Layer
         return out;
     }
 
+    // leca-analyze: cold — one-shot weight conversion (setup)
+    void
+    quantizeWeights(std::vector<QuantStat> &stats) override
+    {
+        _enc.quantizeWeights(stats);
+        _dec.quantizeWeights(stats);
+        _bb.quantizeWeights(stats);
+    }
+
+    // leca-analyze: cold — quantized-tensor enumeration (checkpoint setup)
+    std::vector<QuantTensor *>
+    quantTensors() override
+    {
+        std::vector<QuantTensor *> out = _enc.quantTensors();
+        for (QuantTensor *qt : _dec.quantTensors())
+            out.push_back(qt);
+        for (QuantTensor *qt : _bb.quantTensors())
+            out.push_back(qt);
+        return out;
+    }
+
   private:
     LecaEncoder &_enc;
     LecaDecoder &_dec;
@@ -132,6 +153,43 @@ class PipelineBundle : public Layer
 };
 
 } // namespace
+
+std::size_t
+LecaPipeline::QuantizationReport::fp32Bytes() const
+{
+    std::size_t total = 0;
+    for (const QuantStat &s : layers)
+        total += s.fp32Bytes;
+    return total;
+}
+
+std::size_t
+LecaPipeline::QuantizationReport::quantBytes() const
+{
+    std::size_t total = 0;
+    for (const QuantStat &s : layers)
+        total += s.quantBytes;
+    return total;
+}
+
+float
+LecaPipeline::QuantizationReport::maxAbsError() const
+{
+    float worst = 0.0f;
+    for (const QuantStat &s : layers)
+        worst = worst > s.maxAbsError ? worst : s.maxAbsError;
+    return worst;
+}
+
+LecaPipeline::QuantizationReport
+LecaPipeline::quantize()
+{
+    PipelineBundle bundle(*_encoder, *_decoder, *_backbone);
+    QuantizationReport report;
+    bundle.quantizeWeights(report.layers);
+    _quantized = true;
+    return report;
+}
 
 void
 LecaPipeline::save(const std::string &path)
@@ -145,6 +203,24 @@ LecaPipeline::load(const std::string &path)
 {
     PipelineBundle bundle(*_encoder, *_decoder, *_backbone);
     return loadLayerState(bundle, path);
+}
+
+void
+LecaPipeline::saveQuantized(const std::string &path)
+{
+    LECA_CHECK(_quantized, "saveQuantized before quantize()");
+    PipelineBundle bundle(*_encoder, *_decoder, *_backbone);
+    saveQuantizedState(bundle, path);
+}
+
+bool
+LecaPipeline::loadQuantized(const std::string &path)
+{
+    PipelineBundle bundle(*_encoder, *_decoder, *_backbone);
+    if (!loadQuantizedState(bundle, path))
+        return false;
+    _quantized = true;
+    return true;
 }
 
 void

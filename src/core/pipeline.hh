@@ -75,6 +75,32 @@ class LecaPipeline
     void refreshStats(const Dataset &ds, int batch_size = 32);
 
     /**
+     * Summary of one quantize() conversion: every converted layer's
+     * size and reconstruction error (DESIGN.md §12).
+     */
+    struct QuantizationReport
+    {
+        std::vector<QuantStat> layers;
+
+        std::size_t fp32Bytes() const;  //!< total weight bytes before
+        std::size_t quantBytes() const; //!< total codes+scales bytes after
+        float maxAbsError() const;      //!< worst per-layer weight error
+    };
+
+    /**
+     * Convert every dense weight (encoder conv in Soft modality, the
+     * decoder and backbone Conv2d/Linear layers) to block-quantized
+     * int8 for serving. One-way for this process: evaluation-mode
+     * forwards run the int8 kernels afterwards, and training-mode
+     * forwards (including refreshStats) become a checked error. Call
+     * after training and after any refreshStats pass.
+     */
+    QuantizationReport quantize();
+
+    /** True once quantize() or loadQuantized() has converted weights. */
+    bool quantized() const { return _quantized; }
+
+    /**
      * Persist the whole trained pipeline (encoder weights + ADC
      * boundary, decoder, backbone, and all batch-norm running
      * statistics) to one file.
@@ -83,6 +109,16 @@ class LecaPipeline
 
     /** Restore a pipeline saved with save(); shapes must match. */
     bool load(const std::string &path);
+
+    /**
+     * Persist the fp32 state AND the int8 weights (checkpoint kind 3),
+     * so a serving replica restores quantized inference bit-exactly
+     * without re-running quantization. Requires quantize() first.
+     */
+    void saveQuantized(const std::string &path);
+
+    /** Restore a pipeline saved with saveQuantized(). */
+    bool loadQuantized(const std::string &path);
 
     /** Noise stream used for pixel + analog noise in Noisy modality. */
     Rng &noiseRng() { return _noiseRng; }
@@ -93,6 +129,7 @@ class LecaPipeline
     std::unique_ptr<Sequential> _backbone;
     PixelNoiseModel _pixelNoise;
     Rng _noiseRng;
+    bool _quantized = false;
 };
 
 } // namespace leca

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <fstream>
+#include <utility>
 
 #include "nn/layer.hh"
+#include "tensor/quant.hh"
 #include "util/check.hh"
 #include "util/logging.hh"
 
@@ -16,6 +18,7 @@ constexpr std::uint32_t kLegacyLayerMagic = kMagic + 1;
 constexpr std::uint32_t kVersion = 2;
 constexpr std::uint32_t kKindParams = 1;
 constexpr std::uint32_t kKindLayerState = 2;
+constexpr std::uint32_t kKindQuantState = 3;
 
 /** FNV-1a over every byte written/read after the magic word. */
 class Fnv1a
@@ -218,6 +221,164 @@ bool
 loadLayerState(Layer &layer, const std::string &path)
 {
     return loadTensors(allTensorsOf(layer), path, kKindLayerState);
+}
+
+/*
+ * Kind-3 layout, after the shared header (magic | version | kind):
+ *
+ *   u32 fcount | fcount x (u64 numel, numel x f32)      — as kind 2
+ *   u32 qcount | qcount x quantized tensor
+ *   u64 FNV-1a checksum over every byte after the magic word
+ *
+ * One quantized tensor:
+ *   u32 ndim | ndim x i32 dims | u64 rows | u64 cols
+ *   rows*quantBlocks(cols) x f32 scales
+ *   rows*quantBlocks(cols)*32 x i8 codes
+ * A not-yet-converted entry serializes as ndim = 0, rows = cols = 0
+ * with no payload (e.g. the encoder slot in hard modality).
+ */
+void
+saveQuantizedState(Layer &layer, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open ", path, " for writing");
+    Fnv1a hash;
+    const std::uint32_t magic = kMagic;
+    os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    const std::uint32_t version = kVersion;
+    const std::uint32_t kind = kKindQuantState;
+    writeHashed(os, hash, &version, sizeof(version));
+    writeHashed(os, hash, &kind, sizeof(kind));
+
+    const std::vector<Tensor *> tensors = allTensorsOf(layer);
+    const std::uint32_t fcount =
+        static_cast<std::uint32_t>(tensors.size());
+    writeHashed(os, hash, &fcount, sizeof(fcount));
+    for (const Tensor *t : tensors) {
+        const std::uint64_t numel = t->numel();
+        writeHashed(os, hash, &numel, sizeof(numel));
+        writeHashed(os, hash, t->data(), numel * sizeof(float));
+    }
+
+    const std::vector<QuantTensor *> qts = layer.quantTensors();
+    const std::uint32_t qcount = static_cast<std::uint32_t>(qts.size());
+    writeHashed(os, hash, &qcount, sizeof(qcount));
+    for (const QuantTensor *qt : qts) {
+        const std::uint32_t ndim =
+            qt->empty() ? 0u
+                        : static_cast<std::uint32_t>(qt->shape.size());
+        writeHashed(os, hash, &ndim, sizeof(ndim));
+        for (std::uint32_t d = 0; d < ndim; ++d) {
+            const std::int32_t extent = qt->shape[d];
+            writeHashed(os, hash, &extent, sizeof(extent));
+        }
+        const std::uint64_t rows = qt->empty() ? 0 : qt->rows;
+        const std::uint64_t cols = qt->empty() ? 0 : qt->cols;
+        writeHashed(os, hash, &rows, sizeof(rows));
+        writeHashed(os, hash, &cols, sizeof(cols));
+        if (qt->empty())
+            continue;
+        writeHashed(os, hash, qt->scales.data(),
+                    qt->scales.size() * sizeof(float));
+        writeHashed(os, hash, qt->q.data(), qt->q.size());
+    }
+    const std::uint64_t digest = hash.digest();
+    os.write(reinterpret_cast<const char *>(&digest), sizeof(digest));
+}
+
+// leca-analyze: cold — checkpoint I/O
+bool
+loadQuantizedState(Layer &layer, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::uint32_t magic = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    LECA_CHECK(is && is.gcount() == sizeof(magic), "corrupt checkpoint ",
+               path, ": shorter than its magic word");
+    LECA_CHECK(magic == kMagic, "not a LeCA checkpoint: ", path);
+    Fnv1a hash;
+    std::uint32_t version = 0, file_kind = 0;
+    readHashed(is, hash, &version, sizeof(version), path);
+    if (version != kVersion) {
+        warn("stale checkpoint ", path, " (format v", version,
+             ", expected v", kVersion, "); requantizing");
+        return false;
+    }
+    readHashed(is, hash, &file_kind, sizeof(file_kind), path);
+    LECA_CHECK(file_kind == kKindQuantState, "checkpoint ", path,
+               " holds kind ", file_kind, ", expected kind ",
+               kKindQuantState, " (quantized state)");
+
+    const std::vector<Tensor *> tensors = allTensorsOf(layer);
+    std::uint32_t fcount = 0;
+    readHashed(is, hash, &fcount, sizeof(fcount), path);
+    if (fcount != tensors.size())
+        return false; // different model structure
+    // Two passes, like loadTensors: stage everything and verify the
+    // checksum before committing a single byte to the model.
+    std::vector<std::vector<float>> staged;
+    staged.reserve(tensors.size());
+    for (const Tensor *t : tensors) {
+        std::uint64_t numel = 0;
+        readHashed(is, hash, &numel, sizeof(numel), path);
+        if (numel != t->numel())
+            return false; // shape mismatch
+        std::vector<float> values(numel);
+        readHashed(is, hash, values.data(), numel * sizeof(float), path);
+        staged.push_back(std::move(values));
+    }
+
+    const std::vector<QuantTensor *> qts = layer.quantTensors();
+    std::uint32_t qcount = 0;
+    readHashed(is, hash, &qcount, sizeof(qcount), path);
+    if (qcount != qts.size())
+        return false; // different model structure
+    std::vector<QuantTensor> staged_q(qts.size());
+    for (QuantTensor &qt : staged_q) {
+        std::uint32_t ndim = 0;
+        readHashed(is, hash, &ndim, sizeof(ndim), path);
+        LECA_CHECK(ndim <= 4, "corrupt checkpoint ", path,
+                   ": quantized tensor rank ", ndim);
+        qt.shape.resize(ndim);
+        for (std::uint32_t d = 0; d < ndim; ++d) {
+            std::int32_t extent = 0;
+            readHashed(is, hash, &extent, sizeof(extent), path);
+            qt.shape[d] = extent;
+        }
+        std::uint64_t rows = 0, cols = 0;
+        readHashed(is, hash, &rows, sizeof(rows), path);
+        readHashed(is, hash, &cols, sizeof(cols), path);
+        if (rows == 0)
+            continue; // empty slot round-trips as empty
+        qt.rows = static_cast<std::int64_t>(rows);
+        qt.cols = static_cast<std::int64_t>(cols);
+        qt.nb = quantBlocks(qt.cols);
+        qt.scales.resize(static_cast<std::size_t>(qt.rows * qt.nb));
+        qt.q.resize(
+            static_cast<std::size_t>(qt.rows * qt.nb * kQuantBlock));
+        readHashed(is, hash, qt.scales.data(),
+                   qt.scales.size() * sizeof(float), path);
+        readHashed(is, hash, qt.q.data(), qt.q.size(), path);
+    }
+    std::uint64_t stored = 0;
+    is.read(reinterpret_cast<char *>(&stored), sizeof(stored));
+    LECA_CHECK(is && is.gcount() == sizeof(stored), "corrupt checkpoint ",
+               path, ": missing checksum");
+    LECA_CHECK(stored == hash.digest(), "corrupt checkpoint ", path,
+               ": checksum mismatch (stored ", stored, ", computed ",
+               hash.digest(), ")");
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+        float *dst = tensors[i]->data();
+        const std::vector<float> &values = staged[i];
+        for (std::size_t j = 0; j < values.size(); ++j)
+            dst[j] = values[j];
+    }
+    for (std::size_t i = 0; i < qts.size(); ++i)
+        *qts[i] = std::move(staged_q[i]);
+    return true;
 }
 
 } // namespace leca

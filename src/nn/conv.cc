@@ -32,9 +32,25 @@ Conv2d::forward(const Tensor &x, Mode mode)
     const int oh = convOutSize(h, _k, _stride, _pad);
     const int ow = convOutSize(w, _k, _stride, _pad);
 
+    Tensor y({n, _cout, oh, ow});
+    if (!_qweight.empty()) {
+        LECA_CHECK(mode == Mode::Eval,
+                   "quantized Conv2d cannot run a Train-mode forward");
+        const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
+        const std::size_t out_sz =
+            static_cast<std::size_t>(_cout) * oh * ow;
+        const float *bias = _hasBias ? _bias.value.data() : nullptr;
+        parallelFor(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+            for (std::int64_t i = n0; i < n1; ++i)
+                convForwardQuant(
+                    x.data() + static_cast<std::size_t>(i) * in_sz, _cin,
+                    h, w, _k, _k, _stride, _pad, _qweight, bias,
+                    y.data() + static_cast<std::size_t>(i) * out_sz);
+        });
+        return y;
+    }
     const Tensor wmat = _weight.value.reshape({_cout, _cin * _k * _k});
     const Tensor no_bias;
-    Tensor y({n, _cout, oh, ow});
     // Both modes pack the image straight into arena scratch
     // (conv2dImageInto): no column matrix is ever materialised, so
     // steady-state forwards allocate nothing per image. Backward
@@ -143,6 +159,18 @@ Conv2d::params()
     if (_hasBias)
         return {&_weight, &_bias};
     return {&_weight};
+}
+
+void
+Conv2d::quantizeWeights(std::vector<QuantStat> &stats)
+{
+    _qweight = quantizeRowMajor(_weight.value, _cout,
+                                static_cast<std::int64_t>(_cin) * _k * _k);
+    stats.push_back({"Conv2d " + std::to_string(_cin) + "->"
+                         + std::to_string(_cout) + " k"
+                         + std::to_string(_k),
+                     _qweight.fp32Bytes(), _qweight.quantBytes(),
+                     quantMaxAbsError(_weight.value, _qweight)});
 }
 
 } // namespace leca

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/layer.hh"
+#include "tensor/quant.hh"
 #include "util/rng.hh"
 
 namespace leca {
@@ -41,6 +42,8 @@ class Conv2d : public Layer
     Tensor forward(const Tensor &x, Mode mode) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Param *> params() override;
+    void quantizeWeights(std::vector<QuantStat> &stats) override;
+    std::vector<QuantTensor *> quantTensors() override { return {&_qweight}; }
 
     Param &weight() { return _weight; }
     Param &bias() { return _bias; }
@@ -54,6 +57,7 @@ class Conv2d : public Layer
     bool _hasBias;
     Param _weight;
     Param _bias;
+    QuantTensor _qweight; //!< int8 weights; empty until quantizeWeights
 
     // Forward cache: the input itself (K*K smaller than the column
     // matrices the backward pass recomputes from it).

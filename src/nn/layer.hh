@@ -12,7 +12,9 @@
 #ifndef LECA_NN_LAYER_HH
 #define LECA_NN_LAYER_HH
 
+#include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/param.hh"
@@ -20,8 +22,22 @@
 
 namespace leca {
 
+struct QuantTensor;
+
 /** Whether a forward pass is part of training or evaluation. */
 enum class Mode { Train, Eval };
+
+/**
+ * Per-layer record of one quantizeWeights() conversion, aggregated
+ * into Pipeline::QuantizationReport (DESIGN.md §12).
+ */
+struct QuantStat
+{
+    std::string name;        //!< layer description, e.g. "Conv2d 3->16 k3"
+    std::size_t fp32Bytes;   //!< weight bytes before quantization
+    std::size_t quantBytes;  //!< codes + scales bytes after
+    float maxAbsError;       //!< max |w - dequant(quant(w))| of the layer
+};
 
 /**
  * Abstract differentiable layer. A layer holds at most one outstanding
@@ -58,6 +74,27 @@ class Layer
      * final activation distribution.
      */
     virtual void setStatsRefresh(bool enable) { (void)enable; }
+
+    /**
+     * Convert this layer's GEMM/conv weights to block-quantized int8
+     * (tensor/quant.hh), appending one QuantStat per converted tensor.
+     * After conversion, evaluation-mode forwards run the int8 kernels;
+     * training-mode forwards are a checked error (the fp32 weights are
+     * retained for checkpointing, but gradients would no longer match
+     * what inference computes). Layers without dense weights (ReLU,
+     * batch-norm, pooling) keep the default no-op.
+     */
+    virtual void quantizeWeights(std::vector<QuantStat> &stats)
+    {
+        (void)stats;
+    }
+
+    /**
+     * The quantized weight tensors of this layer (and its children) in
+     * a fixed traversal order — empty entries mean "not yet converted".
+     * Serialization (data/serialize.cc, kind 3) walks this list.
+     */
+    virtual std::vector<QuantTensor *> quantTensors() { return {}; }
 
     /** Mark every parameter as frozen (or unfrozen). */
     void

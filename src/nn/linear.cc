@@ -21,6 +21,14 @@ Linear::forward(const Tensor &x, Mode mode)
 {
     LECA_CHECK(x.dim() == 2 && x.size(1) == _in, "Linear(", _in, " -> ", _out,
                ") input shape ", detail::formatShape(x.shape()));
+    if (!_qweight.empty()) {
+        LECA_CHECK(mode == Mode::Eval,
+                   "quantized Linear cannot run a Train-mode forward");
+        Tensor y({x.size(0), _out});
+        linearForwardQuant(x.data(), x.size(0), _qweight,
+                           _bias.value.data(), y.data());
+        return y;
+    }
     // y = x * W^T
     Tensor y = matmulTransB(x, _weight.value);
     const int n = y.size(0);
@@ -52,6 +60,16 @@ Linear::backward(const Tensor &grad_out)
     Tensor dx = matmul(grad_out, _weight.value);
     _input = Tensor();
     return dx;
+}
+
+void
+Linear::quantizeWeights(std::vector<QuantStat> &stats)
+{
+    _qweight = quantizeRowMajor(_weight.value, _out, _in);
+    stats.push_back({"Linear " + std::to_string(_in) + "->"
+                         + std::to_string(_out),
+                     _qweight.fp32Bytes(), _qweight.quantBytes(),
+                     quantMaxAbsError(_weight.value, _qweight)});
 }
 
 } // namespace leca

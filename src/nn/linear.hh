@@ -7,6 +7,7 @@
 #define LECA_NN_LINEAR_HH
 
 #include "nn/layer.hh"
+#include "tensor/quant.hh"
 #include "util/rng.hh"
 
 namespace leca {
@@ -20,6 +21,8 @@ class Linear : public Layer
     Tensor forward(const Tensor &x, Mode mode) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Param *> params() override { return {&_weight, &_bias}; }
+    void quantizeWeights(std::vector<QuantStat> &stats) override;
+    std::vector<QuantTensor *> quantTensors() override { return {&_qweight}; }
 
     Param &weight() { return _weight; }
     Param &bias() { return _bias; }
@@ -28,6 +31,7 @@ class Linear : public Layer
     int _in, _out;
     Param _weight;
     Param _bias;
+    QuantTensor _qweight; //!< int8 weights; empty until quantizeWeights
     Tensor _input;
 };
 

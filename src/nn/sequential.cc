@@ -62,6 +62,26 @@ Sequential::setStatsRefresh(bool enable)
         layer->setStatsRefresh(enable);
 }
 
+// leca-analyze: cold — one-shot weight conversion (setup)
+void
+Sequential::quantizeWeights(std::vector<QuantStat> &stats)
+{
+    for (auto &layer : _layers)
+        layer->quantizeWeights(stats);
+}
+
+// leca-analyze: cold — quantized-tensor enumeration (checkpoint setup)
+std::vector<QuantTensor *>
+Sequential::quantTensors()
+{
+    std::vector<QuantTensor *> out;
+    for (auto &layer : _layers) {
+        auto child = layer->quantTensors();
+        out.insert(out.end(), child.begin(), child.end());
+    }
+    return out;
+}
+
 ResidualBlock::ResidualBlock(int cin, int cout, int stride, Rng &rng)
     : _hasProj(stride != 1 || cin != cout)
 {
@@ -125,6 +145,24 @@ ResidualBlock::setStatsRefresh(bool enable)
 {
     _main.setStatsRefresh(enable);
     _proj.setStatsRefresh(enable);
+}
+
+// leca-analyze: cold — one-shot weight conversion (setup)
+void
+ResidualBlock::quantizeWeights(std::vector<QuantStat> &stats)
+{
+    _main.quantizeWeights(stats);
+    _proj.quantizeWeights(stats);
+}
+
+// leca-analyze: cold — quantized-tensor enumeration (checkpoint setup)
+std::vector<QuantTensor *>
+ResidualBlock::quantTensors()
+{
+    std::vector<QuantTensor *> out = _main.quantTensors();
+    auto proj = _proj.quantTensors();
+    out.insert(out.end(), proj.begin(), proj.end());
+    return out;
 }
 
 } // namespace leca

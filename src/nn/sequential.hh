@@ -40,6 +40,8 @@ class Sequential : public Layer
     std::vector<Param *> params() override;
     std::vector<Tensor *> state() override;
     void setStatsRefresh(bool enable) override;
+    void quantizeWeights(std::vector<QuantStat> &stats) override;
+    std::vector<QuantTensor *> quantTensors() override;
 
     std::size_t size() const { return _layers.size(); }
     Layer &at(std::size_t i) { return *_layers[i]; }
@@ -63,6 +65,8 @@ class ResidualBlock : public Layer
     std::vector<Param *> params() override;
     std::vector<Tensor *> state() override;
     void setStatsRefresh(bool enable) override;
+    void quantizeWeights(std::vector<QuantStat> &stats) override;
+    std::vector<QuantTensor *> quantTensors() override;
 
   private:
     Sequential _main;

@@ -392,4 +392,12 @@ pipelineBackend(LecaPipeline &pipeline)
     };
 }
 
+Server::Backend
+quantizedPipelineBackend(LecaPipeline &pipeline)
+{
+    if (!pipeline.quantized())
+        pipeline.quantize();
+    return pipelineBackend(pipeline);
+}
+
 } // namespace leca::serve

@@ -315,6 +315,15 @@ class Server
 /** Backend adapter: evaluation-mode forward of a LecaPipeline. */
 Server::Backend pipelineBackend(LecaPipeline &pipeline);
 
+/**
+ * Backend adapter over int8 block-quantized inference: converts the
+ * pipeline's weights with LecaPipeline::quantize() (unless already
+ * quantized, e.g. restored via loadQuantized) and serves evaluation
+ * forwards through the int8 kernels. Same contract as pipelineBackend:
+ * responses are bit-identical across thread counts and batch splits.
+ */
+Server::Backend quantizedPipelineBackend(LecaPipeline &pipeline);
+
 } // namespace leca::serve
 
 #endif // LECA_SERVE_SERVER_HH

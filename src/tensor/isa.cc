@@ -1,0 +1,188 @@
+#include "isa.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.hh"
+
+namespace leca {
+
+namespace {
+
+using namespace simd::detail;
+
+// Theoretical per-core, per-cycle peaks for the roofline row —
+// documented estimates, not measurements. f32FlopsPerCycle assumes the
+// non-fused mul+add policy the fp32 micro-kernel pins (one multiply +
+// one add per element on the FP ports). i8MacsPerCycle assumes one
+// widening int8 MAC instruction per cycle (VPDPBUSD / SDOT where
+// present); the int8 dot's per-block scaling is fused-FMA by contract
+// (simd.hh) and does not change the MAC count.
+const KernelSet kScalarSet = {
+    "scalar", Isa::Scalar,
+    microF32Scalar, dotQ8RowScalar, quantizeRowScalar, dequantizeRowScalar,
+    /*f32FlopsPerCycle=*/8.0, /*i8MacsPerCycle=*/8.0,
+};
+
+#if defined(LECA_HAVE_AVX2)
+const KernelSet kAvx2Set = {
+    "avx2", Isa::Avx2,
+    microF32Avx2, dotQ8RowAvx2, quantizeRowAvx2, dequantizeRowAvx2,
+    /*f32FlopsPerCycle=*/16.0, /*i8MacsPerCycle=*/32.0,
+};
+#endif
+
+#if defined(LECA_HAVE_AVX512)
+const KernelSet &
+avx512Set()
+{
+    static const KernelSet set = [] {
+        KernelSet s = {
+            "avx512", Isa::Avx512,
+            microF32Avx512,
+#if defined(LECA_HAVE_AVX2)
+            dotQ8RowAvx2, // replaced below when the host has VNNI
+#else
+            dotQ8RowScalar,
+#endif
+            quantizeRowAvx512, dequantizeRowAvx512,
+            /*f32FlopsPerCycle=*/32.0, /*i8MacsPerCycle=*/32.0,
+        };
+#if defined(LECA_HAVE_AVX512VNNI) && defined(__x86_64__)
+        if (__builtin_cpu_supports("avx512vnni")) {
+            s.dotQ8Row = dotQ8RowVnni;
+            s.dotQ8RowUB = dotQ8RowUBVnni;
+            s.i8MacsPerCycle = 128.0;
+        }
+#endif
+        return s;
+    }();
+    return set;
+}
+#endif
+
+#if defined(LECA_HAVE_NEON)
+const KernelSet kNeonSet = {
+    "neon", Isa::Neon,
+    microF32Neon, dotQ8RowNeon, quantizeRowScalar, dequantizeRowScalar,
+    /*f32FlopsPerCycle=*/8.0, /*i8MacsPerCycle=*/32.0,
+};
+#endif
+
+/** Probe the host and return the widest runnable compiled-in set. */
+// leca-analyze: cold — one-time dispatch selection
+const KernelSet &
+probeKernels()
+{
+    const char *env = std::getenv("LECA_ISA");
+    if (env && *env) {
+        const KernelSet *set = kernelSetByName(env);
+        LECA_CHECK(set != nullptr, "LECA_ISA=", env,
+                   " does not name a compiled-in kernel set");
+        LECA_CHECK(hostSupportsKernelSet(*set), "LECA_ISA=", env,
+                   " is not executable on this host");
+        return *set;
+    }
+#if defined(LECA_HAVE_NEON)
+    return kNeonSet;
+#endif
+#if defined(LECA_HAVE_AVX512) && defined(__x86_64__)
+    if (__builtin_cpu_supports("avx512f")
+        && __builtin_cpu_supports("avx512bw")
+        && __builtin_cpu_supports("avx512vl"))
+        return avx512Set();
+#endif
+#if defined(LECA_HAVE_AVX2) && defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2"))
+        return kAvx2Set;
+#endif
+    return kScalarSet;
+}
+
+/** Test override slot; null means "use the probed set". Atomic so the
+ *  pool workers' snapshot reads are race-free under TSan. */
+std::atomic<const KernelSet *> g_override{nullptr};
+
+} // namespace
+
+const KernelSet &
+activeKernels()
+{
+    const KernelSet *forced = g_override.load(std::memory_order_acquire);
+    if (forced)
+        return *forced;
+    static const KernelSet &probed = probeKernels();
+    return probed;
+}
+
+const std::vector<const KernelSet *> &
+compiledKernelSets()
+{
+    static const std::vector<const KernelSet *> sets = [] {
+        std::vector<const KernelSet *> v;
+        v.push_back(&kScalarSet);
+#if defined(LECA_HAVE_AVX2)
+        v.push_back(&kAvx2Set);
+#endif
+#if defined(LECA_HAVE_AVX512)
+        v.push_back(&avx512Set());
+#endif
+#if defined(LECA_HAVE_NEON)
+        v.push_back(&kNeonSet);
+#endif
+        return v;
+    }();
+    return sets;
+}
+
+const KernelSet *
+kernelSetByName(const char *name)
+{
+    for (const KernelSet *set : compiledKernelSets())
+        if (std::strcmp(set->name, name) == 0)
+            return set;
+    return nullptr;
+}
+
+bool
+hostSupportsKernelSet(const KernelSet &set)
+{
+    switch (set.isa) {
+      case Isa::Scalar:
+        return true;
+      case Isa::Avx2:
+#if defined(__x86_64__)
+        return __builtin_cpu_supports("avx2");
+#else
+        return false;
+#endif
+      case Isa::Avx512:
+#if defined(__x86_64__)
+        return __builtin_cpu_supports("avx512f")
+               && __builtin_cpu_supports("avx512bw")
+               && __builtin_cpu_supports("avx512vl");
+#else
+        return false;
+#endif
+      case Isa::Neon:
+#if defined(__aarch64__)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+ScopedKernelOverride::ScopedKernelOverride(const KernelSet &set)
+    : _previous(g_override.exchange(&set, std::memory_order_acq_rel))
+{
+}
+
+ScopedKernelOverride::~ScopedKernelOverride()
+{
+    g_override.store(_previous, std::memory_order_release);
+}
+
+} // namespace leca

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/isa.hh"
 #include "util/arena.hh"
 #include "util/check.hh"
 #include "util/parallel.hh"
@@ -110,65 +111,16 @@ packA(const float *a, std::int64_t lda, bool trans, std::int64_t i0,
 }
 
 /**
- * Register-tiled MR×NR micro-kernel over one packed A panel and one
- * packed B panel. @p first selects zero-initialised accumulators
- * (first k block, no accumulate) vs. continuing the chain from C.
- * Stores only the live mr×nr corner; padded lanes compute into dead
- * accumulator slots. One multiply-add per element per k step keeps the
- * per-element accumulation a single ascending chain; each lane's chain
- * is independent, so vector width never changes the result.
- *
- * The accumulator rows use the compiler's native vector type so the
- * SIMD axis is pinned to the NR (column) dimension: left to its own
- * devices the auto-vectorizer picks the contiguous MR-float A panel as
- * the vector axis and drowns the loop in cross-lane shuffles.
- */
-#if defined(__GNUC__) || defined(__clang__)
-typedef float VecN __attribute__((vector_size(NR * sizeof(float))));
-#else
-struct VecN { // Portable fallback: plain per-lane arithmetic.
-    float v[NR];
-    float &operator[](int l) { return v[l]; }
-    VecN &operator+=(const VecN &o)
-    {
-        for (int l = 0; l < NR; ++l)
-            v[l] += o.v[l];
-        return *this;
-    }
-    friend VecN operator*(float s, const VecN &o)
-    {
-        VecN r;
-        for (int l = 0; l < NR; ++l)
-            r.v[l] = s * o.v[l];
-        return r;
-    }
-};
-#endif
-
-void
-microKernel(std::int64_t kc, const float *ap, const float *bp, float *c,
-            std::int64_t ldc, int mr, int nr, bool first)
-{
-    VecN acc[MR];
-    for (int r = 0; r < MR; ++r)
-        for (int l = 0; l < NR; ++l)
-            acc[r][l] = (!first && r < mr && l < nr) ? c[r * ldc + l] : 0.0f;
-    for (std::int64_t kk = 0; kk < kc; ++kk) {
-        const float *arow = ap + kk * MR;
-        VecN bv;
-        std::memcpy(&bv, bp + kk * NR, sizeof(bv));
-        for (int r = 0; r < MR; ++r)
-            acc[r] += arow[r] * bv;
-    }
-    for (int r = 0; r < mr; ++r)
-        for (int l = 0; l < nr; ++l)
-            c[r * ldc + l] = acc[r][l];
-}
-
-/**
  * The shared engine: rows of C distributed over the pool, k blocked by
  * kBlockK, B already packed (shared, read-only; the pool's task
  * publication orders the pack before any worker read).
+ *
+ * The micro-kernel comes from the runtime-dispatched KernelSet
+ * (tensor/isa.hh); the pointer is snapshotted once here, before the
+ * parallel region, so one GEMM can never tear across two ISA variants
+ * even under a test-scoped override. All variants compute identical
+ * per-lane accumulation chains (simd.hh), so the dispatch choice never
+ * changes the result.
  */
 void
 gemmWithPackedB(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -176,12 +128,18 @@ gemmWithPackedB(std::int64_t m, std::int64_t n, std::int64_t k,
                 const float *bp, float *c, std::int64_t ldc,
                 bool accumulate)
 {
-    parallelFor(0, m, chunkRows(m, n, k),
+    const simd::MicroF32Fn micro = activeKernels().microF32;
+    const std::int64_t grain = chunkRows(m, n, k);
+    parallelFor(0, m, grain,
                 [&](std::int64_t i0, std::int64_t i1) {
         Arena::Scope scope;
         const std::int64_t kc_max = std::min<std::int64_t>(k, kBlockK);
-        float *ap = Arena::local().alloc(
-            static_cast<std::size_t>(roundUp(i1 - i0, MR) * kc_max));
+        // Sized by the grain, not this chunk's rows: chunks are claimed
+        // dynamically, so every chunk must make the same arena demand
+        // or a worker warmed on the short tail chunk would have to grow
+        // (i.e. heap-allocate) when it later claims a full one.
+        float *ap = Arena::local().alloc(static_cast<std::size_t>(
+            roundUp(std::min(grain, m), MR) * kc_max));
         for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
             const std::int64_t kc = std::min<std::int64_t>(kBlockK, k - k0);
             packA(a, lda, trans_a, i0, i1, k0, kc, ap);
@@ -193,8 +151,8 @@ gemmWithPackedB(std::int64_t m, std::int64_t n, std::int64_t k,
                 for (std::int64_t ii = i0; ii < i1; ii += MR) {
                     const int mr = static_cast<int>(
                         std::min<std::int64_t>(MR, i1 - ii));
-                    microKernel(kc, ap + ((ii - i0) / MR) * kc * MR, bpp,
-                                c + ii * ldc + j0, ldc, mr, nr, first);
+                    micro(kc, ap + ((ii - i0) / MR) * kc * MR, bpp,
+                          c + ii * ldc + j0, ldc, mr, nr, first);
                 }
             }
         }

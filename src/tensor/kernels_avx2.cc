@@ -1,0 +1,206 @@
+/**
+ * @file
+ * AVX2 kernels. Compiled with -mavx2 -ffp-contract=off; nothing in
+ * this TU may be inlined elsewhere (see simd.hh).
+ *
+ * fp32: two 8-lane accumulator vectors per micro-tile row, explicit
+ * VMULPS+VADDPS (never VFMADD — the cross-ISA bit-exactness policy).
+ * C-edge tiles use VMASKMOVPS so there is no separate tail path; the
+ * packed panels are already zero-padded along both k and n.
+ *
+ * int8: the VPMADDUBSW sign trick (ggml-style): |a| as the unsigned
+ * operand and sign(a)·b as the signed one, so each product is a·b.
+ * Quantization never produces -128, which bounds every s16 pair sum by
+ * 2·127·127 < 32767 — VPMADDUBSW cannot saturate. VPMADDWD against
+ * ones then yields the exact 4-element group sums of the pinned dot
+ * structure.
+ */
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "tensor/simd.hh"
+
+namespace leca::simd::detail {
+
+namespace {
+
+/** Lane mask for an 8-float vector covering lanes [base, base+8) of a
+ *  row whose live extent is @p nr. */
+inline __m256i
+laneMask(int nr, int base)
+{
+    const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    return _mm256_cmpgt_epi32(_mm256_set1_epi32(nr - base), idx);
+}
+
+/** ((t0+t2) + (t1+t3)) over the 8-lane v reduced as lo128+hi128 —
+ *  exactly the pinned reduction tree of DotQ8RowFn. */
+inline float
+reduceGroups(__m256 v)
+{
+    const __m128 t =
+        _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+    const __m128 u = _mm_add_ps(t, _mm_movehl_ps(t, t));
+    const __m128 r = _mm_add_ss(u, _mm_shuffle_ps(u, u, 0x55));
+    return _mm_cvtss_f32(r);
+}
+
+} // namespace
+
+void
+microF32Avx2(std::int64_t kc, const float *ap, const float *bp, float *c,
+             std::int64_t ldc, int mr, int nr, bool first)
+{
+    const __m256i m0 = laneMask(nr, 0);
+    const __m256i m1 = laneMask(nr, 8);
+    __m256 acc[4][2];
+    for (int r = 0; r < 4; ++r) {
+        if (!first && r < mr) {
+            acc[r][0] = _mm256_maskload_ps(c + r * ldc, m0);
+            acc[r][1] = _mm256_maskload_ps(c + r * ldc + 8, m1);
+        } else {
+            acc[r][0] = _mm256_setzero_ps();
+            acc[r][1] = _mm256_setzero_ps();
+        }
+    }
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const __m256 b0 = _mm256_loadu_ps(bp + kk * 16);
+        const __m256 b1 = _mm256_loadu_ps(bp + kk * 16 + 8);
+        const float *arow = ap + kk * 4;
+        for (int r = 0; r < 4; ++r) {
+            const __m256 av = _mm256_broadcast_ss(arow + r);
+            acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(av, b0));
+            acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(av, b1));
+        }
+    }
+    for (int r = 0; r < mr; ++r) {
+        _mm256_maskstore_ps(c + r * ldc, m0, acc[r][0]);
+        _mm256_maskstore_ps(c + r * ldc + 8, m1, acc[r][1]);
+    }
+}
+
+void
+dotQ8RowAvx2(const std::int8_t *qa, const float *sa, const std::int8_t *qb,
+             const float *sb, std::int64_t nb, std::int64_t n, float *c)
+{
+    const __m256i ones = _mm256_set1_epi16(1);
+    const std::int64_t row_bytes = nb * 32;
+    for (std::int64_t j = 0; j < n; ++j) {
+        const std::int8_t *qbr = qb + j * row_bytes;
+        const float *sbr = sb + j * nb;
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        for (std::int64_t b = 0; b < nb; ++b) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(qa + b * 32));
+            const __m256i vb = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(qbr + b * 32));
+            const __m256i ax = _mm256_sign_epi8(va, va);
+            const __m256i by = _mm256_sign_epi8(vb, va);
+            const __m256i d16 = _mm256_maddubs_epi16(ax, by);
+            const __m256i g = _mm256_madd_epi16(d16, ones);
+            const __m256 gf = _mm256_cvtepi32_ps(g);
+            const __m256 sv = _mm256_set1_ps(sa[b] * sbr[b]);
+            if (b & 1)
+                acc1 = _mm256_fmadd_ps(sv, gf, acc1);
+            else
+                acc0 = _mm256_fmadd_ps(sv, gf, acc0);
+        }
+        c[j] = reduceGroups(_mm256_add_ps(acc0, acc1));
+    }
+}
+
+void
+quantizeRowAvx2(const float *src, std::int64_t k, std::int8_t *q,
+                float *scales)
+{
+    const std::int64_t nb = (k + 31) / 32;
+    const __m256 absMask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+    for (std::int64_t b = 0; b < nb; ++b) {
+        const std::int64_t lo = b * 32;
+        if (lo + 32 <= k) {
+            const __m256 v0 = _mm256_loadu_ps(src + lo);
+            const __m256 v1 = _mm256_loadu_ps(src + lo + 8);
+            const __m256 v2 = _mm256_loadu_ps(src + lo + 16);
+            const __m256 v3 = _mm256_loadu_ps(src + lo + 24);
+            __m256 mx = _mm256_max_ps(_mm256_and_ps(v0, absMask),
+                                      _mm256_and_ps(v1, absMask));
+            mx = _mm256_max_ps(mx, _mm256_and_ps(v2, absMask));
+            mx = _mm256_max_ps(mx, _mm256_and_ps(v3, absMask));
+            __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(mx),
+                                   _mm256_extractf128_ps(mx, 1));
+            m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+            m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 0x55));
+            const float amax = _mm_cvtss_f32(m4);
+            const float inv = amax > 0.0f ? 127.0f / amax : 0.0f;
+            scales[b] = amax / 127.0f;
+            const __m256 iv = _mm256_set1_ps(inv);
+            // Round-to-nearest-even conversion — identical to the
+            // scalar nearbyintf under the default rounding mode.
+            __m256i i0 = _mm256_cvtps_epi32(_mm256_mul_ps(v0, iv));
+            __m256i i1 = _mm256_cvtps_epi32(_mm256_mul_ps(v1, iv));
+            __m256i i2 = _mm256_cvtps_epi32(_mm256_mul_ps(v2, iv));
+            __m256i i3 = _mm256_cvtps_epi32(_mm256_mul_ps(v3, iv));
+            // Narrow 32 s32 -> 32 s8. The saturating packs are
+            // value-preserving (everything is in ±127); the permute
+            // undoes their per-128-bit-lane interleaving.
+            i0 = _mm256_packs_epi32(i0, i1);
+            i2 = _mm256_packs_epi32(i2, i3);
+            i0 = _mm256_packs_epi16(i0, i2);
+            const __m256i perm =
+                _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+            i0 = _mm256_permutevar8x32_epi32(i0, perm);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(q + lo), i0);
+        } else {
+            // Tail block: same math, element at a time.
+            const std::int64_t hi = k;
+            float amax = 0.0f;
+            for (std::int64_t jj = lo; jj < hi; ++jj) {
+                float a = src[jj] < 0.0f ? -src[jj] : src[jj];
+                amax = amax > a ? amax : a;
+            }
+            const float inv = amax > 0.0f ? 127.0f / amax : 0.0f;
+            scales[b] = amax / 127.0f;
+            std::int64_t jj = lo;
+            for (; jj < hi; ++jj) {
+                const __m128 x = _mm_mul_ss(_mm_set_ss(src[jj]),
+                                            _mm_set_ss(inv));
+                q[jj] = static_cast<std::int8_t>(_mm_cvtss_si32(x));
+            }
+            for (; jj < lo + 32; ++jj)
+                q[jj] = 0;
+        }
+    }
+}
+
+void
+dequantizeRowAvx2(const std::int8_t *q, const float *scales,
+                  std::int64_t k, float *dst)
+{
+    const std::int64_t nb = (k + 31) / 32;
+    for (std::int64_t b = 0; b < nb; ++b) {
+        const std::int64_t lo = b * 32;
+        const float s = scales[b];
+        if (lo + 32 <= k) {
+            const __m256 sv = _mm256_set1_ps(s);
+            for (int h = 0; h < 4; ++h) {
+                const __m128i q8 = _mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(q + lo + 8 * h));
+                const __m256i q32 = _mm256_cvtepi8_epi32(q8);
+                const __m256 f = _mm256_cvtepi32_ps(q32);
+                _mm256_storeu_ps(dst + lo + 8 * h,
+                                 _mm256_mul_ps(f, sv));
+            }
+        } else {
+            for (std::int64_t jj = lo; jj < k; ++jj)
+                dst[jj] = static_cast<float>(q[jj]) * s;
+        }
+    }
+}
+
+} // namespace leca::simd::detail
+
+#endif // __AVX2__

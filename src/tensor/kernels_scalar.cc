@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Scalar reference kernels: the bit-exactness baseline every SIMD
+ * variant is pinned against (DESIGN.md §12). Compiled with
+ * -ffp-contract=off like every other kernel TU, so the explicit
+ * multiply-then-add chains here are what the AVX2/AVX-512/NEON
+ * variants must reproduce exactly.
+ *
+ * The fp32 micro-kernel is the original PR 3 compiler-vector kernel,
+ * moved verbatim from kernels.cc: the GCC vector extension pins the
+ * SIMD axis to the packed-B lane dimension, so even the "scalar"
+ * reference autovectorises well under whatever -march the build uses —
+ * per-lane chains are identical regardless of vector width.
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/kernels.hh"
+#include "tensor/simd.hh"
+
+namespace leca::simd::detail {
+
+namespace {
+
+constexpr int MR = kMicroM;
+constexpr int NR = kMicroN;
+
+#if defined(__GNUC__) || defined(__clang__)
+typedef float VecN __attribute__((vector_size(NR * sizeof(float))));
+#else
+struct VecN { // Portable fallback: plain per-lane arithmetic.
+    float v[NR];
+    float &operator[](int l) { return v[l]; }
+    VecN &operator+=(const VecN &o)
+    {
+        for (int l = 0; l < NR; ++l)
+            v[l] += o.v[l];
+        return *this;
+    }
+    friend VecN operator*(float s, const VecN &o)
+    {
+        VecN r;
+        for (int l = 0; l < NR; ++l)
+            r.v[l] = s * o.v[l];
+        return r;
+    }
+};
+#endif
+
+} // namespace
+
+void
+microF32Scalar(std::int64_t kc, const float *ap, const float *bp, float *c,
+               std::int64_t ldc, int mr, int nr, bool first)
+{
+    VecN acc[MR];
+    for (int r = 0; r < MR; ++r)
+        for (int l = 0; l < NR; ++l)
+            acc[r][l] = (!first && r < mr && l < nr) ? c[r * ldc + l] : 0.0f;
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float *arow = ap + kk * MR;
+        VecN bv;
+        std::memcpy(&bv, bp + kk * NR, sizeof(bv));
+        for (int r = 0; r < MR; ++r)
+            acc[r] += arow[r] * bv;
+    }
+    for (int r = 0; r < mr; ++r)
+        for (int l = 0; l < nr; ++l)
+            c[r * ldc + l] = acc[r][l];
+}
+
+void
+dotQ8RowScalar(const std::int8_t *qa, const float *sa,
+               const std::int8_t *qb, const float *sb, std::int64_t nb,
+               std::int64_t n, float *c)
+{
+    const std::int64_t row_bytes = nb * 32;
+    for (std::int64_t j = 0; j < n; ++j) {
+        const std::int8_t *qbr = qb + j * row_bytes;
+        const float *sbr = sb + j * nb;
+        // Two banks of eight group accumulators — the pinned lane
+        // structure of DotQ8RowFn (simd.hh).
+        float acc[2][8] = {{0.0f}};
+        for (std::int64_t b = 0; b < nb; ++b) {
+            const std::int8_t *pa = qa + b * 32;
+            const std::int8_t *pb = qbr + b * 32;
+            const float s = sa[b] * sbr[b];
+            float *bank = acc[b & 1];
+            for (int g = 0; g < 8; ++g) {
+                std::int32_t d = 0;
+                for (int t = 0; t < 4; ++t)
+                    d += static_cast<std::int32_t>(pa[4 * g + t])
+                         * static_cast<std::int32_t>(pb[4 * g + t]);
+                // Fused by contract (simd.hh): fmaf is correctly
+                // rounded, matching the SIMD variants' VFMADD/FMLA.
+                bank[g] = std::fmaf(s, static_cast<float>(d), bank[g]);
+            }
+        }
+        float v[8], t[4];
+        for (int g = 0; g < 8; ++g)
+            v[g] = acc[0][g] + acc[1][g];
+        for (int g = 0; g < 4; ++g)
+            t[g] = v[g] + v[g + 4];
+        c[j] = (t[0] + t[2]) + (t[1] + t[3]);
+    }
+}
+
+void
+quantizeRowScalar(const float *src, std::int64_t k, std::int8_t *q,
+                  float *scales)
+{
+    const std::int64_t nb = (k + 31) / 32;
+    for (std::int64_t b = 0; b < nb; ++b) {
+        const std::int64_t lo = b * 32;
+        const std::int64_t hi = lo + 32 < k ? lo + 32 : k;
+        float amax = 0.0f;
+        for (std::int64_t j = lo; j < hi; ++j) {
+            const float a = std::fabs(src[j]);
+            amax = amax > a ? amax : a;
+        }
+        // 127/amax rounds to at most 127*(1+2^-23), so |x|*inv never
+        // reaches 127.5: the nearest-even conversion stays in ±127 and
+        // no clamp is needed (or performed) in any variant.
+        const float inv = amax > 0.0f ? 127.0f / amax : 0.0f;
+        scales[b] = amax / 127.0f;
+        std::int64_t j = lo;
+        for (; j < hi; ++j)
+            q[j] = static_cast<std::int8_t>(
+                static_cast<std::int32_t>(std::nearbyintf(src[j] * inv)));
+        for (; j < lo + 32; ++j)
+            q[j] = 0;
+    }
+}
+
+void
+dequantizeRowScalar(const std::int8_t *q, const float *scales,
+                    std::int64_t k, float *dst)
+{
+    const std::int64_t nb = (k + 31) / 32;
+    for (std::int64_t b = 0; b < nb; ++b) {
+        const std::int64_t lo = b * 32;
+        const std::int64_t hi = lo + 32 < k ? lo + 32 : k;
+        const float s = scales[b];
+        for (std::int64_t j = lo; j < hi; ++j)
+            dst[j] = static_cast<float>(q[j]) * s;
+    }
+}
+
+} // namespace leca::simd::detail

@@ -1,0 +1,267 @@
+#include "quant.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+#include "tensor/isa.hh"
+#include "util/arena.hh"
+#include "util/check.hh"
+#include "util/parallel.hh"
+
+namespace leca {
+
+namespace {
+
+/**
+ * A rows per L1-ish panel in gemmQ8: a panel's codes stay hot while it
+ * sweeps every B tile, so B is re-streamed once per panel instead of
+ * once per row.
+ */
+constexpr std::int64_t kPanelRowsQ8 = 16;
+
+/**
+ * A-row chunk size for gemmQ8: whole panels, and enough MACs to
+ * amortise a pool dispatch (~512 KMAC). Depends only on the problem
+ * shape, so the decomposition — and therefore every output bit — is
+ * independent of LECA_THREADS.
+ */
+std::int64_t
+chunkRowsQ8(std::int64_t n, std::int64_t nb)
+{
+    constexpr std::int64_t min_chunk_macs = 1 << 19;
+    const std::int64_t macs_per_row =
+        std::max<std::int64_t>(1, nb * kQuantBlock * n);
+    const std::int64_t rows =
+        (min_chunk_macs + macs_per_row - 1) / macs_per_row;
+    return ((rows + kPanelRowsQ8 - 1) / kPanelRowsQ8) * kPanelRowsQ8;
+}
+
+} // namespace
+
+QuantTensor
+quantizeRowMajor(const Tensor &w, std::int64_t rows, std::int64_t cols)
+{
+    LECA_CHECK(rows > 0 && cols > 0
+                   && static_cast<std::size_t>(rows * cols) == w.numel(),
+               "quantizeRowMajor: view ", rows, "x", cols,
+               " does not cover ", w.numel(), " elements");
+    QuantTensor qt;
+    qt.shape = w.shape();
+    qt.rows = rows;
+    qt.cols = cols;
+    qt.nb = quantBlocks(cols);
+    qt.q.resize(static_cast<std::size_t>(rows * qt.nb * kQuantBlock));
+    qt.scales.resize(static_cast<std::size_t>(rows * qt.nb));
+    quantizeRowsInto(w.data(), rows, cols, qt.q.data(), qt.scales.data());
+    return qt;
+}
+
+Tensor
+dequantizeRowMajor(const QuantTensor &qt)
+{
+    LECA_CHECK(!qt.empty(), "dequantizeRowMajor: empty QuantTensor");
+    Tensor w(qt.shape);
+    const simd::DequantizeRowFn dequant = activeKernels().dequantizeRow;
+    float *dst = w.data();
+    for (std::int64_t i = 0; i < qt.rows; ++i)
+        dequant(qt.q.data() + i * qt.nb * kQuantBlock,
+                qt.scales.data() + i * qt.nb, qt.cols, dst + i * qt.cols);
+    return w;
+}
+
+float
+quantMaxAbsError(const Tensor &w, const QuantTensor &qt)
+{
+    LECA_CHECK(w.numel() == static_cast<std::size_t>(qt.rows * qt.cols),
+               "quantMaxAbsError: shape mismatch");
+    const Tensor r = dequantizeRowMajor(qt);
+    const float *a = w.data();
+    const float *b = r.data();
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+        const float d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+        worst = worst > d ? worst : d;
+    }
+    return worst;
+}
+
+// leca-analyze: entry
+void
+quantizeRowsInto(const float *src, std::int64_t m, std::int64_t cols,
+                 std::int8_t *q, float *scales)
+{
+    const simd::QuantizeRowFn quantize_row = activeKernels().quantizeRow;
+    const std::int64_t nb = quantBlocks(cols);
+    for (std::int64_t i = 0; i < m; ++i)
+        quantize_row(src + i * cols, cols, q + i * nb * kQuantBlock,
+                 scales + i * nb);
+}
+
+// leca-analyze: entry
+void
+gemmQ8(std::int64_t m, std::int64_t n, std::int64_t nb,
+       const std::int8_t *qa, const float *sa, const std::int8_t *qb,
+       const float *sb, float *c, std::int64_t ldc)
+{
+    const simd::DotQ8RowFn dot = activeKernels().dotQ8Row;
+    const simd::DotQ8RowUBFn dot_ub = activeKernels().dotQ8RowUB;
+    const std::int64_t row_bytes = nb * kQuantBlock;
+    // Every B row is reused by all m A rows, so when the active ISA
+    // wants an unsigned B operand (VNNI), bias the whole matrix once
+    // here — one streaming XOR pass — instead of per (block, row)
+    // inside the dot. Same bytes reach the multiplier either way, so
+    // results are bit-identical to the plain-dot path.
+    Arena::Scope scope;
+    const std::uint8_t *qb_ub = nullptr;
+    if (dot_ub != nullptr && m > 1) {
+        std::uint8_t *ub = static_cast<std::uint8_t *>(
+            Arena::local().allocBytes(
+                static_cast<std::size_t>(n * row_bytes)));
+        const std::uint8_t *src =
+            reinterpret_cast<const std::uint8_t *>(qb);
+        const std::int64_t total = n * row_bytes;
+        for (std::int64_t i = 0; i < total; ++i)
+            ub[i] = static_cast<std::uint8_t>(src[i] ^ 0x80u);
+        qb_ub = ub;
+    }
+    // Block for locality in both operands: a B tile's code rows stay
+    // L1-resident while an A panel's rows re-stream them, and the
+    // panel itself stays near-L1 across its sweep of every tile, so B
+    // is re-streamed once per 16-row panel instead of once per A row
+    // (without this the dot kernel is memory-bound long before its
+    // arithmetic peak). Pure partition of independent outputs: each
+    // c[i][j] is still one dot() in pinned order, so the blocking
+    // (like the thread count) can never change a bit of the result.
+    std::int64_t tile = (32 << 10) / row_bytes;
+    tile = std::max<std::int64_t>(8, tile & ~std::int64_t(7));
+    parallelFor(0, m, chunkRowsQ8(n, nb),
+                [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t ip = i0; ip < i1; ip += kPanelRowsQ8) {
+            const std::int64_t ie = std::min(i1, ip + kPanelRowsQ8);
+            for (std::int64_t j0 = 0; j0 < n; j0 += tile) {
+                const std::int64_t jn = std::min(tile, n - j0);
+                for (std::int64_t i = ip; i < ie; ++i) {
+                    if (qb_ub != nullptr)
+                        dot_ub(qa + i * row_bytes, sa + i * nb,
+                               qb_ub + j0 * row_bytes, sb + j0 * nb, nb,
+                               jn, c + i * ldc + j0);
+                    else
+                        dot(qa + i * row_bytes, sa + i * nb,
+                            qb + j0 * row_bytes, sb + j0 * nb, nb, jn,
+                            c + i * ldc + j0);
+                }
+            }
+        }
+    });
+}
+
+// leca-analyze: entry
+void
+convForwardQuant(const float *image, int cin, int h, int w, int kh, int kw,
+                 int stride, int pad, const QuantTensor &wq,
+                 const float *bias, float *dst)
+{
+    const int oh = (h + 2 * pad - kh) / stride + 1;
+    const int ow = (w + 2 * pad - kw) / stride + 1;
+    const std::int64_t kdim = static_cast<std::int64_t>(cin) * kh * kw;
+    const std::int64_t n = static_cast<std::int64_t>(oh) * ow;
+    LECA_CHECK(oh > 0 && ow > 0, "convForwardQuant output ", oh, "x", ow,
+               " for input ", h, "x", w, " kernel ", kh, "x", kw);
+    LECA_CHECK(wq.rows > 0 && wq.cols == kdim, "convForwardQuant: weight ",
+               wq.rows, "x", wq.cols, " vs patch length ", kdim);
+    const std::int64_t nb = wq.nb;
+    Arena::Scope scope;
+    Arena &arena = Arena::local();
+    std::int8_t *qx = static_cast<std::int8_t *>(arena.allocBytes(
+        static_cast<std::size_t>(n * nb * kQuantBlock)));
+    float *sx = arena.alloc(static_cast<std::size_t>(n * nb));
+    // Gather + quantize each im2col patch (one column of the virtual
+    // column matrix) as a contiguous row. Serial under an outer batch
+    // parallelFor (nested regions degrade, like every kernel here);
+    // parallel across patches when this image is the whole workload.
+    const std::int64_t patch_grain =
+        std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(1, kdim));
+    parallelFor(0, n, patch_grain, [&](std::int64_t p0, std::int64_t p1) {
+        Arena::Scope worker_scope;
+        const simd::QuantizeRowFn quantize_row = activeKernels().quantizeRow;
+        float *rowbuf =
+            Arena::local().alloc(static_cast<std::size_t>(kdim));
+        for (std::int64_t p = p0; p < p1; ++p) {
+            const int oy = static_cast<int>(p / ow);
+            const int ox = static_cast<int>(p % ow);
+            const int y0 = oy * stride - pad;
+            const int x0 = ox * stride - pad;
+            // The valid kx span is the same for every (ch, ky) of the
+            // patch; hoisting it (and the per-ky row test) keeps the
+            // copy loop branch-free so it vectorises. Edge patches
+            // zero the whole buffer first and fill only the valid
+            // spans; interior patches (the vast majority) skip the
+            // memset because every element is written.
+            const int kx0 = x0 < 0 ? -x0 : 0;
+            const int kx1 = x0 + kw > w ? w - x0 : kw;
+            if (kx0 > 0 || kx1 < kw || y0 < 0 || y0 + kh > h)
+                std::memset(rowbuf, 0,
+                            static_cast<std::size_t>(kdim)
+                                * sizeof(float));
+            for (int ch = 0; ch < cin; ++ch) {
+                const float *plane =
+                    image + static_cast<std::size_t>(ch) * h * w;
+                float *dst_ch =
+                    rowbuf + static_cast<std::int64_t>(ch) * kh * kw;
+                for (int ky = 0; ky < kh; ++ky) {
+                    const int iy = y0 + ky;
+                    if (iy < 0 || iy >= h)
+                        continue;
+                    const float *src_row =
+                        plane + static_cast<std::size_t>(iy) * w + x0;
+                    float *dst_row = dst_ch + ky * kw;
+                    for (int kx = kx0; kx < kx1; ++kx)
+                        dst_row[kx] = src_row[kx];
+                }
+            }
+            quantize_row(rowbuf, kdim, qx + p * nb * kQuantBlock, sx + p * nb);
+        }
+    });
+    gemmQ8(wq.rows, n, nb, wq.q.data(), wq.scales.data(), qx, sx, dst, n);
+    if (bias) {
+        // Second in-place pass, matching convForwardPacked.
+        for (std::int64_t co = 0; co < wq.rows; ++co) {
+            const float b = bias[co];
+            float *drow = dst + co * n;
+            for (std::int64_t p = 0; p < n; ++p)
+                drow[p] += b;
+        }
+    }
+}
+
+// leca-analyze: entry
+void
+linearForwardQuant(const float *x, std::int64_t m, const QuantTensor &wq,
+                   const float *bias, float *y)
+{
+    const std::int64_t in = wq.cols;
+    const std::int64_t out = wq.rows;
+    const std::int64_t nb = wq.nb;
+    const std::int8_t *qw = wq.q.data();
+    const float *sw = wq.scales.data();
+    parallelFor(0, m, 1, [&](std::int64_t i0, std::int64_t i1) {
+        Arena::Scope scope;
+        Arena &arena = Arena::local();
+        const simd::QuantizeRowFn quantize_row = activeKernels().quantizeRow;
+        const simd::DotQ8RowFn dot = activeKernels().dotQ8Row;
+        std::int8_t *qx = static_cast<std::int8_t *>(arena.allocBytes(
+            static_cast<std::size_t>(nb * kQuantBlock)));
+        float *sx = arena.alloc(static_cast<std::size_t>(nb));
+        for (std::int64_t i = i0; i < i1; ++i) {
+            quantize_row(x + i * in, in, qx, sx);
+            float *yrow = y + i * out;
+            dot(qx, sx, qw, sw, nb, out, yrow);
+            if (bias)
+                for (std::int64_t j = 0; j < out; ++j)
+                    yrow[j] += bias[j];
+        }
+    });
+}
+
+} // namespace leca

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Block-quantized int8 tensors and the quantized inference kernels
+ * (DESIGN.md §12).
+ *
+ * Format: ggml-style symmetric quantization in 32-element blocks along
+ * the innermost (reduction) dimension. Each block stores 32 int8 codes
+ * plus one fp32 scale = amax/127; codes are produced with
+ * round-to-nearest-even and never reach ±128 (see simd.hh). Rows are
+ * padded to a whole number of blocks with zero codes, so kernels never
+ * need a tail path and padded lanes contribute exactly 0 to any dot.
+ *
+ * A QuantTensor always quantizes a logically 2-D [rows, cols] view of
+ * a weight tensor where cols is the reduction extent of the consuming
+ * GEMM (Linear: [out, in]; Conv/Encoder: [cout, cin*kh*kw]) — per-row
+ * blocking then matches the dot direction exactly.
+ *
+ * Determinism: quantization and the int8 GEMM both route through the
+ * dispatched KernelSet (tensor/isa.hh), every variant of which is
+ * bit-identical to the scalar reference, and gemmQ8's work
+ * decomposition depends only on the problem shape — so quantized
+ * inference is bit-identical across LECA_THREADS, batch split, and ISA.
+ */
+
+#ifndef LECA_TENSOR_QUANT_HH
+#define LECA_TENSOR_QUANT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace leca {
+
+/** Elements per quantization block (one fp32 scale each). */
+inline constexpr std::int64_t kQuantBlock = 32;
+
+/** Blocks needed to cover @p k elements. */
+inline constexpr std::int64_t
+quantBlocks(std::int64_t k)
+{
+    return (k + kQuantBlock - 1) / kQuantBlock;
+}
+
+/**
+ * A weight tensor quantized to int8 blocks. Plain owning container —
+ * the kernels below do the math. `shape` preserves the original
+ * logical shape (e.g. [cout, cin, kh, kw]) for checkpoint round-trips;
+ * rows/cols describe the 2-D quantization view.
+ */
+struct QuantTensor
+{
+    std::vector<int> shape;      //!< original fp32 logical shape
+    std::int64_t rows = 0;       //!< quantization view rows
+    std::int64_t cols = 0;       //!< reduction extent (pre-padding)
+    std::int64_t nb = 0;         //!< blocks per row = quantBlocks(cols)
+    std::vector<std::int8_t> q;  //!< codes, rows × nb × 32, row-major
+    std::vector<float> scales;   //!< scales, rows × nb, row-major
+
+    bool empty() const { return rows == 0; }
+
+    /** Bytes held by the quantized representation. */
+    std::size_t quantBytes() const
+    {
+        return q.size() * sizeof(std::int8_t)
+               + scales.size() * sizeof(float);
+    }
+
+    /** Bytes the fp32 original occupies. */
+    std::size_t fp32Bytes() const
+    {
+        return static_cast<std::size_t>(rows) * cols * sizeof(float);
+    }
+};
+
+// ---- Cold path (setup / validation; allocates) ----------------------
+
+/**
+ * Quantize @p w viewed as [rows, cols] row-major (rows*cols must equal
+ * w.numel()). Used once per layer by Pipeline::quantize().
+ */
+QuantTensor quantizeRowMajor(const Tensor &w, std::int64_t rows,
+                             std::int64_t cols);
+
+/** Reconstruct the fp32 tensor (original shape) from @p qt. */
+Tensor dequantizeRowMajor(const QuantTensor &qt);
+
+/** max |w - dequant(quant(w))| over the tensor — per-layer error stat. */
+float quantMaxAbsError(const Tensor &w, const QuantTensor &qt);
+
+// ---- Hot path (serving; arena scratch only, no allocations) ---------
+
+/**
+ * Quantize @p m rows of @p src (row-major, stride @p cols) into
+ * caller-provided code/scale storage laid out like QuantTensor rows.
+ * Routed through the dispatched quantizeRow kernel.
+ */
+void quantizeRowsInto(const float *src, std::int64_t m, std::int64_t cols,
+                      std::int8_t *q, float *scales);
+
+/**
+ * C (m×n) = Aq · Bqᵀ over block-quantized operands: row i of Aq dotted
+ * against every row j of Bq (both rows × nb blocks). Parallelised over
+ * A rows through the deterministic pool; the dotQ8Row kernel pointer is
+ * snapshotted before the parallel region.
+ *
+ * @param c   m×n output, row stride @p ldc, overwritten
+ */
+void gemmQ8(std::int64_t m, std::int64_t n, std::int64_t nb,
+            const std::int8_t *qa, const float *sa,
+            const std::int8_t *qb, const float *sb, float *c,
+            std::int64_t ldc);
+
+/**
+ * Quantized convolution forward for one [cin, h, w] image against
+ * block-quantized weights @p wq (rows = cout, cols = cin*kh*kw):
+ * im2col patches are gathered and quantized on the fly into arena
+ * scratch, then gemmQ8 produces dst [cout, OH*OW]. @p bias (or
+ * nullptr) is added in a second pass, matching convForwardPacked.
+ */
+void convForwardQuant(const float *image, int cin, int h, int w, int kh,
+                      int kw, int stride, int pad, const QuantTensor &wq,
+                      const float *bias, float *dst);
+
+/**
+ * Quantized linear forward: y (m×out) = quant(x) · Wqᵀ + bias for
+ * row-major x (m × in), Wq rows = out, cols = in. Activations are
+ * quantized per row into arena scratch inside the parallel region.
+ */
+void linearForwardQuant(const float *x, std::int64_t m, const QuantTensor &wq,
+                        const float *bias, float *y);
+
+} // namespace leca
+
+#endif // LECA_TENSOR_QUANT_HH

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -16,6 +17,11 @@ constexpr std::size_t kMinBlockFloats = std::size_t{1} << 16;
 constexpr std::size_t kAlignFloats = 16;
 
 std::atomic<std::uint64_t> g_blockAllocs{0};
+
+/** Monotone max of every arena's high-water mark; only written when a
+ *  thread sets a new personal high-water, so steady state never
+ *  touches it. */
+std::atomic<std::size_t> g_maxHighWater{0};
 
 std::size_t
 roundUpAligned(std::size_t n)
@@ -60,7 +66,14 @@ Arena::alloc(std::size_t n)
     float *p = _blocks[_block].data() + start;
     _offset = start + n;
     _live += n;
-    _highWater = std::max(_highWater, _live);
+    if (_live > _highWater) {
+        _highWater = _live;
+        std::size_t cur = g_maxHighWater.load(std::memory_order_relaxed);
+        while (cur < _highWater
+               && !g_maxHighWater.compare_exchange_weak(
+                   cur, _highWater, std::memory_order_relaxed)) {
+        }
+    }
     return p;
 }
 
@@ -115,6 +128,25 @@ std::uint64_t
 Arena::totalBlockAllocs()
 {
     return g_blockAllocs.load(std::memory_order_relaxed);
+}
+
+std::size_t
+Arena::maxHighWaterFloats()
+{
+    return g_maxHighWater.load(std::memory_order_relaxed);
+}
+
+// leca-analyze: cold — deliberate pre-warming growth (see header)
+void
+warmPoolArenas()
+{
+    const std::size_t target = Arena::maxHighWaterFloats();
+    if (target == 0)
+        return;
+    poolBarrier([target] {
+        Arena::Scope scope;
+        (void)Arena::local().alloc(target);
+    });
 }
 
 Arena::Scope::Scope()

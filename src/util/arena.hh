@@ -50,11 +50,26 @@ class Arena
      */
     float *alloc(std::size_t n);
 
+    /**
+     * Byte-typed view of alloc() for non-float kernel scratch (int8
+     * quantized codes): bumps ceil(bytes/4) floats, so alignment and
+     * lifetime rules are identical.
+     */
+    void *allocBytes(std::size_t bytes)
+    {
+        return alloc((bytes + sizeof(float) - 1) / sizeof(float));
+    }
+
     /** Floats currently handed out (rounded sizes). */
     std::size_t liveFloats() const { return _live; }
 
     /** Largest liveFloats() ever observed on this arena. */
     std::size_t highWaterFloats() const { return _highWater; }
+
+    /** Largest highWaterFloats() ever observed on ANY thread's arena
+     *  (process-wide monotone max) — the capacity warmPoolArenas()
+     *  grows cold arenas to. */
+    static std::size_t maxHighWaterFloats();
 
     /** Total float capacity across this arena's blocks. */
     std::size_t capacityFloats() const;
@@ -103,6 +118,21 @@ class Arena
     std::size_t _highWater = 0; //!< max of _live
     int _scopeDepth = 0;        //!< open Scope count (consolidation gate)
 };
+
+/**
+ * Grow the calling thread's arena AND every pool worker's arena to
+ * Arena::maxHighWaterFloats(), via poolBarrier (util/parallel.hh).
+ *
+ * Pool chunks are claimed dynamically, so warm-up iterations alone
+ * cannot guarantee that every worker's thread-local arena reached the
+ * workload's high-water mark — a worker that slept through the warm-up
+ * would heap-allocate (grow its cold arena) on its first claimed chunk.
+ * Call this after the warm-up, before entering a DenyAllocScope region
+ * or asserting Arena::totalBlockAllocs() stability, to make the warm
+ * steady state scheduling-independent. No-op when nothing has ever
+ * been allocated.
+ */
+void warmPoolArenas();
 
 } // namespace leca
 

@@ -102,6 +102,51 @@ class ThreadPool
         finishTask();
     }
 
+    /** See poolBarrier() in the header. One chunk per pool thread;
+     *  every chunk body blocks in the latch after running fn, so no
+     *  thread can claim a second chunk — which forces each of the
+     *  @c _threads chunks onto a distinct thread. */
+    void
+    barrier(FunctionRef<void()> fn) LECA_EXCLUDES(_runMutex)
+    {
+        if (t_inParallelRegion || threads() <= 1) {
+            fn();
+            return;
+        }
+        MutexLock run_lock(_runMutex);
+        int participants;
+        {
+            MutexLock lock(_configMutex);
+            if (_workers.empty() && _threads > 1)
+                startWorkers();
+            participants = _threads;
+        }
+        Mutex latch_mutex;
+        std::condition_variable latch_cv;
+        int arrived = 0;
+        const auto arrive_and_wait = [&] {
+            UniqueLock lock(latch_mutex);
+            if (++arrived == participants)
+                latch_cv.notify_all();
+            while (arrived < participants)
+                latch_cv.wait(lock.raw());
+        };
+        // Named so the FunctionRef passed to beginTask (non-owning)
+        // stays valid until finishTask drains the last claimer.
+        const auto body = [&](std::int64_t) {
+            try {
+                fn();
+            } catch (...) {
+                arrive_and_wait(); // release the others before rethrow
+                throw;
+            }
+            arrive_and_wait();
+        };
+        beginTask(participants, body);
+        claimChunks();
+        finishTask();
+    }
+
   private:
     explicit ThreadPool(int threads) : _threads(threads) {}
 
@@ -278,6 +323,12 @@ runChunks(std::int64_t chunk_count, FunctionRef<void(std::int64_t)> fn)
 }
 
 } // namespace detail
+
+void
+poolBarrier(FunctionRef<void()> fn)
+{
+    ThreadPool::instance().barrier(fn);
+}
 
 void
 parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,

@@ -121,6 +121,28 @@ parallelReduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
 }
 
 /**
+ * Run @p fn once on the calling thread AND once on every pool worker,
+ * with a barrier: no participant returns from fn's chunk until every
+ * participant has finished fn. The barrier is what makes participation
+ * deterministic — chunks are normally claimed dynamically, so an
+ * ordinary parallelFor cannot guarantee that any particular worker ran
+ * (a sleeping worker may wake only after the others drained the loop).
+ *
+ * Use this to pre-warm per-thread state before entering a region that
+ * must not allocate: e.g. growing every worker's thread-local Arena to
+ * a workload's high-water mark so that a worker which slept through
+ * the warm-up iterations cannot heap-allocate (grow its cold arena)
+ * when it claims its first chunk inside a DenyAllocScope region
+ * (DESIGN.md §11, tier 3). Called from inside a parallel region or
+ * with a single-thread pool, fn runs once on the caller only.
+ *
+ * fn must be safe to run concurrently on all threads. Exceptions still
+ * release the barrier (no deadlock); the first one is rethrown on the
+ * caller.
+ */
+void poolBarrier(FunctionRef<void()> fn);
+
+/**
  * A single background task that overlaps with work on the calling
  * thread (the batch-prefetch primitive, see src/data/trainloop.hh).
  *

@@ -302,6 +302,10 @@ TEST_F(KernelsTest, WarmGemmRunsUnderDenyAllocScope)
     for (int i = 0; i < 3; ++i)
         gemmBlocked(m, n, k, a.data(), k, false, b.data(), n, false,
                     c.data(), n, false);
+    // Chunks are claimed dynamically, so the warm-up alone cannot
+    // guarantee a worker that slept through it has a warm arena; the
+    // barrier grows every pool thread's arena deterministically.
+    warmPoolArenas();
     DenyAllocScope deny;
     for (int i = 0; i < 10; ++i)
         gemmBlocked(m, n, k, a.data(), k, false, b.data(), n, false,

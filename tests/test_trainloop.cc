@@ -396,6 +396,9 @@ TEST_F(TrainLoopTest, WarmTrainStepAllocatesNoArenaBlocks)
     // Warm-up: every thread's arena grows to its high-water mark.
     for (int i = 0; i < 3; ++i)
         step();
+    // Chunks are claimed dynamically, so a pool worker may have slept
+    // through the warm-up with a cold arena; grow it deterministically.
+    warmPoolArenas();
     const std::uint64_t before = Arena::totalBlockAllocs();
     for (int i = 0; i < 3; ++i)
         step();
@@ -432,6 +435,9 @@ TEST_F(TrainLoopTest, WarmTrainStepRunsUnderDenyAllocScope)
     // cache vectors reach steady capacity.
     for (int i = 0; i < 3; ++i)
         step();
+    // Chunks are claimed dynamically, so a pool worker may have slept
+    // through the warm-up with a cold arena; grow it deterministically.
+    warmPoolArenas();
     DenyAllocScope deny;
     for (int i = 0; i < 3; ++i)
         step();

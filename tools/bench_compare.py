@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_compare.py OLD.json NEW.json [--threshold 0.10]
+                           [--tolerances FILE] [--history FILE]
                            [--require NAME[:TOL] ...]
 
 Entries are matched by name. For every shared entry the tool prints the
@@ -17,6 +18,16 @@ A required entry may carry its own tolerance as NAME:TOL (for example
 entry only. This lets CI hold a low-noise microbenchmark to a tight
 bound while leaving a jittery end-to-end benchmark at the default.
 
+--tolerances FILE loads per-entry tolerances from a JSON object mapping
+entry name -> slowdown fraction (bench/tolerances.json in this repo).
+A "default" key, when present, replaces --threshold for every entry the
+file does not name. Precedence per entry: --require NAME:TOL, then the
+file entry, then the file "default", then --threshold.
+
+--history FILE appends one JSON line per invocation (timestamp, report
+paths, per-entry times, regression names) so successive CI runs build a
+greppable performance log without any extra tooling.
+
 Exit status is non-zero when any shared entry regressed past its
 tolerance: new_wall_ms > old_wall_ms * (1 + tol). The default
 threshold of 10% absorbs ordinary timer noise; raise it when comparing
@@ -24,6 +35,7 @@ runs from different machines.
 """
 
 import argparse
+import datetime
 import json
 import sys
 
@@ -39,6 +51,8 @@ def load_entries(path):
     for entry in doc.get("entries", []):
         name = entry.get("name")
         wall = entry.get("wall_ms")
+        if name is not None and wall is None and "value" in entry:
+            continue  # value-only entry (JsonReport::addValue): no time
         if name is None or wall is None:
             sys.exit(f"{path}: entry without name/wall_ms: {entry!r}")
         if name in entries:
@@ -75,6 +89,42 @@ def parse_requires(specs):
     return names, tolerances
 
 
+def load_tolerances(path):
+    """Return (default_or_None, {name: tol}) from a tolerance file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        sys.exit(f"{path}: tolerance file must be a JSON object")
+    default = None
+    per_entry = {}
+    for name, tol in doc.items():
+        if name.startswith("_"):
+            continue  # comment keys
+        if not isinstance(tol, (int, float)) or tol < 0:
+            sys.exit(f"{path}: tolerance for {name!r} must be a "
+                     f"non-negative number, got {tol!r}")
+        if name == "default":
+            default = float(tol)
+        else:
+            per_entry[name] = float(tol)
+    return default, per_entry
+
+
+def append_history(path, args, old, new, regressions):
+    """Append one JSON line describing this comparison to @p path."""
+    record = {
+        "time": datetime.datetime.now(datetime.timezone.utc)
+                        .isoformat(timespec="seconds"),
+        "old": args.old,
+        "new": args.new,
+        "entries": {name: {"old_ms": old[name], "new_ms": new[name]}
+                    for name in old if name in new},
+        "regressions": regressions,
+    }
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two leca-bench JSON reports by entry name.")
@@ -84,6 +134,13 @@ def main():
         "--threshold", type=float, default=0.10,
         help="allowed slowdown fraction before failing (default 0.10)")
     parser.add_argument(
+        "--tolerances", metavar="FILE",
+        help="JSON object of per-entry slowdown tolerances; a 'default' "
+             "key overrides --threshold for unnamed entries")
+    parser.add_argument(
+        "--history", metavar="FILE",
+        help="append one JSON line (times, regressions) per run")
+    parser.add_argument(
         "--require", action="append", default=[], metavar="NAME[:TOL]",
         help="fail unless NAME is an entry of the NEW report; an "
              "optional :TOL fraction overrides --threshold for that "
@@ -91,6 +148,13 @@ def main():
     args = parser.parse_args()
 
     required, tolerances = parse_requires(args.require)
+    if args.tolerances:
+        file_default, file_tols = load_tolerances(args.tolerances)
+        if file_default is not None:
+            args.threshold = file_default
+        # --require NAME:TOL on the command line still wins.
+        for name, tol in file_tols.items():
+            tolerances.setdefault(name, tol)
 
     old = load_entries(args.old)
     new = load_entries(args.new)
@@ -127,6 +191,9 @@ def main():
         print(f"only in {args.old}: {name}")
     for name in only_new:
         print(f"only in {args.new}: {name}")
+
+    if args.history:
+        append_history(args.history, args, old, new, regressions)
 
     if regressions:
         print(f"{len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'}"

@@ -166,6 +166,16 @@ LINE_RULES = [
         True,
         False,
     ),
+    (
+        "kernel-tu-container",
+        re.compile(r"\bstd::(vector|string|map|unordered_map|deque"
+                   r"|list|set|unordered_set)\b"),
+        "allocating standard container in a SIMD kernel TU; kernels "
+        "take raw pointers and stage scratch on the stack or the "
+        "caller's Arena",
+        True,
+        False,
+    ),
 ]
 
 # Rule name -> repo-relative paths where the rule does not apply.
@@ -199,13 +209,17 @@ def libclang_available() -> bool:
 # Rule name -> repo-relative paths the rule is restricted to (the rule
 # applies only there; everywhere else it is silent).
 RULE_ONLY_PATHS = {
-    # The files holding the hot inner loops: the tensor kernels plus
-    # every layer forward/backward on the training path.
+    # The files holding the hot inner loops: the tensor kernels (fp32,
+    # int8, and every per-ISA TU) plus every layer forward/backward on
+    # the training path.
     "tensor-at-in-kernel": re.compile(
-        r"^src/(tensor/(ops|kernels)\.cc"
+        r"^src/(tensor/(ops|kernels|quant|kernels_[a-z0-9]+)\.cc"
         r"|nn/(conv|conv_transpose|activation|batchnorm|pool|loss"
         r"|optimizer)\.cc"
         r"|data/augment\.cc)$"),
+    # Dispatched SIMD kernel TUs stay container-free end to end.
+    "kernel-tu-container": re.compile(
+        r"^src/tensor/kernels_[a-z0-9]+\.cc$"),
     # Gradient-partial storage on the training path.
     "tensor-vector-partials": re.compile(
         r"^src/nn/.*\.cc$|^src/core/encoder\.cc$"),
@@ -307,6 +321,65 @@ def check_header_guard(path: pathlib.Path,
     return []
 
 
+KERNEL_TU = re.compile(r"^src/tensor/kernels_([a-z0-9]+)\.cc$")
+
+# Per-ISA kernel TU -> a macro its ISA guard must test. The guard keeps
+# the TU compiling (to nothing) on toolchains without that ISA, so the
+# build never needs per-target source lists and tensor/isa.cc stays the
+# single point of kernel selection. The scalar TU is the portable
+# fallback and must NOT be guarded.
+KERNEL_TU_GUARDS = {
+    "avx2": "__AVX2__",
+    "avx512": "__AVX512F__",
+    "avx512vnni": "__AVX512VNNI__",
+    "neon": "__aarch64__",
+}
+
+
+def check_kernel_tu(path: pathlib.Path, rel: pathlib.Path,
+                    lines: list[str]) -> list[dict]:
+    """Structural rules for src/tensor/kernels_<isa>.cc files."""
+    match = KERNEL_TU.match(rel.as_posix())
+    if match is None:
+        return []
+    isa = match.group(1)
+    stripped = [ln.strip() for ln in lines]
+
+    ns_line = None
+    for lineno, ln in enumerate(stripped, start=1):
+        if ln.startswith("namespace leca::simd::detail"):
+            ns_line = lineno
+            break
+    findings = []
+    if ns_line is None:
+        findings.append(finding(
+            path, 1, "kernel-tu-structure",
+            "kernel TU must define its kernels in "
+            "leca::simd::detail (see tensor/simd.hh)"))
+    if isa == "scalar":
+        return findings
+
+    macro = KERNEL_TU_GUARDS.get(isa)
+    guard_line = None
+    for lineno, ln in enumerate(stripped, start=1):
+        if ns_line is not None and lineno >= ns_line:
+            break
+        if ln.startswith("#if") and "defined(" in ln:
+            guard_line = (lineno, ln)
+            break
+    if guard_line is None:
+        findings.append(finding(
+            path, 1, "kernel-tu-structure",
+            f"per-ISA kernel TU must guard its whole body with an "
+            f"'#if defined(...)' ISA test"
+            + (f" covering {macro}" if macro else "")))
+    elif macro is not None and macro not in guard_line[1]:
+        findings.append(finding(
+            path, guard_line[0], "kernel-tu-structure",
+            f"ISA guard must test {macro}", guard_line[1]))
+    return findings
+
+
 def lint_file(path: pathlib.Path,
               active_rules: list | None = None) -> list[dict]:
     rules = active_rules if active_rules is not None else LINE_RULES
@@ -345,6 +418,8 @@ def lint_file(path: pathlib.Path,
 
     if path.suffix in HEADER_SUFFIXES:
         findings.extend(check_header_guard(path, lines))
+    if rel is not None:
+        findings.extend(check_kernel_tu(path, rel, lines))
     return findings
 
 
