@@ -161,29 +161,15 @@ runClosedLoop(int sessions, int frames_per_session, int max_batch,
 }
 
 /**
- * Closed loop over the compute-bound pipeline, serving either the
- * fp32 kernels or the int8 block-quantized backend (DESIGN.md §12).
- * Same traffic either way; only the backend differs.
+ * One timed closed-loop burst against an already-running server: every
+ * session submits @p frames_per_session frames and waits each out.
+ * Returns the burst's wall time in milliseconds.
  */
-RunResult
-runQuantLoop(int sessions, int frames_per_session, bool quantized)
+double
+closedBurstMs(Server &server, std::vector<Session> &handles,
+              int frames_per_session)
 {
-    auto pipeline = makeQuantPipeline();
-    ServerOptions options;
-    options.queueCapacity = std::max(2 * sessions, 8);
-    options.maxBatch = kQuantBatch;
-    options.maxWaitMicros = 2000;
-    options.policy = OverloadPolicy::Block;
-    options.seed = 7;
-    Server server(quantized ? quantizedPipelineBackend(*pipeline)
-                            : pipelineBackend(*pipeline),
-                  {3, kQuantHw, kQuantHw}, options);
-
-    std::vector<Session> handles;
-    handles.reserve(static_cast<std::size_t>(sessions));
-    for (int s = 0; s < sessions; ++s)
-        handles.push_back(server.openSession());
-
+    const int sessions = static_cast<int>(handles.size());
     const auto start = std::chrono::steady_clock::now();
     std::vector<ServiceThread> clients(
         static_cast<std::size_t>(sessions));
@@ -202,15 +188,64 @@ runQuantLoop(int sessions, int frames_per_session, bool quantized)
     for (auto &client : clients)
         client.join();
     const auto stop = std::chrono::steady_clock::now();
-    server.stop();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
 
-    RunResult result;
-    result.wallMs = std::chrono::duration<double, std::milli>(stop - start)
-                        .count();
-    result.framesPerSec = 1000.0 * sessions * frames_per_session
-                          / result.wallMs;
-    result.metrics = server.metrics();
-    return result;
+/**
+ * Closed-loop comparison of the fp32 and int8 block-quantized backends
+ * over the compute-bound pipeline (DESIGN.md §12-13). Both servers run
+ * the whole time and the measured frames alternate between them in
+ * short bursts, so slow host frequency / thermal drift lands evenly on
+ * both sides of the speedup ratio instead of biasing whichever backend
+ * happened to run later.
+ */
+void
+runQuantComparison(int sessions, int frames_per_session,
+                   RunResult &fp32_out, RunResult &int8_out)
+{
+    auto fp32_pipeline = makeQuantPipeline();
+    auto int8_pipeline = makeQuantPipeline();
+    ServerOptions options;
+    options.queueCapacity = std::max(2 * sessions, 8);
+    options.maxBatch = kQuantBatch;
+    options.maxWaitMicros = 2000;
+    options.policy = OverloadPolicy::Block;
+    options.seed = 7;
+    Server fp32_server(pipelineBackend(*fp32_pipeline),
+                       {3, kQuantHw, kQuantHw}, options);
+    Server int8_server(quantizedPipelineBackend(*int8_pipeline),
+                       {3, kQuantHw, kQuantHw}, options);
+
+    std::vector<Session> fp32_handles, int8_handles;
+    fp32_handles.reserve(static_cast<std::size_t>(sessions));
+    int8_handles.reserve(static_cast<std::size_t>(sessions));
+    for (int s = 0; s < sessions; ++s) {
+        fp32_handles.push_back(fp32_server.openSession());
+        int8_handles.push_back(int8_server.openSession());
+    }
+
+    // Warm both backends (i-cache, predictors, arenas) before any
+    // measured burst, then alternate measured rounds.
+    constexpr int kRounds = 5;
+    const int per_round =
+        std::max(2, (frames_per_session + kRounds - 1) / kRounds);
+    (void)closedBurstMs(fp32_server, fp32_handles, per_round);
+    (void)closedBurstMs(int8_server, int8_handles, per_round);
+    double fp32_ms = 0.0, int8_ms = 0.0;
+    for (int r = 0; r < kRounds; ++r) {
+        fp32_ms += closedBurstMs(fp32_server, fp32_handles, per_round);
+        int8_ms += closedBurstMs(int8_server, int8_handles, per_round);
+    }
+    fp32_server.stop();
+    int8_server.stop();
+
+    const double frames =
+        static_cast<double>(sessions) * kRounds * per_round;
+    fp32_out.wallMs = fp32_ms;
+    fp32_out.framesPerSec = 1000.0 * frames / fp32_ms;
+    int8_out.wallMs = int8_ms;
+    int8_out.framesPerSec = 1000.0 * frames / int8_ms;
 }
 
 /** Open loop: producers never wait, overrunning the queue ~10x. */
@@ -334,11 +369,8 @@ main(int argc, char **argv)
     // Compute-bound serving: fp32 vs int8 block-quantized backend at
     // kQuantHw frames (DESIGN.md §12). Fewer frames — each is real work.
     const int quant_frames = std::max(frames / 8, fast ? 8 : 20);
-    (void)runQuantLoop(sessions, std::max(quant_frames / 4, 2), false);
-    const RunResult quant_f32 = runQuantLoop(sessions, quant_frames,
-                                             false);
-    const RunResult quant_i8 = runQuantLoop(sessions, quant_frames,
-                                            true);
+    RunResult quant_f32, quant_i8;
+    runQuantComparison(sessions, quant_frames, quant_f32, quant_i8);
     report.add("serve_quant_fp32", quant_f32.wallMs,
                quant_f32.framesPerSec);
     report.add("serve_quant_int8", quant_i8.wallMs,

@@ -41,6 +41,13 @@ class LecaDecoder : public Layer
         return _net.quantTensors();
     }
 
+    /**
+     * Rebuild the decoder stack's quantized execution plan (DESIGN.md
+     * §13). quantizeWeights plans implicitly; this is for restores that
+     * bypass it (Pipeline::loadQuantized).
+     */
+    void planQuantized() { _net.planQuantized(); }
+
     /** Total parameter count (for the Table 2 size discussion). */
     std::size_t parameterCount();
 

@@ -157,6 +157,17 @@ BatchNorm2d::backward(const Tensor &grad_out)
 }
 
 void
+BatchNorm2d::evalAffineInto(float *a, float *b) const
+{
+    for (int ch = 0; ch < _channels; ++ch) {
+        const std::size_t i = static_cast<std::size_t>(ch);
+        const float std = std::sqrt(_runningVar[i] + _eps);
+        a[ch] = _gamma.value[i] / std;
+        b[ch] = _beta.value[i] - a[ch] * _runningMean[i];
+    }
+}
+
+void
 BatchNorm2d::setStatsRefresh(bool enable)
 {
     _refresh = enable;

@@ -35,6 +35,18 @@ class BatchNorm2d : public Layer
     const Tensor &runningMean() const { return _runningMean; }
     const Tensor &runningVar() const { return _runningVar; }
 
+    /**
+     * The eval-mode normalisation as one per-channel affine y = a·x + b
+     * with a = gamma/sqrt(var+eps), b = beta − a·mean — the form the
+     * resident conv epilogue fuses (DESIGN.md §13). Algebraically equal
+     * to the eval forward; the fused form is what the quantized plan
+     * pins as ITS deterministic reference. @p a and @p b hold
+     * channels() floats.
+     */
+    void evalAffineInto(float *a, float *b) const;
+
+    int channels() const { return _channels; }
+
   private:
     int _channels;
     float _momentum;

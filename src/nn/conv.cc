@@ -33,7 +33,7 @@ Conv2d::forward(const Tensor &x, Mode mode)
     const int ow = convOutSize(w, _k, _stride, _pad);
 
     Tensor y({n, _cout, oh, ow});
-    if (!_qweight.empty()) {
+    if (!_qweight.empty() && _dqweight.numel() == 0) {
         LECA_CHECK(mode == Mode::Eval,
                    "quantized Conv2d cannot run a Train-mode forward");
         const std::size_t in_sz = static_cast<std::size_t>(_cin) * h * w;
@@ -49,7 +49,14 @@ Conv2d::forward(const Tensor &x, Mode mode)
         });
         return y;
     }
-    const Tensor wmat = _weight.value.reshape({_cout, _cin * _k * _k});
+    // Quantized convs planned Plain-fp32 (preparePlainFp32) run the
+    // same packed conv as unquantized ones, just over the dequantized
+    // weight copy; Train mode stays restricted to real fp32 weights.
+    LECA_CHECK(_dqweight.numel() == 0 || mode == Mode::Eval,
+               "quantized Conv2d cannot run a Train-mode forward");
+    const Tensor &wsrc =
+        _dqweight.numel() != 0 ? _dqweight : _weight.value;
+    const Tensor wmat = wsrc.reshape({_cout, _cin * _k * _k});
     const Tensor no_bias;
     // Both modes pack the image straight into arena scratch
     // (conv2dImageInto): no column matrix is ever materialised, so
@@ -161,11 +168,31 @@ Conv2d::params()
     return {&_weight};
 }
 
+// leca-analyze: cold — resident weight re-layout (plan time)
+void
+Conv2d::prepareResident()
+{
+    LECA_CHECK(!_qweight.empty(),
+               "Conv2d::prepareResident before quantizeWeights");
+    _qweightHwc = quantizeConvWeightsHwc(_qweight, _cin, _k, _k);
+}
+
+// leca-analyze: cold — plan-time weight materialisation
+void
+Conv2d::preparePlainFp32()
+{
+    LECA_CHECK(!_qweight.empty(),
+               "Conv2d::preparePlainFp32 before quantizeWeights");
+    _dqweight = dequantizeRowMajor(_qweight);
+}
+
 void
 Conv2d::quantizeWeights(std::vector<QuantStat> &stats)
 {
     _qweight = quantizeRowMajor(_weight.value, _cout,
                                 static_cast<std::int64_t>(_cin) * _k * _k);
+    // Any fp32 execution copy is now stale; the planner rebuilds it.
+    _dqweight = Tensor();
     stats.push_back({"Conv2d " + std::to_string(_cin) + "->"
                          + std::to_string(_cout) + " k"
                          + std::to_string(_k),

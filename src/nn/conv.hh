@@ -51,6 +51,37 @@ class Conv2d : public Layer
     int stride() const { return _stride; }
     int pad() const { return _pad; }
     int kernel() const { return _k; }
+    int cin() const { return _cin; }
+    int cout() const { return _cout; }
+    bool quantized() const { return !_qweight.empty(); }
+
+    /**
+     * The HWC-laid resident weight layout (empty until
+     * prepareResident). Consumed by convForwardResident.
+     */
+    const QuantTensor &qweightHwc() const { return _qweightHwc; }
+
+    /**
+     * (Re)build the HWC resident layout from the CHW int8 CODES — not
+     * from the fp32 weights — so quantize() and loadQuantized() yield
+     * identical resident inference (DESIGN.md §13). Called at plan
+     * time; always rebuilds, so a checkpoint restored over already-
+     * quantized weights can never leave a stale layout behind.
+     */
+    void prepareResident();
+
+    /**
+     * Switch this quantized conv's execution to the fp32 packed conv
+     * over a weight copy dequantized from the stored CODES (DESIGN.md
+     * §13). For narrow inputs (cin < kResidentMinCin) the int8 block
+     * padding inflates every patch dot to quantPadded(cin)/cin times
+     * its real MACs, so evaluating the same quantized weight VALUES
+     * through the fp32 conv is strictly faster and changes nothing the
+     * codes don't already carry. Deriving the copy from the codes keeps
+     * quantize() and loadQuantized() pipelines bit-identical. Called at
+     * plan time; always rebuilds (restore-over-quantized safety).
+     */
+    void preparePlainFp32();
 
   private:
     int _cin, _cout, _k, _stride, _pad;
@@ -58,6 +89,8 @@ class Conv2d : public Layer
     Param _weight;
     Param _bias;
     QuantTensor _qweight; //!< int8 weights; empty until quantizeWeights
+    QuantTensor _qweightHwc; //!< resident layout; see prepareResident
+    Tensor _dqweight; //!< fp32 execution copy; see preparePlainFp32
 
     // Forward cache: the input itself (K*K smaller than the column
     // matrices the backward pass recomputes from it).

@@ -19,6 +19,7 @@ class MaxPool2d : public Layer
 
     Tensor forward(const Tensor &x, Mode mode) override;
     Tensor backward(const Tensor &grad_out) override;
+    int kernel() const { return _k; }
 
   private:
     int _k;
@@ -34,6 +35,7 @@ class AvgPool2d : public Layer
 
     Tensor forward(const Tensor &x, Mode mode) override;
     Tensor backward(const Tensor &grad_out) override;
+    int kernel() const { return _k; }
 
   private:
     int _k;

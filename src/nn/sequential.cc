@@ -1,9 +1,16 @@
 #include "sequential.hh"
 
+#include <cmath>
+
 #include "nn/activation.hh"
 #include "nn/batchnorm.hh"
 #include "nn/conv.hh"
+#include "nn/pool.hh"
+#include "tensor/isa.hh"
+#include "tensor/quant.hh"
+#include "util/arena.hh"
 #include "util/check.hh"
+#include "util/parallel.hh"
 
 namespace leca {
 
@@ -18,6 +25,8 @@ Sequential::add(LayerPtr layer)
 Tensor
 Sequential::forward(const Tensor &x, Mode mode)
 {
+    if (mode == Mode::Eval && !_plan.empty() && x.dim() == 4)
+        return forwardPlanned(x);
     Tensor cur = x;
     for (auto &layer : _layers)
         cur = layer->forward(cur, mode);
@@ -68,6 +77,315 @@ Sequential::quantizeWeights(std::vector<QuantStat> &stats)
 {
     for (auto &layer : _layers)
         layer->quantizeWeights(stats);
+    // Boundaries are decided here, once — never per forward.
+    planQuantized();
+}
+
+// leca-analyze: cold — quantized execution planning (quantize/load time)
+void
+Sequential::planQuantized()
+{
+    _plan.clear();
+    std::vector<QuantStep> steps;
+    for (std::size_t i = 0; i < _layers.size();) {
+        Layer *l = _layers[i].get();
+        if (auto *conv = dynamic_cast<Conv2d *>(l);
+            conv != nullptr && conv->quantized()
+            && conv->cin() >= kResidentMinCin) {
+            QuantStep st;
+            st.kind = QuantStep::Kind::ConvResident;
+            st.layer = l;
+            st.conv = conv;
+            std::size_t j = i + 1;
+            if (j < _layers.size())
+                if (auto *bn =
+                        dynamic_cast<BatchNorm2d *>(_layers[j].get())) {
+                    st.bn = bn;
+                    ++j;
+                }
+            if (j < _layers.size()
+                && dynamic_cast<Relu *>(_layers[j].get()) != nullptr) {
+                st.relu = true;
+                ++j;
+            }
+            conv->prepareResident();
+            steps.push_back(st);
+            i = j;
+            continue;
+        }
+        if (auto *rb = dynamic_cast<ResidualBlock *>(l);
+            rb != nullptr && rb->planResident()) {
+            QuantStep st;
+            st.kind = QuantStep::Kind::Residual;
+            st.layer = l;
+            steps.push_back(st);
+            ++i;
+            continue;
+        }
+        QuantStep st;
+        st.layer = l;
+        if (auto *conv = dynamic_cast<Conv2d *>(l);
+            conv != nullptr && conv->quantized())
+            // Narrow conv (cin < kResidentMinCin): block padding makes
+            // the per-patch int8 path a net loss, so run it as the fp32
+            // packed conv over weights dequantized from the codes.
+            conv->preparePlainFp32();
+        if (auto *mp = dynamic_cast<MaxPool2d *>(l)) {
+            st.kind = QuantStep::Kind::PoolMax;
+            st.poolK = mp->kernel();
+        } else if (auto *ap = dynamic_cast<AvgPool2d *>(l)) {
+            st.kind = QuantStep::Kind::PoolAvg;
+            st.poolK = ap->kernel();
+        } else if (dynamic_cast<GlobalAvgPool *>(l) != nullptr) {
+            st.kind = QuantStep::Kind::Gap;
+        }
+        steps.push_back(st);
+        ++i;
+    }
+    // Fuse fp32 -> resident entry boundaries: a Plain BatchNorm and/or
+    // ReLU standing immediately before a resident conv/residual step
+    // folds into that step's entry quantization (quantizeActivation-
+    // Nchw's epilogue overload) — one pass over the planes instead of
+    // a BN pass, a ReLU pass, and a separate quantize.
+    std::vector<QuantStep> merged;
+    merged.reserve(steps.size());
+    for (std::size_t s = 0; s < steps.size();) {
+        std::size_t j = s;
+        BatchNorm2d *bn = nullptr;
+        if (steps[j].kind == QuantStep::Kind::Plain
+            && (bn = dynamic_cast<BatchNorm2d *>(steps[j].layer)) != nullptr)
+            ++j;
+        bool relu = false;
+        if (j < steps.size() && steps[j].kind == QuantStep::Kind::Plain
+            && dynamic_cast<Relu *>(steps[j].layer) != nullptr) {
+            relu = true;
+            ++j;
+        }
+        if (j > s && j < steps.size()
+            && (steps[j].kind == QuantStep::Kind::ConvResident
+                || steps[j].kind == QuantStep::Kind::Residual)) {
+            QuantStep st;
+            st.kind = QuantStep::Kind::FusedEntry;
+            st.bn = bn;
+            st.relu = relu;
+            merged.push_back(st);
+            s = j;
+            continue;
+        }
+        merged.push_back(steps[s]);
+        ++s;
+    }
+    steps = std::move(merged);
+    // A step keeps its output resident exactly when the next step can
+    // consume codes; everything else exits fp32 (precision boundary).
+    // FusedEntry consumes fp32 (it IS the boundary) but emits codes.
+    const auto consumesQuant = [](QuantStep::Kind k) {
+        return k == QuantStep::Kind::ConvResident
+               || k == QuantStep::Kind::Residual
+               || k == QuantStep::Kind::PoolMax
+               || k == QuantStep::Kind::PoolAvg
+               || k == QuantStep::Kind::Gap;
+    };
+    bool any_resident = false;
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        const QuantStep::Kind k = steps[s].kind;
+        const bool can_emit = k == QuantStep::Kind::ConvResident
+                              || k == QuantStep::Kind::Residual
+                              || k == QuantStep::Kind::FusedEntry;
+        steps[s].emitQuant = can_emit && s + 1 < steps.size()
+                             && consumesQuant(steps[s + 1].kind);
+        any_resident = any_resident || can_emit;
+    }
+    // Pools only pool over codes when a resident producer feeds them;
+    // otherwise they run their plain fp32 forward.
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        const QuantStep::Kind k = steps[s].kind;
+        const bool pool = k == QuantStep::Kind::PoolMax
+                          || k == QuantStep::Kind::PoolAvg
+                          || k == QuantStep::Kind::Gap;
+        if (pool && !(s > 0 && steps[s - 1].emitQuant))
+            steps[s].kind = QuantStep::Kind::Plain;
+    }
+    if (any_resident)
+        _plan = std::move(steps);
+}
+
+Tensor
+Sequential::forwardPlanned(const Tensor &x)
+{
+    Arena::Scope scope;
+    Arena &arena = Arena::local();
+    Tensor cur = x;
+    QuantActivation qa;
+    bool resident = false;
+
+    // Entry quantization for a resident step fed by an fp32 producer;
+    // a FusedEntry step passes its folded BN/ReLU epilogue through.
+    const auto toResident = [&](const Tensor &t,
+                                const ResidentEpilogue &epi) {
+        QuantActivation act;
+        act.n = t.size(0);
+        act.c = t.size(1);
+        act.h = t.size(2);
+        act.w = t.size(3);
+        const std::int64_t rows = act.rows();
+        act.q = static_cast<std::int8_t *>(arena.allocBytes(
+            static_cast<std::size_t>(rows * quantPadded(act.c))));
+        act.scales =
+            arena.alloc(static_cast<std::size_t>(rows * act.nbc()));
+        quantizeActivationNchw(t.data(), act.n, act.c, act.h, act.w, epi,
+                               act.q, act.scales);
+        return act;
+    };
+    const auto allocOut = [&](int n, int c, int h, int w) {
+        QuantActivation act;
+        act.n = n;
+        act.c = c;
+        act.h = h;
+        act.w = w;
+        const std::int64_t rows = act.rows();
+        act.q = static_cast<std::int8_t *>(arena.allocBytes(
+            static_cast<std::size_t>(rows * quantPadded(c))));
+        act.scales =
+            arena.alloc(static_cast<std::size_t>(rows * act.nbc()));
+        return act;
+    };
+
+    for (const QuantStep &st : _plan) {
+        switch (st.kind) {
+          case QuantStep::Kind::Plain: {
+            if (resident) {
+                // Defensive boundary; the planner never produces this.
+                Tensor t({qa.n, qa.c, qa.h, qa.w});
+                // leca-lint: precision-boundary
+                dequantizeActivationNchw(qa, t.data());
+                cur = std::move(t);
+                resident = false;
+            }
+            cur = st.layer->forward(cur, Mode::Eval);
+            break;
+          }
+          case QuantStep::Kind::ConvResident: {
+            const QuantActivation src =
+                resident ? qa : toResident(cur, ResidentEpilogue{});
+            Conv2d &conv = *st.conv;
+            const int k = conv.kernel(), s = conv.stride(), p = conv.pad();
+            const int oh = (src.h + 2 * p - k) / s + 1;
+            const int ow = (src.w + 2 * p - k) / s + 1;
+            const int cout = conv.cout();
+            // Epilogue affines are recomputed from the live BN buffers
+            // each forward (c floats — negligible), so a load() after
+            // planning can never serve stale statistics.
+            float *ea = nullptr, *eb = nullptr;
+            if (st.bn != nullptr || conv.hasBias()) {
+                ea = arena.alloc(static_cast<std::size_t>(cout));
+                eb = arena.alloc(static_cast<std::size_t>(cout));
+                if (st.bn != nullptr) {
+                    st.bn->evalAffineInto(ea, eb);
+                    if (conv.hasBias()) {
+                        // y = a·(x+bias)+b = a·x + (a·bias + b).
+                        const float *bias = conv.bias().value.data();
+                        for (int ch = 0; ch < cout; ++ch)
+                            eb[ch] = std::fmaf(ea[ch], bias[ch], eb[ch]);
+                    }
+                } else {
+                    // fmaf(1, x, bias) == x + bias exactly.
+                    const float *bias = conv.bias().value.data();
+                    for (int ch = 0; ch < cout; ++ch) {
+                        ea[ch] = 1.0f;
+                        eb[ch] = bias[ch];
+                    }
+                }
+            }
+            const ResidentEpilogue epi{ea, eb, st.relu};
+            if (st.emitQuant) {
+                QuantActivation out = allocOut(src.n, cout, oh, ow);
+                convForwardResident(src, k, k, s, p, conv.qweightHwc(), epi,
+                                    out.q, out.scales, nullptr, nullptr);
+                qa = out;
+                resident = true;
+            } else {
+                Tensor out({src.n, cout, oh, ow});
+                convForwardResident(src, k, k, s, p, conv.qweightHwc(), epi,
+                                    nullptr, nullptr, nullptr, out.data());
+                cur = std::move(out);
+                resident = false;
+            }
+            break;
+          }
+          case QuantStep::Kind::FusedEntry: {
+            LECA_CHECK(!resident,
+                       "FusedEntry must be fed by an fp32 producer");
+            LECA_CHECK(cur.dim() == 4
+                           && (st.bn == nullptr
+                               || cur.size(1) == st.bn->channels()),
+                       "FusedEntry input does not match the folded BN");
+            float *ea = nullptr, *eb = nullptr;
+            if (st.bn != nullptr) {
+                // Like the conv epilogue: recomputed from the live BN
+                // buffers each forward, so load() never serves stale
+                // statistics.
+                const int c = cur.size(1);
+                ea = arena.alloc(static_cast<std::size_t>(c));
+                eb = arena.alloc(static_cast<std::size_t>(c));
+                st.bn->evalAffineInto(ea, eb);
+            }
+            qa = toResident(cur, ResidentEpilogue{ea, eb, st.relu});
+            resident = true;
+            break;
+          }
+          case QuantStep::Kind::Residual: {
+            const QuantActivation src =
+                resident ? qa : toResident(cur, ResidentEpilogue{});
+            auto &block = static_cast<ResidualBlock &>(*st.layer);
+            int oh = 0, ow = 0;
+            block.outShape(src.h, src.w, oh, ow);
+            const int cout = block.outChannels();
+            if (st.emitQuant) {
+                QuantActivation out = allocOut(src.n, cout, oh, ow);
+                block.forwardResident(src, out.q, out.scales, nullptr);
+                qa = out;
+                resident = true;
+            } else {
+                Tensor out({src.n, cout, oh, ow});
+                block.forwardResident(src, nullptr, nullptr, out.data());
+                cur = std::move(out);
+                resident = false;
+            }
+            break;
+          }
+          case QuantStep::Kind::PoolMax: {
+            Tensor out({qa.n, qa.c, qa.h / st.poolK, qa.w / st.poolK});
+            maxPoolResident(qa, st.poolK, out.data());
+            cur = std::move(out);
+            resident = false;
+            break;
+          }
+          case QuantStep::Kind::PoolAvg: {
+            Tensor out({qa.n, qa.c, qa.h / st.poolK, qa.w / st.poolK});
+            avgPoolResident(qa, st.poolK, out.data());
+            cur = std::move(out);
+            resident = false;
+            break;
+          }
+          case QuantStep::Kind::Gap: {
+            Tensor out({qa.n, qa.c});
+            globalAvgPoolResident(qa, out.data());
+            cur = std::move(out);
+            resident = false;
+            break;
+          }
+        }
+    }
+    if (resident) {
+        // The plan's last resident step always exits fp32, but guard
+        // anyway so a hand-built plan cannot return dangling views.
+        Tensor t({qa.n, qa.c, qa.h, qa.w});
+        // leca-lint: precision-boundary
+        dequantizeActivationNchw(qa, t.data());
+        cur = std::move(t);
+    }
+    return cur;
 }
 
 // leca-analyze: cold — quantized-tensor enumeration (checkpoint setup)
@@ -85,16 +403,159 @@ Sequential::quantTensors()
 ResidualBlock::ResidualBlock(int cin, int cout, int stride, Rng &rng)
     : _hasProj(stride != 1 || cin != cout)
 {
-    _main.emplace<Conv2d>(cin, cout, 3, stride, 1, false, rng);
-    _main.emplace<BatchNorm2d>(cout);
+    _conv1 = &_main.emplace<Conv2d>(cin, cout, 3, stride, 1, false, rng);
+    _bn1 = &_main.emplace<BatchNorm2d>(cout);
     _main.emplace<Relu>();
-    _main.emplace<Conv2d>(cout, cout, 3, 1, 1, false, rng);
-    _main.emplace<BatchNorm2d>(cout);
+    _conv2 = &_main.emplace<Conv2d>(cout, cout, 3, 1, 1, false, rng);
+    _bn2 = &_main.emplace<BatchNorm2d>(cout);
     if (_hasProj) {
-        _proj.emplace<Conv2d>(cin, cout, 1, stride, 0, false, rng);
-        _proj.emplace<BatchNorm2d>(cout);
+        _projConv = &_proj.emplace<Conv2d>(cin, cout, 1, stride, 0, false,
+                                           rng);
+        _projBn = &_proj.emplace<BatchNorm2d>(cout);
     }
     _finalRelu = std::make_unique<Relu>();
+}
+
+// leca-analyze: cold — resident eligibility + weight re-layout (plan time)
+bool
+ResidualBlock::planResident()
+{
+    _resident = false;
+    if (!_conv1->quantized() || !_conv2->quantized())
+        return false;
+    if (_hasProj && !_projConv->quantized())
+        return false;
+    if (_conv1->cin() < kResidentMinCin)
+        return false;
+    _conv1->prepareResident();
+    _conv2->prepareResident();
+    if (_hasProj)
+        _projConv->prepareResident();
+    // Keep the child plans fresh too (used by the non-resident forward
+    // fallback); on the loadQuantized path this is their only planner.
+    _main.planQuantized();
+    _proj.planQuantized();
+    _resident = true;
+    return true;
+}
+
+int
+ResidualBlock::outChannels() const
+{
+    return _conv1->cout();
+}
+
+void
+ResidualBlock::outShape(int h, int w, int &oh, int &ow) const
+{
+    const int k = _conv1->kernel(), s = _conv1->stride(),
+              p = _conv1->pad();
+    oh = (h + 2 * p - k) / s + 1;
+    ow = (w + 2 * p - k) / s + 1;
+}
+
+void
+ResidualBlock::forwardResident(const QuantActivation &in, std::int8_t *out_q,
+                               float *out_s, float *out_planes)
+{
+    LECA_CHECK(_resident,
+               "ResidualBlock::forwardResident before planResident");
+    LECA_CHECK((out_q != nullptr) != (out_planes != nullptr),
+               "ResidualBlock::forwardResident needs exactly one exit");
+    Arena::Scope scope;
+    Arena &arena = Arena::local();
+    const int k = _conv1->kernel();
+    const int stride = _conv1->stride();
+    int oh = 0, ow = 0;
+    outShape(in.h, in.w, oh, ow);
+    const int cout = _conv1->cout();
+    const std::int64_t rows = static_cast<std::int64_t>(in.n) * oh * ow;
+    const std::int64_t cpad = quantPadded(cout);
+    const std::int64_t nbc = quantBlocks(cout);
+
+    float *a1 = arena.alloc(static_cast<std::size_t>(cout));
+    float *b1 = arena.alloc(static_cast<std::size_t>(cout));
+    float *a2 = arena.alloc(static_cast<std::size_t>(cout));
+    float *b2 = arena.alloc(static_cast<std::size_t>(cout));
+    _bn1->evalAffineInto(a1, b1);
+    _bn2->evalAffineInto(a2, b2);
+
+    // conv1 (+bn1+relu) -> resident intermediate, quantized once.
+    QuantActivation m1;
+    m1.n = in.n;
+    m1.c = cout;
+    m1.h = oh;
+    m1.w = ow;
+    m1.q = static_cast<std::int8_t *>(
+        arena.allocBytes(static_cast<std::size_t>(rows * cpad)));
+    m1.scales = arena.alloc(static_cast<std::size_t>(rows * nbc));
+    convForwardResident(in, k, k, stride, _conv1->pad(),
+                        _conv1->qweightHwc(), {a1, b1, true}, m1.q,
+                        m1.scales, nullptr, nullptr);
+
+    // conv2 (+bn2, no relu) -> fp32 pixel-major rows.
+    float *f2 = arena.alloc(static_cast<std::size_t>(rows * cout));
+    convForwardResident(m1, k, k, 1, _conv2->pad(), _conv2->qweightHwc(),
+                        {a2, b2, false}, nullptr, nullptr, f2, nullptr);
+
+    // Skip path: 1x1 projection (+bn) rows, or the exact value of the
+    // identity input rows (dequantized per pixel below).
+    float *skip = nullptr;
+    if (_hasProj) {
+        float *ap = arena.alloc(static_cast<std::size_t>(cout));
+        float *bp = arena.alloc(static_cast<std::size_t>(cout));
+        _projBn->evalAffineInto(ap, bp);
+        skip = arena.alloc(static_cast<std::size_t>(rows * cout));
+        convForwardResident(in, 1, 1, stride, 0, _projConv->qweightHwc(),
+                            {ap, bp, false}, nullptr, nullptr, skip,
+                            nullptr);
+    }
+
+    const simd::DequantizeRowFn dequant = activeKernels().dequantizeRow;
+    const simd::QuantizeRowFn quantize_row = activeKernels().quantizeRow;
+    const std::int64_t in_nbc = in.nbc();
+    const std::int64_t in_cpad = quantPadded(in.c);
+    const std::int64_t ohow = static_cast<std::int64_t>(oh) * ow;
+    const std::int64_t grain = std::max<std::int64_t>(
+        16, (1 << 13) / std::max(1, cout));
+    const bool has_proj = _hasProj;
+    const int in_c = in.c;
+    parallelFor(0, rows, grain, [&](std::int64_t p0, std::int64_t p1) {
+        Arena::Scope worker;
+        float *rowbuf =
+            has_proj ? nullptr
+                     : Arena::local().alloc(static_cast<std::size_t>(in_c));
+        for (std::int64_t p = p0; p < p1; ++p) {
+            float *f = f2 + p * cout;
+            if (has_proj) {
+                const float *sk = skip + p * cout;
+                for (int ch = 0; ch < cout; ++ch) {
+                    const float v = f[ch] + sk[ch];
+                    f[ch] = v > 0.0f ? v : 0.0f;
+                }
+            } else {
+                // Identity skip (stride 1, cin == cout): the exact fp32
+                // value of the resident input row.
+                // leca-lint: precision-boundary
+                dequant(in.q + p * in_cpad, in.scales + p * in_nbc, in_c,
+                        rowbuf);
+                for (int ch = 0; ch < cout; ++ch) {
+                    const float v = f[ch] + rowbuf[ch];
+                    f[ch] = v > 0.0f ? v : 0.0f;
+                }
+            }
+            if (out_q != nullptr) {
+                quantize_row(f, cout, out_q + p * nbc * kQuantBlock,
+                             out_s + p * nbc);
+            } else {
+                const std::int64_t img = p / ohow;
+                const std::int64_t rem = p - img * ohow;
+                float *base = out_planes + img * cout * ohow + rem;
+                for (int co = 0; co < cout; ++co)
+                    base[static_cast<std::int64_t>(co) * ohow] = f[co];
+            }
+        }
+    });
 }
 
 Tensor

@@ -15,6 +15,52 @@
 
 namespace leca {
 
+class Conv2d;
+class BatchNorm2d;
+struct QuantActivation;
+
+/**
+ * Smallest input-channel count for which a quantized conv consumes
+ * resident int8 codes (DESIGN.md §13). Below it (e.g. the 3-channel
+ * backbone stem and the decoder's DnCNN stack) block padding inflates
+ * the patch MACs so much that the per-patch path stays faster, so those
+ * convs keep their plain quantized forward.
+ */
+inline constexpr int kResidentMinCin = 16;
+
+/**
+ * One step of a Sequential's quantized execution plan, decided once at
+ * quantize()/loadQuantized() time — never per forward (DESIGN.md §13).
+ * ConvResident folds a following BatchNorm2d (eval affine) and Relu
+ * into the conv epilogue; Residual delegates to
+ * ResidualBlock::forwardResident; the pool kinds pool straight over
+ * resident codes; Plain runs the layer's normal forward on fp32.
+ * emitQuant: leave the step's output resident for the next step.
+ */
+struct QuantStep
+{
+    enum class Kind
+    {
+        Plain,
+        ConvResident,
+        Residual,
+        PoolMax,
+        PoolAvg,
+        Gap,
+        /** Fp32 producer -> resident consumer boundary with the
+         *  intervening BatchNorm/ReLU fused into the entry quantize
+         *  (one pass over the planes instead of three). */
+        FusedEntry
+    };
+    Kind kind = Kind::Plain;
+    Layer *layer = nullptr;    //!< Plain/Residual/pool target
+    Conv2d *conv = nullptr;    //!< ConvResident only
+    BatchNorm2d *bn = nullptr; //!< folded into the epilogue (may be null)
+    bool relu = false;         //!< folded trailing ReLU
+    bool emitQuant = false;    //!< output stays resident int8
+    int poolK = 0;             //!< PoolMax/PoolAvg kernel
+};
+
 /** Runs child layers in order; backward runs them in reverse. */
 class Sequential : public Layer
 {
@@ -46,8 +92,25 @@ class Sequential : public Layer
     std::size_t size() const { return _layers.size(); }
     Layer &at(std::size_t i) { return *_layers[i]; }
 
+    /**
+     * (Re)build the quantized execution plan: classify every child as a
+     * resident step or a plain one, fold conv→BN→ReLU runs, prepare the
+     * HWC weight layouts, and decide the precision boundaries (which
+     * steps hand codes to the next). Called automatically at the end of
+     * quantizeWeights(); call explicitly after loadQuantized-style
+     * restores where quantizeWeights never runs. With no resident-
+     * capable child the plan stays empty and forward() is unchanged.
+     */
+    void planQuantized();
+
+    bool hasQuantPlan() const { return !_plan.empty(); }
+    const std::vector<QuantStep> &quantPlan() const { return _plan; }
+
   private:
+    Tensor forwardPlanned(const Tensor &x);
+
     std::vector<LayerPtr> _layers;
+    std::vector<QuantStep> _plan; //!< empty until planQuantized
 };
 
 /**
@@ -68,11 +131,46 @@ class ResidualBlock : public Layer
     void quantizeWeights(std::vector<QuantStat> &stats) override;
     std::vector<QuantTensor *> quantTensors() override;
 
+    /**
+     * Prepare the block's resident execution (DESIGN.md §13): checks
+     * every conv is quantized and wide enough (kResidentMinCin), builds
+     * the HWC weight layouts, and re-plans the child Sequentials.
+     * Returns whether the block will run resident; idempotent, called
+     * from the owning Sequential's planQuantized().
+     */
+    bool planResident();
+    bool resident() const { return _resident; }
+
+    int outChannels() const;
+    void outShape(int h, int w, int &oh, int &ow) const;
+
+    /**
+     * Resident Eval forward: conv1(+bn1+relu) emits a resident
+     * activation; conv2(+bn2) and the projection emit fp32 pixel-major
+     * rows; skip-add + final ReLU run per pixel row, which then exits
+     * either requantized (@p out_q/@p out_s, resident semantics) or as
+     * fp32 NCHW planes (@p out_planes). Exactly one exit may be given.
+     * The identity skip is the exact dequantization of the resident
+     * input — the value the quantized chain actually carries.
+     */
+    void forwardResident(const QuantActivation &in, std::int8_t *out_q,
+                         float *out_s, float *out_planes);
+
   private:
     Sequential _main;
     Sequential _proj;  // empty when identity skip
     bool _hasProj;
     LayerPtr _finalRelu;
+
+    // Raw child pointers captured at construction (the children live in
+    // _main/_proj); used by the resident path and plan build.
+    Conv2d *_conv1 = nullptr;
+    BatchNorm2d *_bn1 = nullptr;
+    Conv2d *_conv2 = nullptr;
+    BatchNorm2d *_bn2 = nullptr;
+    Conv2d *_projConv = nullptr;
+    BatchNorm2d *_projBn = nullptr;
+    bool _resident = false;
 };
 
 } // namespace leca

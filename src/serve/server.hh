@@ -319,8 +319,11 @@ Server::Backend pipelineBackend(LecaPipeline &pipeline);
  * Backend adapter over int8 block-quantized inference: converts the
  * pipeline's weights with LecaPipeline::quantize() (unless already
  * quantized, e.g. restored via loadQuantized) and serves evaluation
- * forwards through the int8 kernels. Same contract as pipelineBackend:
- * responses are bit-identical across thread counts and batch splits.
+ * forwards through the int8 kernels. Quantization plans the resident
+ * activation path (DESIGN.md §13): codes stay int8 between quantized
+ * layers and fp32 appears only at planned precision boundaries. Same
+ * contract as pipelineBackend: responses are bit-identical across
+ * thread counts and batch splits.
  */
 Server::Backend quantizedPipelineBackend(LecaPipeline &pipeline);
 

@@ -23,6 +23,7 @@ const KernelSet kScalarSet = {
     "scalar", Isa::Scalar,
     microF32Scalar, dotQ8RowScalar, quantizeRowScalar, dequantizeRowScalar,
     /*f32FlopsPerCycle=*/8.0, /*i8MacsPerCycle=*/8.0,
+    /*dotQ8RowUB=*/nullptr, affineReluRowScalar,
 };
 
 #if defined(LECA_HAVE_AVX2)
@@ -30,6 +31,7 @@ const KernelSet kAvx2Set = {
     "avx2", Isa::Avx2,
     microF32Avx2, dotQ8RowAvx2, quantizeRowAvx2, dequantizeRowAvx2,
     /*f32FlopsPerCycle=*/16.0, /*i8MacsPerCycle=*/32.0,
+    /*dotQ8RowUB=*/nullptr, affineReluRowAvx2,
 };
 #endif
 
@@ -48,6 +50,7 @@ avx512Set()
 #endif
             quantizeRowAvx512, dequantizeRowAvx512,
             /*f32FlopsPerCycle=*/32.0, /*i8MacsPerCycle=*/32.0,
+            /*dotQ8RowUB=*/nullptr, affineReluRowAvx512,
         };
 #if defined(LECA_HAVE_AVX512VNNI) && defined(__x86_64__)
         if (__builtin_cpu_supports("avx512vnni")) {
@@ -67,6 +70,7 @@ const KernelSet kNeonSet = {
     "neon", Isa::Neon,
     microF32Neon, dotQ8RowNeon, quantizeRowScalar, dequantizeRowScalar,
     /*f32FlopsPerCycle=*/8.0, /*i8MacsPerCycle=*/32.0,
+    /*dotQ8RowUB=*/nullptr, affineReluRowNeon,
 };
 #endif
 

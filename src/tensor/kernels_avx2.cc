@@ -177,6 +177,31 @@ quantizeRowAvx2(const float *src, std::int64_t k, std::int8_t *q,
 }
 
 void
+affineReluRowAvx2(const float *src, const float *a, const float *b,
+                  std::int64_t k, bool relu, float *dst)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    std::int64_t j = 0;
+    for (; j + 8 <= k; j += 8) {
+        __m256 v = _mm256_fmadd_ps(_mm256_loadu_ps(a + j),
+                                   _mm256_loadu_ps(src + j),
+                                   _mm256_loadu_ps(b + j));
+        if (relu)
+            // max(v, +0): the second operand is returned for (-0, +0)
+            // ties, matching the scalar v > 0 ? v : 0.
+            v = _mm256_max_ps(v, zero);
+        _mm256_storeu_ps(dst + j, v);
+    }
+    for (; j < k; ++j) {
+        const __m128 v = _mm_fmadd_ss(_mm_set_ss(a[j]), _mm_set_ss(src[j]),
+                                      _mm_set_ss(b[j]));
+        const float f = _mm_cvtss_f32(relu ? _mm_max_ss(v, _mm_setzero_ps())
+                                           : v);
+        dst[j] = f;
+    }
+}
+
+void
 dequantizeRowAvx2(const std::int8_t *q, const float *scales,
                   std::int64_t k, float *dst)
 {

@@ -90,6 +90,33 @@ quantizeRowAvx512(const float *src, std::int64_t k, std::int8_t *q,
 }
 
 void
+affineReluRowAvx512(const float *src, const float *a, const float *b,
+                    std::int64_t k, bool relu, float *dst)
+{
+    const __m512 zero = _mm512_setzero_ps();
+    std::int64_t j = 0;
+    for (; j + 16 <= k; j += 16) {
+        __m512 v = _mm512_fmadd_ps(_mm512_loadu_ps(a + j),
+                                   _mm512_loadu_ps(src + j),
+                                   _mm512_loadu_ps(b + j));
+        if (relu)
+            // max(v, +0): second operand returned for (-0, +0) ties,
+            // matching the scalar v > 0 ? v : 0.
+            v = _mm512_max_ps(v, zero);
+        _mm512_storeu_ps(dst + j, v);
+    }
+    if (j < k) {
+        const __mmask16 m = static_cast<__mmask16>((1u << (k - j)) - 1u);
+        __m512 v = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, a + j),
+                                   _mm512_maskz_loadu_ps(m, src + j),
+                                   _mm512_maskz_loadu_ps(m, b + j));
+        if (relu)
+            v = _mm512_max_ps(v, zero);
+        _mm512_mask_storeu_ps(dst + j, m, v);
+    }
+}
+
+void
 dequantizeRowAvx512(const std::int8_t *q, const float *scales,
                     std::int64_t k, float *dst)
 {

@@ -19,6 +19,8 @@
 
 #include <arm_neon.h>
 
+#include <cmath>
+
 #include "tensor/simd.hh"
 
 namespace leca::simd::detail {
@@ -100,6 +102,27 @@ dotQ8RowNeon(const std::int8_t *qa, const float *sa, const std::int8_t *qb,
         const float32x4_t t = vaddq_f32(v_lo, v_hi);
         const float32x2_t u = vadd_f32(vget_low_f32(t), vget_high_f32(t));
         c[j] = vget_lane_f32(u, 0) + vget_lane_f32(u, 1);
+    }
+}
+
+void
+affineReluRowNeon(const float *src, const float *a, const float *b,
+                  std::int64_t k, bool relu, float *dst)
+{
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    std::int64_t j = 0;
+    for (; j + 4 <= k; j += 4) {
+        // FMLA is correctly rounded like fmaf — the pinned contract.
+        float32x4_t v =
+            vfmaq_f32(vld1q_f32(b + j), vld1q_f32(a + j), vld1q_f32(src + j));
+        if (relu)
+            // FMAX(-0, +0) = +0, matching the scalar v > 0 ? v : 0.
+            v = vmaxq_f32(v, zero);
+        vst1q_f32(dst + j, v);
+    }
+    for (; j < k; ++j) {
+        const float v = std::fmaf(a[j], src[j], b[j]);
+        dst[j] = relu ? (v > 0.0f ? v : 0.0f) : v;
     }
 }
 

@@ -134,6 +134,23 @@ quantizeRowScalar(const float *src, std::int64_t k, std::int8_t *q,
 }
 
 void
+affineReluRowScalar(const float *src, const float *a, const float *b,
+                    std::int64_t k, bool relu, float *dst)
+{
+    if (relu) {
+        for (std::int64_t j = 0; j < k; ++j) {
+            // Fused by contract (simd.hh); max(v, +0) maps -0 to +0
+            // like the SIMD variants' VMAXPS/FMAX against +0.
+            const float v = std::fmaf(a[j], src[j], b[j]);
+            dst[j] = v > 0.0f ? v : 0.0f;
+        }
+    } else {
+        for (std::int64_t j = 0; j < k; ++j)
+            dst[j] = std::fmaf(a[j], src[j], b[j]);
+    }
+}
+
+void
 dequantizeRowScalar(const std::int8_t *q, const float *scales,
                     std::int64_t k, float *dst)
 {

@@ -56,8 +56,19 @@ struct QuantTensor
     std::int64_t nb = 0;         //!< blocks per row = quantBlocks(cols)
     std::vector<std::int8_t> q;  //!< codes, rows × nb × 32, row-major
     std::vector<float> scales;   //!< scales, rows × nb, row-major
+    /**
+     * Derived cache, never serialized: the same codes biased by +128
+     * (q XOR 0x80), the unsigned operand layout the VNNI dot wants.
+     * Built once by buildPreBiased() when the active kernel set has a
+     * dotQ8RowUB slot, so resident convs skip the per-call XOR pass
+     * gemmQ8 performs. Empty means "use the signed codes".
+     */
+    std::vector<std::uint8_t> qub;
 
     bool empty() const { return rows == 0; }
+
+    /** Populate qub from q (idempotent; see the member comment). */
+    void buildPreBiased();
 
     /** Bytes held by the quantized representation. */
     std::size_t quantBytes() const
@@ -129,6 +140,140 @@ void convForwardQuant(const float *image, int cin, int h, int w, int kh,
  */
 void linearForwardQuant(const float *x, std::int64_t m, const QuantTensor &wq,
                         const float *bias, float *y);
+
+// ---- Resident activations (DESIGN.md §13) ---------------------------
+//
+// A feature map kept in int8 codes BETWEEN layers: pixel-major layout
+// ([n·h·w] rows of one channel vector each, padded to whole blocks), so
+// a consuming conv's im2col patch is a concatenation of kh·kw already-
+// quantized pixel rows — the patch gather is a byte copy of codes and
+// scales, and nothing is re-quantized. The producing layer quantizes
+// each pixel row exactly once on exit (requantize-once semantics).
+
+/** Channel extent padded to whole quantization blocks. */
+inline constexpr std::int64_t
+quantPadded(std::int64_t c)
+{
+    return quantBlocks(c) * kQuantBlock;
+}
+
+/**
+ * Non-owning view of a resident block-quantized activation feature map
+ * (NCHW logically, pixel-major physically). Row p = pixel
+ * (img, y, x) with p = img·h·w + y·w + x holds the quantized channel
+ * vector: quantBlocks(c) 32-code blocks at q + p·quantPadded(c) and
+ * their scales at scales + p·quantBlocks(c). Buffers are arena- or
+ * caller-owned; the view carries no lifetime.
+ */
+struct QuantActivation
+{
+    int n = 0, c = 0, h = 0, w = 0;  //!< logical NCHW shape
+    std::int8_t *q = nullptr;        //!< codes, (n·h·w) × quantPadded(c)
+    float *scales = nullptr;         //!< scales, (n·h·w) × quantBlocks(c)
+
+    std::int64_t rows() const
+    {
+        return static_cast<std::int64_t>(n) * h * w;
+    }
+    std::int64_t nbc() const { return quantBlocks(c); }
+    bool empty() const { return q == nullptr; }
+};
+
+/**
+ * Re-lay a conv weight QuantTensor (rows = cout, cols = cin·kh·kw in
+ * CHW patch order) into the resident path's HWC patch order: rows =
+ * cout, cols = kh·kw·quantPadded(cin), column (kpos, ci) holding the
+ * weight for patch position kpos and input channel ci, zero in the
+ * padded lanes. Every 32-block then spans exactly one patch position
+ * and one 32-channel group — the alignment that lets a patch gathered
+ * from per-pixel quantized codes dot against it block for block.
+ *
+ * Derived from the CHW CODES (dequantize, permute, requantize), not
+ * from the fp32 weights, so quantize() and loadQuantized() produce
+ * identical resident inference.
+ */
+QuantTensor quantizeConvWeightsHwc(const QuantTensor &chw, int cin, int kh,
+                                   int kw);
+
+/**
+ * Precision-boundary entry: quantize an fp32 NCHW tensor into a
+ * pixel-major resident activation (each pixel's channel vector
+ * gathered across planes, then block-quantized once). Caller provides
+ * code/scale storage sized like QuantActivation.
+ */
+void quantizeActivationNchw(const float *x, int n, int c, int h, int w,
+                            std::int8_t *q, float *scales);
+
+/**
+ * Precision-boundary exit: reconstruct fp32 NCHW planes from a
+ * resident activation. @p dst holds n·c·h·w floats.
+ */
+// leca-lint: precision-boundary
+void dequantizeActivationNchw(const QuantActivation &act, float *dst);
+
+/**
+ * Per-channel epilogue a resident conv applies to each output pixel
+ * row while it is still in registers/L1, before the row leaves the
+ * panel: y = a[ch]·x + b[ch] (folded eval-mode BatchNorm and/or conv
+ * bias), then optional ReLU. a == nullptr means no affine (then b is
+ * ignored); relu may be set either way.
+ */
+struct ResidentEpilogue
+{
+    const float *a = nullptr;
+    const float *b = nullptr;
+    bool relu = false;
+};
+
+/**
+ * Fused precision-boundary entry: apply a per-channel epilogue (folded
+ * eval-mode BatchNorm affine and/or ReLU) to an fp32 NCHW tensor WHILE
+ * quantizing it into a pixel-major resident activation. The affine and
+ * relu run on the L1-resident transpose tile, so a Plain producer
+ * followed by BN/ReLU and a resident consumer costs one pass over the
+ * planes instead of three (plus two tensor materialisations). With an
+ * empty epilogue this is exactly quantizeActivationNchw.
+ */
+void quantizeActivationNchw(const float *x, int n, int c, int h, int w,
+                            const ResidentEpilogue &epi, std::int8_t *q,
+                            float *scales);
+
+/**
+ * The resident quantized conv (DESIGN.md §13): im2col over the input's
+ * int8 codes — each patch row is kh·kw code/scale span copies gathered
+ * straight into a 16-row panel (the gather IS the panel packing; no
+ * fp32 materialisation, no requantization) — dotted against HWC-laid
+ * weight rows (gemmQ8's tiling; the cached pre-biased codes feed the
+ * VNNI dot when available), then the epilogue and ONE of three exits
+ * per output pixel row while it is still panel-hot:
+ *
+ *   - out_q/out_s: quantize once into a resident activation
+ *     (rows = n·oh·ow, channel extent = wq_hwc.rows);
+ *   - out_rows:    fp32 pixel-major rows (n·oh·ow × cout), for fused
+ *     consumers like the residual skip-add;
+ *   - out_planes:  fp32 NCHW planes (precision-boundary exit).
+ *
+ * Work decomposition depends only on the problem shape and every
+ * output element is one pinned-order dot + per-element epilogue, so
+ * results are bit-identical across LECA_THREADS and ISA variants.
+ */
+void convForwardResident(const QuantActivation &in, int kh, int kw,
+                         int stride, int pad, const QuantTensor &wq_hwc,
+                         const ResidentEpilogue &epi, std::int8_t *out_q,
+                         float *out_s, float *out_rows, float *out_planes);
+
+/**
+ * Pooling straight over resident codes (the "pass-through" pools):
+ * each candidate value is dequantized on the fly as the exact fp32
+ * product q·s, so the result is bit-identical to pooling the
+ * dequantized tensor — pooling over codes adds NO quantization error
+ * (DESIGN.md §13). Outputs are fp32 NCHW planes (max/avg) or [n, c]
+ * rows (global): pooling mixes pixels with different scales, so its
+ * output is a precision boundary by construction.
+ */
+void maxPoolResident(const QuantActivation &act, int k, float *out_planes);
+void avgPoolResident(const QuantActivation &act, int k, float *out_planes);
+void globalAvgPoolResident(const QuantActivation &act, float *out);
 
 } // namespace leca
 

@@ -105,6 +105,20 @@ using DequantizeRowFn = void (*)(const std::int8_t *q,
                                  const float *scales, std::int64_t k,
                                  float *dst);
 
+/**
+ * Per-channel affine epilogue of the resident int8 path (DESIGN.md
+ * §13): dst[j] = fma(a[j], src[j], b[j]), clamped to [0, inf) when
+ * @p relu — the folded eval-mode BatchNorm (+ conv bias) and ReLU a
+ * resident conv applies to each pixel row before re-quantizing it.
+ * dst may alias src. Pinned structure shared by every variant: one
+ * correctly-rounded FMA per element (fmaf / VFMADD / FMLA are
+ * bit-identical) followed by max(v, +0.0f), so all ISAs agree bit for
+ * bit — including v = -0.0f, which every variant maps to +0.0f.
+ */
+using AffineReluRowFn = void (*)(const float *src, const float *a,
+                                 const float *b, std::int64_t k,
+                                 bool relu, float *dst);
+
 namespace detail {
 
 // Scalar reference implementations (kernels_scalar.cc) — always
@@ -120,6 +134,8 @@ void quantizeRowScalar(const float *src, std::int64_t k, std::int8_t *q,
                        float *scales);
 void dequantizeRowScalar(const std::int8_t *q, const float *scales,
                          std::int64_t k, float *dst);
+void affineReluRowScalar(const float *src, const float *a, const float *b,
+                         std::int64_t k, bool relu, float *dst);
 
 // AVX2 (kernels_avx2.cc; VPMADDUBSW int8 path via the sign trick —
 // quantization never emits -128, so pair sums stay below the s16
@@ -133,6 +149,8 @@ void quantizeRowAvx2(const float *src, std::int64_t k, std::int8_t *q,
                      float *scales);
 void dequantizeRowAvx2(const std::int8_t *q, const float *scales,
                        std::int64_t k, float *dst);
+void affineReluRowAvx2(const float *src, const float *a, const float *b,
+                       std::int64_t k, bool relu, float *dst);
 
 // AVX-512 F/BW/VL (kernels_avx512.cc). The int8 dot has no AVX-512
 // implementation without VNNI — isa.cc falls back to the AVX2 one.
@@ -143,6 +161,8 @@ void quantizeRowAvx512(const float *src, std::int64_t k, std::int8_t *q,
                        float *scales);
 void dequantizeRowAvx512(const std::int8_t *q, const float *scales,
                          std::int64_t k, float *dst);
+void affineReluRowAvx512(const float *src, const float *a, const float *b,
+                         std::int64_t k, bool relu, float *dst);
 
 // AVX-512 VNNI (kernels_avx512vnni.cc): VPDPBUSD with the in-register
 // +128 bias and per-group correction term.
@@ -160,6 +180,8 @@ void microF32Neon(std::int64_t kc, const float *ap, const float *bp,
 void dotQ8RowNeon(const std::int8_t *qa, const float *sa,
                   const std::int8_t *qb, const float *sb,
                   std::int64_t nb, std::int64_t n, float *c);
+void affineReluRowNeon(const float *src, const float *a, const float *b,
+                       std::int64_t k, bool relu, float *dst);
 
 } // namespace detail
 
@@ -184,6 +206,9 @@ struct KernelSet
     //! Pre-biased-B dot (see DotQ8RowUBFn); null when dotQ8Row is
     //! already optimal on raw signed bytes.
     simd::DotQ8RowUBFn dotQ8RowUB = nullptr;
+    //! Resident-activation epilogue (see AffineReluRowFn); every
+    //! compiled-in set provides one.
+    simd::AffineReluRowFn affineReluRow = nullptr;
 };
 
 } // namespace leca

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * The resident int8 activation contract (DESIGN.md §13): per-pixel
+ * activation quantization round-trips and stays RTNE-deterministic,
+ * the resident conv is bit-identical across thread counts and across
+ * every compiled kernel set, pooling straight over codes matches
+ * pooling the dequantized planes bit for bit, the Sequential planner
+ * places precision boundaries exactly where the step kinds change,
+ * mixed quantized/fp32 chains still track the fp32 network, a
+ * quantize()d pipeline and a loadQuantized() restore of it infer
+ * identically, and the warm planned forward is heap-silent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "data/backbone.hh"
+#include "nn/activation.hh"
+#include "nn/batchnorm.hh"
+#include "nn/conv.hh"
+#include "nn/linear.hh"
+#include "nn/pool.hh"
+#include "nn/sequential.hh"
+#include "tensor/isa.hh"
+#include "tensor/ops.hh"
+#include "tensor/quant.hh"
+#include "util/alloc_guard.hh"
+#include "util/arena.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+namespace leca {
+namespace {
+
+std::vector<float>
+randomVec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return v;
+}
+
+/** Restores the ambient thread count after each test. */
+class ResidentTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { _saved = threadCount(); }
+    void TearDown() override { setThreadCount(_saved); }
+
+  private:
+    int _saved = 1;
+};
+
+struct ResidentBuffers
+{
+    std::vector<std::int8_t> q;
+    std::vector<float> scales;
+    QuantActivation act;
+};
+
+ResidentBuffers
+makeResident(const Tensor &x)
+{
+    ResidentBuffers rb;
+    rb.act.n = x.size(0);
+    rb.act.c = x.size(1);
+    rb.act.h = x.size(2);
+    rb.act.w = x.size(3);
+    const std::int64_t rows = rb.act.rows();
+    rb.q.resize(static_cast<std::size_t>(rows * quantPadded(rb.act.c)));
+    rb.scales.resize(static_cast<std::size_t>(rows * rb.act.nbc()));
+    quantizeActivationNchw(x.data(), rb.act.n, rb.act.c, rb.act.h,
+                           rb.act.w, rb.q.data(), rb.scales.data());
+    rb.act.q = rb.q.data();
+    rb.act.scales = rb.scales.data();
+    return rb;
+}
+
+TEST_F(ResidentTest, ActivationQuantizationRoundTripsWithinBlockScale)
+{
+    Tensor x = Tensor::fromData(
+        {2, 40, 6, 5},
+        randomVec(static_cast<std::size_t>(2) * 40 * 6 * 5, 101));
+    const ResidentBuffers rb = makeResident(x);
+    Tensor back({2, 40, 6, 5});
+    dequantizeActivationNchw(rb.act, back.data());
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(back[i], x[i], 0.5f / 127.0f + 1e-7f)
+            << "element " << i;
+    // Padded lanes of every pixel row must be zero codes.
+    const std::int64_t cpad = quantPadded(40);
+    for (std::int64_t p = 0; p < rb.act.rows(); ++p)
+        for (std::int64_t j = 40; j < cpad; ++j)
+            ASSERT_EQ(rb.q[static_cast<std::size_t>(p * cpad + j)], 0)
+                << "pixel " << p << " padding lane " << j;
+}
+
+TEST_F(ResidentTest, ActivationQuantizationBitIdenticalAcrossThreadCounts)
+{
+    Tensor x = Tensor::fromData(
+        {3, 24, 9, 7},
+        randomVec(static_cast<std::size_t>(3) * 24 * 9 * 7, 103));
+    setThreadCount(1);
+    const ResidentBuffers base = makeResident(x);
+    for (int threads : {2, 4, 8}) {
+        setThreadCount(threads);
+        const ResidentBuffers got = makeResident(x);
+        EXPECT_EQ(0, std::memcmp(got.q.data(), base.q.data(),
+                                 base.q.size()))
+            << "codes diverge at threads=" << threads;
+        EXPECT_EQ(0,
+                  std::memcmp(got.scales.data(), base.scales.data(),
+                              base.scales.size() * sizeof(float)))
+            << "scales diverge at threads=" << threads;
+    }
+}
+
+/** Runs the resident conv with a quantized exit into fresh buffers. */
+void
+runResidentConv(const QuantActivation &in, const QuantTensor &wq_hwc,
+                int k, int stride, int pad, const ResidentEpilogue &epi,
+                std::vector<std::int8_t> &oq, std::vector<float> &os)
+{
+    const int oh = (in.h + 2 * pad - k) / stride + 1;
+    const int ow = (in.w + 2 * pad - k) / stride + 1;
+    const std::int64_t rows =
+        static_cast<std::int64_t>(in.n) * oh * ow;
+    const std::int64_t cout = wq_hwc.rows;
+    oq.assign(static_cast<std::size_t>(rows * quantPadded(
+                  static_cast<int>(cout))),
+              0);
+    os.assign(static_cast<std::size_t>(rows * quantBlocks(cout)), 0.0f);
+    convForwardResident(in, k, k, stride, pad, wq_hwc, epi, oq.data(),
+                        os.data(), nullptr, nullptr);
+}
+
+TEST_F(ResidentTest, ResidentConvTracksFp32Conv)
+{
+    Rng rng(107);
+    const int cin = 24, cout = 18, k = 3, stride = 2, pad = 1;
+    Conv2d conv(cin, cout, k, stride, pad, true, rng);
+    Tensor x = Tensor::fromData(
+        {2, cin, 11, 9},
+        randomVec(static_cast<std::size_t>(2) * cin * 11 * 9, 109));
+    const Tensor y32 = conv.forward(x, Mode::Eval);
+    std::vector<QuantStat> stats;
+    conv.quantizeWeights(stats);
+    conv.prepareResident();
+
+    const ResidentBuffers rb = makeResident(x);
+    const ResidentEpilogue epi{nullptr, nullptr, false};
+    Tensor y8({2, cout, y32.size(2), y32.size(3)});
+    // Bias folds through the affine epilogue as fmaf(1, y, b).
+    std::vector<float> ones(static_cast<std::size_t>(cout), 1.0f);
+    const ResidentEpilogue bias_epi{ones.data(), conv.bias().value.data(),
+                                    false};
+    convForwardResident(rb.act, k, k, stride, pad, conv.qweightHwc(),
+                        bias_epi, nullptr, nullptr, nullptr, y8.data());
+    (void)epi;
+    ASSERT_EQ(y8.numel(), y32.numel());
+    // Both weights AND activations carry code error here, so the band
+    // is wider than the weight-only per-patch path's.
+    for (std::size_t i = 0; i < y8.numel(); ++i)
+        EXPECT_NEAR(y8[i], y32[i], 0.25) << "element " << i;
+}
+
+TEST_F(ResidentTest, ResidentConvBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(113);
+    const int cin = 32, cout = 20, k = 3;
+    Conv2d conv(cin, cout, k, 1, 1, false, rng);
+    std::vector<QuantStat> stats;
+    conv.quantizeWeights(stats);
+    conv.prepareResident();
+    Tensor x = Tensor::fromData(
+        {2, cin, 13, 11},
+        randomVec(static_cast<std::size_t>(2) * cin * 13 * 11, 127));
+    const ResidentBuffers rb = makeResident(x);
+    const ResidentEpilogue epi{nullptr, nullptr, true};
+
+    setThreadCount(1);
+    std::vector<std::int8_t> base_q;
+    std::vector<float> base_s;
+    runResidentConv(rb.act, conv.qweightHwc(), k, 1, 1, epi, base_q,
+                    base_s);
+    for (int threads : {2, 4, 8}) {
+        setThreadCount(threads);
+        std::vector<std::int8_t> got_q;
+        std::vector<float> got_s;
+        runResidentConv(rb.act, conv.qweightHwc(), k, 1, 1, epi, got_q,
+                        got_s);
+        EXPECT_EQ(0,
+                  std::memcmp(got_q.data(), base_q.data(), base_q.size()))
+            << "requantized codes diverge at threads=" << threads;
+        EXPECT_EQ(0,
+                  std::memcmp(got_s.data(), base_s.data(),
+                              base_s.size() * sizeof(float)))
+            << "requantized scales diverge at threads=" << threads;
+    }
+}
+
+TEST_F(ResidentTest, ResidentConvEveryCompiledKernelSetMatchesScalar)
+{
+    const KernelSet *scalar = kernelSetByName("scalar");
+    ASSERT_NE(scalar, nullptr);
+    Rng rng(131);
+    const int cin = 40, cout = 23, k = 3; // padded tail on both sides
+    Conv2d conv(cin, cout, k, 1, 1, false, rng);
+    std::vector<QuantStat> stats;
+    conv.quantizeWeights(stats);
+    Tensor x = Tensor::fromData(
+        {1, cin, 10, 9},
+        randomVec(static_cast<std::size_t>(cin) * 10 * 9, 137));
+    const ResidentEpilogue epi{nullptr, nullptr, true};
+
+    std::vector<std::int8_t> want_q;
+    std::vector<float> want_s;
+    {
+        ScopedKernelOverride force(*scalar);
+        conv.prepareResident();
+        const ResidentBuffers rb = makeResident(x);
+        runResidentConv(rb.act, conv.qweightHwc(), k, 1, 1, epi, want_q,
+                        want_s);
+    }
+    for (const KernelSet *set : compiledKernelSets()) {
+        if (!hostSupportsKernelSet(*set))
+            continue;
+        ScopedKernelOverride force(*set);
+        // Re-plan under the override so the pre-biased cache matches
+        // the set's dot availability, like a real plan would.
+        conv.prepareResident();
+        const ResidentBuffers rb = makeResident(x);
+        std::vector<std::int8_t> got_q;
+        std::vector<float> got_s;
+        runResidentConv(rb.act, conv.qweightHwc(), k, 1, 1, epi, got_q,
+                        got_s);
+        EXPECT_EQ(0,
+                  std::memcmp(got_q.data(), want_q.data(), want_q.size()))
+            << set->name << " resident codes diverge from scalar";
+        EXPECT_EQ(0,
+                  std::memcmp(got_s.data(), want_s.data(),
+                              want_s.size() * sizeof(float)))
+            << set->name << " resident scales diverge from scalar";
+    }
+}
+
+TEST_F(ResidentTest, PoolsOverCodesMatchPoolsOverDequantizedPlanesBitForBit)
+{
+    Tensor x = Tensor::fromData(
+        {2, 33, 8, 8},
+        randomVec(static_cast<std::size_t>(2) * 33 * 8 * 8, 139));
+    const ResidentBuffers rb = makeResident(x);
+    Tensor planes({2, 33, 8, 8});
+    dequantizeActivationNchw(rb.act, planes.data());
+
+    for (int k : {2, 4}) {
+        const Tensor want_max = maxPool2d(planes, k);
+        Tensor got_max({2, 33, 8 / k, 8 / k});
+        maxPoolResident(rb.act, k, got_max.data());
+        EXPECT_EQ(0, std::memcmp(got_max.data(), want_max.data(),
+                                 want_max.numel() * sizeof(float)))
+            << "maxPool k=" << k;
+
+        const Tensor want_avg = avgPool2d(planes, k);
+        Tensor got_avg({2, 33, 8 / k, 8 / k});
+        avgPoolResident(rb.act, k, got_avg.data());
+        EXPECT_EQ(0, std::memcmp(got_avg.data(), want_avg.data(),
+                                 want_avg.numel() * sizeof(float)))
+            << "avgPool k=" << k;
+    }
+    const Tensor want_gap = globalAvgPool(planes);
+    Tensor got_gap({2, 33});
+    globalAvgPoolResident(rb.act, got_gap.data());
+    EXPECT_EQ(0, std::memcmp(got_gap.data(), want_gap.data(),
+                             want_gap.numel() * sizeof(float)));
+}
+
+TEST_F(ResidentTest, PlannerPlacesPrecisionBoundariesAtConsumerChanges)
+{
+    Rng rng(149);
+    Sequential net;
+    net.emplace<Conv2d>(16, 24, 3, 1, 1, false, rng);
+    net.emplace<BatchNorm2d>(24);
+    net.emplace<Relu>();
+    net.emplace<MaxPool2d>(2);
+    net.emplace<Conv2d>(24, 32, 3, 1, 1, true, rng);
+    net.emplace<GlobalAvgPool>();
+    net.emplace<Linear>(32, 5, rng);
+    std::vector<QuantStat> stats;
+    net.quantizeWeights(stats); // plans implicitly
+
+    ASSERT_TRUE(net.hasQuantPlan());
+    const auto &plan = net.quantPlan();
+    // conv+bn+relu fold to one step; pool, conv, gap, linear follow.
+    ASSERT_EQ(plan.size(), 5u);
+    EXPECT_EQ(plan[0].kind, QuantStep::Kind::ConvResident);
+    EXPECT_NE(plan[0].bn, nullptr);
+    EXPECT_TRUE(plan[0].relu);
+    EXPECT_TRUE(plan[0].emitQuant) << "pool consumes codes";
+    EXPECT_EQ(plan[1].kind, QuantStep::Kind::PoolMax);
+    EXPECT_FALSE(plan[1].emitQuant) << "pools always exit fp32";
+    EXPECT_EQ(plan[2].kind, QuantStep::Kind::ConvResident);
+    EXPECT_EQ(plan[2].bn, nullptr);
+    EXPECT_FALSE(plan[2].relu);
+    EXPECT_TRUE(plan[2].emitQuant) << "gap consumes codes";
+    EXPECT_EQ(plan[3].kind, QuantStep::Kind::Gap);
+    EXPECT_EQ(plan[4].kind, QuantStep::Kind::Plain); // fp32 linear
+}
+
+TEST_F(ResidentTest, PoolWithoutResidentProducerStaysPlain)
+{
+    Rng rng(151);
+    Sequential net;
+    // The narrow stem stays per-patch (cin < kResidentMinCin), so the
+    // pool behind it must NOT expect codes.
+    net.emplace<Conv2d>(3, 24, 3, 1, 1, false, rng);
+    net.emplace<MaxPool2d>(2);
+    net.emplace<Conv2d>(24, 24, 3, 1, 1, false, rng);
+    std::vector<QuantStat> stats;
+    net.quantizeWeights(stats);
+    ASSERT_TRUE(net.hasQuantPlan());
+    const auto &plan = net.quantPlan();
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan[0].kind, QuantStep::Kind::Plain);
+    EXPECT_EQ(plan[1].kind, QuantStep::Kind::Plain)
+        << "pool demoted: its producer exits fp32";
+    EXPECT_EQ(plan[2].kind, QuantStep::Kind::ConvResident);
+}
+
+/** Mixed chain: quantized conv -> pool -> BN mid-chain (not after a
+ *  conv) -> non-quantized linear. The BN and linear run as Plain fp32
+ *  steps; the whole planned forward must still track the pre-
+ *  quantization fp32 network. */
+TEST_F(ResidentTest, MixedChainTracksFp32Network)
+{
+    Rng rng(157);
+    Sequential net;
+    net.emplace<Conv2d>(16, 24, 3, 1, 1, true, rng);
+    net.emplace<Relu>();
+    net.emplace<AvgPool2d>(2);
+    net.emplace<BatchNorm2d>(24); // mid-chain, no preceding conv step
+    net.emplace<GlobalAvgPool>();
+    Linear &fc = net.emplace<Linear>(24, 7, rng);
+
+    Tensor x = Tensor::fromData(
+        {2, 16, 12, 12},
+        randomVec(static_cast<std::size_t>(2) * 16 * 12 * 12, 163));
+    const Tensor y32 = net.forward(x, Mode::Eval);
+
+    // Quantize only the convs: the linear stays fp32 (mixed chain).
+    std::vector<QuantStat> stats;
+    static_cast<Conv2d &>(net.at(0)).quantizeWeights(stats);
+    net.planQuantized();
+    ASSERT_TRUE(net.hasQuantPlan());
+    const auto &plan = net.quantPlan();
+    // Conv+ReLU fold into one resident step, then the pool consumes
+    // its codes; BN not behind a resident conv runs Plain on fp32, and
+    // so do GAP (its producer, the BN, exits fp32) and the linear.
+    ASSERT_EQ(plan.size(), 5u);
+    EXPECT_EQ(plan[0].kind, QuantStep::Kind::ConvResident);
+    EXPECT_EQ(plan[1].kind, QuantStep::Kind::PoolAvg);
+    EXPECT_EQ(plan[2].kind, QuantStep::Kind::Plain);
+    EXPECT_EQ(plan[3].kind, QuantStep::Kind::Plain);
+    EXPECT_EQ(plan[4].kind, QuantStep::Kind::Plain);
+    EXPECT_TRUE(fc.quantTensors()[0]->empty()) << "linear stayed fp32";
+
+    const Tensor y8 = net.forward(x, Mode::Eval);
+    ASSERT_EQ(y8.numel(), y32.numel());
+    for (std::size_t i = 0; i < y8.numel(); ++i)
+        EXPECT_NEAR(y8[i], y32[i], 0.25) << "element " << i;
+}
+
+/** Narrow fp32 stem + BN + ReLU feeding a residual block: the BN and
+ *  ReLU fold into the entry quantization as one FusedEntry step (no
+ *  separate BN/ReLU plane passes), the planned forward still tracks
+ *  the fp32 network, and the fused path stays bit-identical across
+ *  thread counts. */
+TEST_F(ResidentTest, FusedEntryFoldsBnReluIntoBoundary)
+{
+    Rng rng(179);
+    Sequential net;
+    net.emplace<Conv2d>(3, 24, 3, 1, 1, false, rng);
+    net.emplace<BatchNorm2d>(24);
+    net.emplace<Relu>();
+    net.emplace<ResidualBlock>(24, 24, 1, rng);
+    net.emplace<GlobalAvgPool>();
+
+    Tensor x = Tensor::fromData(
+        {2, 3, 12, 12},
+        randomVec(static_cast<std::size_t>(2) * 3 * 12 * 12, 181));
+    const Tensor y32 = net.forward(x, Mode::Eval);
+
+    std::vector<QuantStat> stats;
+    net.quantizeWeights(stats);
+    ASSERT_TRUE(net.hasQuantPlan());
+    const auto &plan = net.quantPlan();
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0].kind, QuantStep::Kind::Plain); // narrow stem
+    EXPECT_EQ(plan[1].kind, QuantStep::Kind::FusedEntry);
+    EXPECT_NE(plan[1].bn, nullptr);
+    EXPECT_TRUE(plan[1].relu);
+    EXPECT_TRUE(plan[1].emitQuant) << "entry emits resident codes";
+    EXPECT_EQ(plan[2].kind, QuantStep::Kind::Residual);
+    EXPECT_EQ(plan[3].kind, QuantStep::Kind::Gap);
+
+    setThreadCount(1);
+    const Tensor y8 = net.forward(x, Mode::Eval);
+    ASSERT_EQ(y8.numel(), y32.numel());
+    for (std::size_t i = 0; i < y8.numel(); ++i)
+        EXPECT_NEAR(y8[i], y32[i], 0.25) << "element " << i;
+    for (int threads : {2, 5}) {
+        setThreadCount(threads);
+        const Tensor got = net.forward(x, Mode::Eval);
+        EXPECT_EQ(0, std::memcmp(got.data(), y8.data(),
+                                 y8.numel() * sizeof(float)))
+            << "threads=" << threads;
+    }
+}
+
+TEST_F(ResidentTest, PlannedForwardBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(167);
+    Sequential net;
+    net.emplace<Conv2d>(16, 24, 3, 1, 1, false, rng);
+    net.emplace<BatchNorm2d>(24);
+    net.emplace<Relu>();
+    net.emplace<ResidualBlock>(24, 32, 2, rng);
+    net.emplace<GlobalAvgPool>();
+    net.emplace<Linear>(32, 6, rng);
+    std::vector<QuantStat> stats;
+    net.quantizeWeights(stats);
+    ASSERT_TRUE(net.hasQuantPlan());
+    Tensor x = Tensor::fromData(
+        {3, 16, 12, 12},
+        randomVec(static_cast<std::size_t>(3) * 16 * 12 * 12, 173));
+
+    setThreadCount(1);
+    const Tensor base = net.forward(x, Mode::Eval);
+    for (int threads : {2, 4, 8}) {
+        setThreadCount(threads);
+        const Tensor got = net.forward(x, Mode::Eval);
+        ASSERT_EQ(got.numel(), base.numel());
+        EXPECT_EQ(0, std::memcmp(got.data(), base.data(),
+                                 base.numel() * sizeof(float)))
+            << "planned forward diverges at threads=" << threads;
+    }
+}
+
+TEST_F(ResidentTest, QuantizeAndLoadQuantizedInferIdentically)
+{
+    const auto make = [] {
+        LecaConfig cfg;
+        cfg.nch = 4;
+        Rng rng(7);
+        auto bb = makeBackbone(BackboneStyle::Proxy, 3, 5, rng);
+        LecaPipeline::Options options;
+        options.leca = cfg;
+        options.seed = 11;
+        return std::make_unique<LecaPipeline>(options, std::move(bb));
+    };
+    Tensor x({2, 3, 32, 32});
+    const std::vector<float> v =
+        randomVec(static_cast<std::size_t>(2) * 3 * 32 * 32, 179);
+    std::memcpy(x.data(), v.data(), v.size() * sizeof(float));
+
+    auto original = make();
+    original->quantize();
+    const Tensor want = original->forward(x, Mode::Eval);
+
+    const std::string path =
+        ::testing::TempDir() + "/leca_resident_pipeline.ckpt";
+    original->saveQuantized(path);
+    auto restored = make();
+    ASSERT_TRUE(restored->loadQuantized(path));
+    const Tensor got = restored->forward(x, Mode::Eval);
+    ASSERT_EQ(got.numel(), want.numel());
+    EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                             want.numel() * sizeof(float)))
+        << "loadQuantized inference differs from the quantize()d one";
+}
+
+TEST_F(ResidentTest, WarmPlannedForwardRunsUnderDenyAllocScope)
+{
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "built without LECA_ALLOC_GUARD";
+    setThreadCount(2);
+    Rng rng(181);
+    Sequential net;
+    net.emplace<Conv2d>(16, 24, 3, 1, 1, false, rng);
+    net.emplace<BatchNorm2d>(24);
+    net.emplace<Relu>();
+    net.emplace<ResidualBlock>(24, 24, 1, rng);
+    net.emplace<GlobalAvgPool>();
+    std::vector<QuantStat> stats;
+    net.quantizeWeights(stats);
+    ASSERT_TRUE(net.hasQuantPlan());
+    Tensor x = Tensor::fromData(
+        {2, 16, 12, 12},
+        randomVec(static_cast<std::size_t>(2) * 16 * 12 * 12, 191));
+
+    // Warm: fill the arenas, the recycled tensor pools, and every pool
+    // worker's scratch before the deny window.
+    Tensor y0;
+    for (int i = 0; i < 4; ++i)
+        y0 = net.forward(x, Mode::Eval);
+    warmPoolArenas();
+    {
+        DenyAllocScope deny;
+        for (int i = 0; i < 5; ++i) {
+            const Tensor y = net.forward(x, Mode::Eval);
+            ASSERT_EQ(0, std::memcmp(y.data(), y0.data(),
+                                     y.numel() * sizeof(float)));
+        }
+        EXPECT_EQ(deny.violations(), 0u)
+            << "warm resident-planned forward allocated on the heap";
+    }
+}
+
+} // namespace
+} // namespace leca

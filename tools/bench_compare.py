@@ -32,6 +32,10 @@ Exit status is non-zero when any shared entry regressed past its
 tolerance: new_wall_ms > old_wall_ms * (1 + tol). The default
 threshold of 10% absorbs ordinary timer noise; raise it when comparing
 runs from different machines.
+
+Value-only entries (JsonReport::addValue — speedup factors like
+serve_quant_speedup) are higher-is-better and compared with the same
+per-entry tolerances, flipped: a regression is new < old * (1 - tol).
 """
 
 import argparse
@@ -41,24 +45,32 @@ import sys
 
 
 def load_entries(path):
-    """Return {name: wall_ms} for a leca-bench-v1 report."""
+    """Return ({name: wall_ms}, {name: value}) for a leca-bench-v1
+    report. Wall-time entries are lower-is-better; value-only entries
+    (JsonReport::addValue — speedup factors, ratios) are
+    higher-is-better and compared separately.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     schema = doc.get("schema", "")
     if not schema.startswith("leca-bench"):
         sys.exit(f"{path}: unrecognised schema {schema!r}")
     entries = {}
+    values = {}
     for entry in doc.get("entries", []):
         name = entry.get("name")
         wall = entry.get("wall_ms")
         if name is not None and wall is None and "value" in entry:
-            continue  # value-only entry (JsonReport::addValue): no time
+            if name in values:
+                sys.exit(f"{path}: duplicate value entry {name!r}")
+            values[name] = float(entry["value"])
+            continue
         if name is None or wall is None:
             sys.exit(f"{path}: entry without name/wall_ms: {entry!r}")
         if name in entries:
             sys.exit(f"{path}: duplicate entry {name!r}")
         entries[name] = float(wall)
-    return entries
+    return entries, values
 
 
 def parse_requires(specs):
@@ -110,7 +122,8 @@ def load_tolerances(path):
     return default, per_entry
 
 
-def append_history(path, args, old, new, regressions):
+def append_history(path, args, old, new, old_values, new_values,
+                   regressions):
     """Append one JSON line describing this comparison to @p path."""
     record = {
         "time": datetime.datetime.now(datetime.timezone.utc)
@@ -119,6 +132,9 @@ def append_history(path, args, old, new, regressions):
         "new": args.new,
         "entries": {name: {"old_ms": old[name], "new_ms": new[name]}
                     for name in old if name in new},
+        "values": {name: {"old": old_values[name],
+                          "new": new_values[name]}
+                   for name in old_values if name in new_values},
         "regressions": regressions,
     }
     with open(path, "a", encoding="utf-8") as fh:
@@ -156,10 +172,11 @@ def main():
         for name, tol in file_tols.items():
             tolerances.setdefault(name, tol)
 
-    old = load_entries(args.old)
-    new = load_entries(args.new)
+    old, old_values = load_entries(args.old)
+    new, new_values = load_entries(args.new)
 
-    missing = [name for name in required if name not in new]
+    missing = [name for name in required
+               if name not in new and name not in new_values]
     if missing:
         print(f"{args.new}: missing required entr"
               f"{'y' if len(missing) == 1 else 'ies'}:"
@@ -187,13 +204,32 @@ def main():
     else:
         print("no shared entries between the two reports")
 
+    # Value entries (speedup factors): higher is better, so the
+    # regression test is a relative DECREASE past the entry's
+    # tolerance: new < old * (1 - tol).
+    shared_values = [name for name in old_values if name in new_values]
+    if shared_values:
+        width = max(len(name) for name in shared_values)
+        print(f"{'value entry':<{width}}  {'old':>10}  {'new':>10}  ratio")
+        for name in shared_values:
+            o, n = old_values[name], new_values[name]
+            ratio = n / o if o > 0 else float("inf")
+            tol = tolerances.get(name, args.threshold)
+            flag = ""
+            if n < o * (1.0 - tol):
+                regressions.append(name)
+                flag = f"  REGRESSION (tol {tol * 100:.0f}%)"
+            print(f"{name:<{width}}  {o:>10.4f}  {n:>10.4f}  "
+                  f"{ratio:>6.2f}x{flag}")
+
     for name in only_old:
         print(f"only in {args.old}: {name}")
     for name in only_new:
         print(f"only in {args.new}: {name}")
 
     if args.history:
-        append_history(args.history, args, old, new, regressions)
+        append_history(args.history, args, old, new, old_values,
+                       new_values, regressions)
 
     if regressions:
         print(f"{len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'}"

@@ -79,6 +79,15 @@ DEFAULT_ENTRY_POINTS = {
     "stageRequest",     # Server::stageRequest — frame copy into staging
     "claimChunks",      # ThreadPool::claimChunks — per-task work loop
     "runChunks",        # parallel entry that fans a task body out
+    # Resident int8 serving hot path (tensor/quant.cc, DESIGN.md §13):
+    # the packed-gather conv over codes, the quantize/dequantize
+    # boundary crossings, and the pools that read codes directly.
+    "convForwardResident",
+    "quantizeActivationNchw",
+    "dequantizeActivationNchw",
+    "maxPoolResident",
+    "avgPoolResident",
+    "globalAvgPoolResident",
 }
 
 # Checks that are skipped for these repo-relative paths (the files that

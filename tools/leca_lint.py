@@ -167,6 +167,17 @@ LINE_RULES = [
         False,
     ),
     (
+        "precision-boundary",
+        re.compile(r"\bdequantizeActivationNchw\s*\("
+                   r"|\bdequantizeRowMajor\s*\("),
+        "fp32 materialisation of resident int8 codes in a quantized "
+        "Eval hot path; keep the activation resident (DESIGN.md §13) "
+        "or mark a planner-sanctioned boundary with "
+        "'// leca-lint: precision-boundary' on or above the line",
+        True,
+        False,
+    ),
+    (
         "kernel-tu-container",
         re.compile(r"\bstd::(vector|string|map|unordered_map|deque"
                    r"|list|set|unordered_set)\b"),
@@ -226,6 +237,13 @@ RULE_ONLY_PATHS = {
     # The serve runtime must stay bounded-memory and join-on-shutdown.
     "serve-unbounded-queue": re.compile(r"^src/serve/.*$"),
     "serve-detached-thread": re.compile(r"^src/serve/.*$"),
+    # The quantized Eval executors and the serving layer: the files
+    # where a stray dequantize would silently re-materialise fp32
+    # planes mid-chain. The implementation TU (tensor/quant.cc) and
+    # plan-time weight handling (nn/conv.cc) are out of scope — they
+    # define the boundary machinery rather than consume it.
+    "precision-boundary": re.compile(
+        r"^src/(nn/sequential\.cc|core/pipeline\.cc|serve/.*\.cc)$"),
 }
 
 COMMENT_OR_STRING = re.compile(
@@ -412,6 +430,14 @@ def lint_file(path: pathlib.Path,
                 continue
             match = pattern.search(raw if scan_raw else code)
             if match:
+                # Inline escape: '// leca-lint: <rule>' on the flagged
+                # line or the one above acknowledges a reviewed,
+                # intentional use (e.g. a planner-sanctioned precision
+                # boundary) and silences exactly that rule there.
+                mark = f"leca-lint: {name}"
+                prev = lines[lineno - 2] if lineno >= 2 else ""
+                if mark in raw or mark in prev:
+                    continue
                 findings.append(finding(
                     path, lineno, name, message,
                     match.group(0).strip()))
