@@ -1,6 +1,7 @@
 #include "common.hh"
 
 #include <cstdlib>
+#include <filesystem>
 
 #include "compression/method.hh"
 #include "data/serialize.hh"
@@ -13,6 +14,18 @@ fastMode()
 {
     const char *env = std::getenv("LECA_BENCH_FAST");
     return env && env[0] == '1';
+}
+
+std::string
+cacheDir()
+{
+    const char *env = std::getenv("LECA_CACHE_DIR");
+    const std::string dir = env && env[0] ? env : "data/cache";
+    // Best-effort: a failed mkdir just means the cache load/save below
+    // misses and the backbone is re-trained.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
 }
 
 Harness
@@ -41,8 +54,9 @@ makeHarness(Scale scale)
         3, h.dataConfig.numClasses, rng);
 
     const std::string cache =
-        scale == Scale::Proxy ? "leca_cache_proxy_backbone.bin"
-                              : "leca_cache_full_backbone.bin";
+        cacheDir()
+        + (scale == Scale::Proxy ? "/leca_cache_proxy_backbone.bin"
+                                 : "/leca_cache_full_backbone.bin");
     if (!loadLayerState(*h.backbone, cache)) {
         inform("pre-training ", scale == Scale::Proxy ? "proxy" : "full",
                " backbone (cached afterwards)...");

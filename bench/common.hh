@@ -47,9 +47,15 @@ struct Harness
 bool fastMode();
 
 /**
+ * Directory holding on-disk bench caches: $LECA_CACHE_DIR when set,
+ * data/cache/ otherwise (created on demand, gitignored).
+ */
+std::string cacheDir();
+
+/**
  * Build (or load from cache) the harness for a scale. The backbone is
  * pre-trained on the train split and frozen; its weights are cached in
- * ./leca_cache_<scale>.bin next to the binary.
+ * cacheDir()/leca_cache_<scale>_backbone.bin.
  */
 Harness makeHarness(Scale scale);
 

@@ -5,14 +5,18 @@
  *
  *  1. Train a small pipeline (as in quickstart, but abbreviated).
  *  2. Stand up a Server around it: bounded queue, batching dispatcher,
- *     DropOldest load shedding, per-frame sensor noise injection.
+ *     DropOldest load shedding, per-frame sensor noise injection, and
+ *     entropy-coded wire payloads (DESIGN.md §14) on every response.
  *  3. Run four client "cameras", each submitting frames from its own
- *     session and printing the classification it gets back.
- *  4. Print the per-stage latency metrics the server collected.
+ *     session and printing the classification plus the real encoded
+ *     byte count it gets back.
+ *  4. Print the per-stage latency metrics the server collected and the
+ *     average wire bits per pixel.
  *
  * Runs in well under a minute on a laptop core.
  */
 
+#include <atomic>
 #include <iostream>
 
 #include "core/pipeline.hh"
@@ -71,9 +75,11 @@ main()
     serve_opts.policy = serve::OverloadPolicy::DropOldest;
     serve_opts.seed = 7;
     serve_opts.injectPixelNoise = true;
+    serve_opts.wirePayload = true; // responses carry the encoded bytes
     serve::Server server(serve::pipelineBackend(pipeline),
                          {3, data_cfg.resolution, data_cfg.resolution},
-                         serve_opts);
+                         serve_opts,
+                         serve::pipelineWireEncoder(pipeline));
 
     // 3. Four cameras, one session each, submitting frames from the
     //    validation set concurrently. Open sessions before starting
@@ -87,6 +93,7 @@ main()
         static_cast<std::size_t>(3) * data_cfg.resolution
         * data_cfg.resolution;
     std::mutex print_mutex;
+    std::atomic<std::uint64_t> wire_bytes{0};
     std::vector<ServiceThread> clients(kCameras);
     for (int c = 0; c < kCameras; ++c)
         clients[static_cast<std::size_t>(c)].start([&, c] {
@@ -101,11 +108,13 @@ main()
                 server.submit(cameras[static_cast<std::size_t>(c)],
                               frame, ticket);
                 const serve::FrameResult &r = ticket.wait();
+                wire_bytes.fetch_add(r.wire.size());
                 std::lock_guard<std::mutex> lock(print_mutex);
                 std::cout << "camera " << c << " frame " << f
                           << ": class " << r.argmax << " (label "
                           << val.labels[static_cast<std::size_t>(item)]
                           << ", batch of " << r.batchSize << ", "
+                          << r.wire.size() << " wire bytes, "
                           << Table::num(r.totalNanos / 1e6, 2)
                           << " ms)\n";
             }
@@ -128,5 +137,11 @@ main()
               << " ms\n";
     std::cout << "shed " << m.shed << ", expired " << m.expired
               << ", max queue depth " << m.maxQueueDepth << "\n";
+    const double pixels = static_cast<double>(m.completed)
+                          * data_cfg.resolution * data_cfg.resolution;
+    std::cout << "wire traffic: " << wire_bytes.load() << " bytes ("
+              << Table::num(8.0 * static_cast<double>(wire_bytes.load())
+                                / pixels, 3)
+              << " bpp)\n";
     return 0;
 }

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Interleaved byte-wise rANS entropy coder over 8-bit symbols
+ * (DESIGN.md §14).
+ *
+ * This is the classic 32-bit "ryg" construction: state x lives in
+ * [2^23, 2^31), symbol probabilities are quantized to a 12-bit scale
+ * (4096 slots), and renormalization moves one byte at a time. Two
+ * states are interleaved (symbol i uses state i&1) so the decoder's
+ * div-free update and the table lookup of adjacent symbols overlap in
+ * the pipeline; the streams share one output buffer.
+ *
+ * Encoding walks the symbols in REVERSE and pushes renormalization
+ * bytes forward, then reverses the buffer once at the end — the exact
+ * mirror of a decoder that walks forward. The two final states are
+ * flushed high-state-first so that, after the reversal, the decoder
+ * finds state 0 first, each stored as 4 little-endian bytes.
+ *
+ * Determinism: the coder is pure serial integer arithmetic with a
+ * deterministically normalized frequency table, so the encoded bytes
+ * depend only on the input symbols — never on thread count, ISA
+ * variant, or host (ROADMAP bit-exactness contract).
+ *
+ * Every decode-side read is bounds-checked and throws CheckError on
+ * truncated or corrupt input; the coder never reads out of bounds.
+ */
+
+#ifndef LECA_BITSTREAM_RANS_HH
+#define LECA_BITSTREAM_RANS_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace leca::bitstream {
+
+/** log2 of the probability scale: frequencies sum to 1 << kProbBits. */
+inline constexpr int kProbBits = 12;
+inline constexpr std::uint32_t kProbScale = 1u << kProbBits;
+
+/** Lower bound of the normalized rANS state interval [L, 256·L). */
+inline constexpr std::uint32_t kRansLowerBound = 1u << 23;
+
+/**
+ * Quantized symbol distribution: per-symbol frequencies summing to
+ * exactly kProbScale, with every symbol that appears in the input
+ * mapped to a non-zero frequency.
+ */
+struct RansFreqTable
+{
+    std::array<std::uint16_t, 256> freq{};  //!< slot widths, sum 4096
+    std::array<std::uint16_t, 256> cum{};   //!< exclusive prefix sums
+};
+
+/**
+ * Deterministically quantize raw symbol counts to a kProbScale-total
+ * table: present symbols get max(1, round-scaled) slots and any drift
+ * is repaid by the largest-frequency symbols (lowest symbol index wins
+ * ties), so the same histogram always yields the same table.
+ * @p total must equal the sum of @p counts and be non-zero.
+ */
+RansFreqTable normalizeFreqs(const std::array<std::uint64_t, 256> &counts,
+                             std::uint64_t total);
+
+/**
+ * Serialize the non-zero entries of @p table in ascending symbol
+ * order: u16 nsym, then nsym × (u8 symbol, u16 freq), little-endian.
+ * Appended to @p out; the compact form costs 2 + 3·nsym bytes.
+ */
+void appendFreqTable(const RansFreqTable &table,
+                     std::vector<std::uint8_t> &out);
+
+/**
+ * Parse a table serialized by appendFreqTable from @p data, validating
+ * strictly ascending symbols, non-zero frequencies, and an exact
+ * kProbScale sum (CheckError otherwise). Returns bytes consumed.
+ */
+std::size_t parseFreqTable(const std::uint8_t *data, std::size_t size,
+                           RansFreqTable &table);
+
+/**
+ * Encode @p n symbols with 2-way interleaved rANS under @p table
+ * (which must give every present symbol a non-zero frequency),
+ * appending the coded bytes — renormalization stream plus two 4-byte
+ * final states — to @p out.
+ */
+void ransEncode(const std::uint8_t *data, std::size_t n,
+                const RansFreqTable &table, std::vector<std::uint8_t> &out);
+
+/**
+ * Decode exactly @p n symbols from @p size coded bytes into @p out.
+ * Throws CheckError if the payload is truncated or does not leave the
+ * decoder states back at their initial value (tamper evidence beyond
+ * the container checksums).
+ */
+void ransDecode(const std::uint8_t *data, std::size_t size,
+                const RansFreqTable &table, std::uint8_t *out,
+                std::size_t n);
+
+/**
+ * Shannon entropy of the byte stream in bits per symbol (0 for empty
+ * input) — the lower bound any order-0 coder can reach, reported by
+ * bench/codec_corpus next to achieved bpp.
+ */
+double shannonEntropyBits(const std::uint8_t *data, std::size_t n);
+
+} // namespace leca::bitstream
+
+#endif // LECA_BITSTREAM_RANS_HH

@@ -189,4 +189,46 @@ CompressiveSensing::processImpl(const Tensor &batch)
     return out;
 }
 
+WireStream
+CompressiveSensing::wireSymbols(const Tensor &batch)
+{
+    LECA_CHECK(batch.dim() == 4, "CS expects [N,C,H,W]");
+    const int n = batch.size(0), c = batch.size(1);
+    const int h = batch.size(2), w = batch.size(3);
+    LECA_CHECK(h % 8 == 0 && w % 8 == 0, "CS needs 8x8-divisible frames");
+
+    WireStream ws;
+    ws.symbols.reserve(static_cast<std::size_t>(n) * c * (h / 8) * (w / 8)
+                       * _m * 2);
+    float block[64];
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch)
+            for (int by = 0; by < h / 8; ++by)
+                for (int bx = 0; bx < w / 8; ++bx) {
+                    for (int y = 0; y < 8; ++y)
+                        for (int x = 0; x < 8; ++x)
+                            block[y * 8 + x] =
+                                batch.at(i, ch, by * 8 + y, bx * 8 + x);
+                    // Same projection as measureBlock, but kept as the
+                    // 10-bit ADC codes a sensor would ship.
+                    for (int mi = 0; mi < _m; ++mi) {
+                        float acc = 0.0f;
+                        for (int p = 0; p < 64; ++p)
+                            acc += _phi[static_cast<std::size_t>(mi) * 64
+                                        + p]
+                                   * block[p];
+                        const int code =
+                            quantizeCode(acc, -4.0f, 4.0f, 1024);
+                        ws.symbols.push_back(
+                            static_cast<std::uint8_t>(code & 0xFF));
+                        ws.symbols.push_back(
+                            static_cast<std::uint8_t>(code >> 8));
+                    }
+                }
+    ws.rawBits = 10.0 * static_cast<double>(ws.symbols.size() / 2);
+    // Delta across corresponding bytes of consecutive measurements.
+    ws.predStride = 2;
+    return ws;
+}
+
 } // namespace leca

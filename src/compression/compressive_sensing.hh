@@ -37,6 +37,10 @@ class CompressiveSensing : public CompressionMethod
         return static_cast<double>(_ratio);
     }
     Tensor processImpl(const Tensor &batch) override;
+
+    /** Wire: 10-bit measurement codes, two little-endian bytes each. */
+    WireStream wireSymbols(const Tensor &batch) override;
+
     EncodingDomain domain() const override { return EncodingDomain::Analog; }
     Objective objective() const override { return Objective::TaskAgnostic; }
     std::string hardwareOverhead() const override { return "Low"; }

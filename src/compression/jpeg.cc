@@ -187,4 +187,70 @@ JpegCodec::processImpl(const Tensor &batch)
     return out;
 }
 
+WireStream
+JpegCodec::wireSymbols(const Tensor &batch)
+{
+    LECA_CHECK(batch.dim() == 4 && batch.size(1) == 3,
+               "JPEG expects [N,3,H,W]");
+    const int n = batch.size(0), h = batch.size(2), w = batch.size(3);
+    LECA_CHECK(h % 8 == 0 && w % 8 == 0, "JPEG needs 8x8 tiles");
+
+    WireStream ws;
+    // Signed value -> unsigned zig-zag integer -> LEB128 varint bytes:
+    // small coefficients (the overwhelming majority after quantization)
+    // cost one near-zero byte, which the entropy stage then crushes.
+    const auto push_varint = [&ws](int v) {
+        std::uint32_t u = (static_cast<std::uint32_t>(v) << 1)
+                          ^ static_cast<std::uint32_t>(v >> 31);
+        while (u >= 0x80) {
+            ws.symbols.push_back(static_cast<std::uint8_t>(u) | 0x80);
+            u >>= 7;
+        }
+        ws.symbols.push_back(static_cast<std::uint8_t>(u));
+    };
+
+    std::vector<float> planes(static_cast<std::size_t>(3) * h * w);
+    float block[64], coeffs[64];
+    for (int i = 0; i < n; ++i) {
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x) {
+                float yy, cb, cr;
+                rgbToYcbcr(batch.at(i, 0, y, x), batch.at(i, 1, y, x),
+                           batch.at(i, 2, y, x), yy, cb, cr);
+                planes[static_cast<std::size_t>(0) * h * w + y * w + x] = yy;
+                planes[static_cast<std::size_t>(1) * h * w + y * w + x] = cb;
+                planes[static_cast<std::size_t>(2) * h * w + y * w + x] = cr;
+            }
+        for (int pl = 0; pl < 3; ++pl) {
+            const bool chroma = pl > 0;
+            int prev_dc = 0;
+            for (int by = 0; by < h / 8; ++by)
+                for (int bx = 0; bx < w / 8; ++bx) {
+                    for (int y = 0; y < 8; ++y)
+                        for (int x = 0; x < 8; ++x)
+                            block[y * 8 + x] =
+                                planes[static_cast<std::size_t>(pl) * h * w
+                                       + (by * 8 + y) * w + bx * 8 + x]
+                                - 0.5f;
+                    _dct.forward(block, coeffs);
+                    for (int k = 0; k < 64; ++k) {
+                        const int rm = kZigzag8[static_cast<std::size_t>(k)];
+                        const float q = quantStep(rm / 8, rm % 8, chroma);
+                        const int code = static_cast<int>(
+                            std::lround(coeffs[rm] / q));
+                        if (k == 0) {
+                            push_varint(code - prev_dc);
+                            prev_dc = code;
+                        } else {
+                            push_varint(code);
+                        }
+                    }
+                }
+        }
+    }
+    ws.rawBits = 8.0 * static_cast<double>(ws.symbols.size());
+    ws.predStride = 0;  // varint framing defeats positional prediction
+    return ws;
+}
+
 } // namespace leca

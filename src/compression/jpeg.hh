@@ -26,6 +26,14 @@ class JpegCodec : public CompressionMethod
     double compressionRatio() const override { return _lastRatio; }
 
     Tensor processImpl(const Tensor &batch) override;
+
+    /**
+     * Wire: quantized coefficients in zig-zag order (DC as a delta
+     * against the previous block), each mapped to an unsigned varint
+     * byte sequence — the byte stream a real JPEG entropy stage codes.
+     */
+    WireStream wireSymbols(const Tensor &batch) override;
+
     EncodingDomain domain() const override
     {
         return EncodingDomain::Digital;

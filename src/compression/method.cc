@@ -1,0 +1,24 @@
+#include "compression/method.hh"
+
+#include "nn/quantize.hh"
+
+namespace leca {
+
+WireStream
+CompressionMethod::wireSymbols(const Tensor &batch)
+{
+    LECA_CHECK(batch.dim() == 4, name(),
+               " wireSymbols expects an [N,C,H,W] batch, got ",
+               detail::formatShape(batch.shape()));
+    WireStream ws;
+    ws.symbols.reserve(batch.numel());
+    for (std::size_t i = 0; i < batch.numel(); ++i)
+        ws.symbols.push_back(static_cast<std::uint8_t>(
+            quantizeCode(batch[i], 0.0f, 1.0f, 256)));
+    ws.rawBits = 8.0 * static_cast<double>(batch.numel());
+    // NCHW scan order: the pixel above sits one row width back.
+    ws.predStride = static_cast<std::uint64_t>(batch.size(3));
+    return ws;
+}
+
+} // namespace leca

@@ -9,13 +9,31 @@
 #ifndef LECA_COMPRESSION_METHOD_HH
 #define LECA_COMPRESSION_METHOD_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.hh"
 #include "util/check.hh"
 
 namespace leca {
+
+/**
+ * The symbol stream a compression method would actually put on the
+ * wire for one batch, byte-serialized for the entropy coder
+ * (leca::bitstream, bench/codec_corpus). `rawBits` is the fixed-rate
+ * cost of shipping the symbols uncoded — the paper's element-count
+ * accounting — against which entropy coding is measured. `predStride`
+ * is the delta-predictor distance matching the stream's layout
+ * (0 disables prediction); multi-byte symbols must fold it in.
+ */
+struct WireStream
+{
+    std::vector<std::uint8_t> symbols;
+    double rawBits = 0.0;
+    std::uint64_t predStride = 0;
+};
 
 /** Where a method's encoder runs (Table 1). */
 enum class EncodingDomain { Analog, Digital, Mixed };
@@ -60,6 +78,16 @@ class CompressionMethod
                    compressionRatio());
         return result;
     }
+
+    /**
+     * The transmitted symbols for @p batch ([N,3,H,W] in [0,1]).
+     * Default: the conventional sensor's wire — one 8-bit code per
+     * pixel in NCHW scan order, delta-predicted against the pixel
+     * above. Methods whose wire is not raw pixel codes override this
+     * with their real payload (pooled samples, coarse codes, CS
+     * measurements, transform coefficients).
+     */
+    virtual WireStream wireSymbols(const Tensor &batch);
 
     /** Table 1 metadata. */
     virtual EncodingDomain domain() const = 0;

@@ -85,4 +85,29 @@ Microshift::processImpl(const Tensor &batch)
     return out;
 }
 
+WireStream
+Microshift::wireSymbols(const Tensor &batch)
+{
+    LECA_CHECK(batch.dim() == 4, "MS expects [N,C,H,W]");
+    const int n = batch.size(0), c = batch.size(1);
+    const int h = batch.size(2), w = batch.size(3);
+    const float step = 1.0f / static_cast<float>(_levels - 1);
+
+    WireStream ws;
+    ws.symbols.reserve(batch.numel());
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch)
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x) {
+                    const float shift = shiftAt(y, x) * step;
+                    ws.symbols.push_back(static_cast<std::uint8_t>(
+                        quantizeCode(batch.at(i, ch, y, x) + shift, 0.0f,
+                                     1.0f, _levels)));
+                }
+    ws.rawBits = static_cast<double>(_bits)
+                 * static_cast<double>(batch.numel());
+    ws.predStride = static_cast<std::uint64_t>(w);
+    return ws;
+}
+
 } // namespace leca

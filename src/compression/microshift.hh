@@ -28,6 +28,10 @@ class Microshift : public CompressionMethod
         return 8.0 / _bits;
     }
     Tensor processImpl(const Tensor &batch) override;
+
+    /** Wire: the shifted coarse Q_bit codes, one per pixel. */
+    WireStream wireSymbols(const Tensor &batch) override;
+
     EncodingDomain domain() const override
     {
         return EncodingDomain::Digital;

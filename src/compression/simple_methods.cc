@@ -13,7 +13,7 @@ ConventionalSensor::processImpl(const Tensor &batch)
 }
 
 Tensor
-SpatialDownsample::processImpl(const Tensor &batch)
+SpatialDownsample::pooledAverage(const Tensor &batch) const
 {
     LECA_CHECK(batch.dim() == 4, "SD expects [N,C,H,W]");
     const int n = batch.size(0), c = batch.size(1);
@@ -36,15 +36,50 @@ SpatialDownsample::processImpl(const Tensor &batch)
                         pooled.at(i, ch, oy, ox) = acc * inv;
                     }
     });
+    return pooled;
+}
+
+Tensor
+SpatialDownsample::processImpl(const Tensor &batch)
+{
     // 8-bit quantization of the pooled samples, then upsampling.
-    pooled = quantizeTensor(pooled, 0.0f, 1.0f, 256);
-    return bilinearResize(pooled, h, w);
+    const Tensor pooled =
+        quantizeTensor(pooledAverage(batch), 0.0f, 1.0f, 256);
+    return bilinearResize(pooled, batch.size(2), batch.size(3));
+}
+
+WireStream
+SpatialDownsample::wireSymbols(const Tensor &batch)
+{
+    const Tensor pooled = pooledAverage(batch);
+    WireStream ws;
+    ws.symbols.reserve(pooled.numel());
+    for (std::size_t i = 0; i < pooled.numel(); ++i)
+        ws.symbols.push_back(static_cast<std::uint8_t>(
+            quantizeCode(pooled[i], 0.0f, 1.0f, 256)));
+    ws.rawBits = 8.0 * static_cast<double>(pooled.numel());
+    ws.predStride = static_cast<std::uint64_t>(pooled.size(3));
+    return ws;
 }
 
 Tensor
 LowResQuantizer::processImpl(const Tensor &batch)
 {
     return quantizeTensor(batch, 0.0f, 1.0f, _qbits.levels());
+}
+
+WireStream
+LowResQuantizer::wireSymbols(const Tensor &batch)
+{
+    const int levels = _qbits.levels();
+    WireStream ws;
+    ws.symbols.reserve(batch.numel());
+    for (std::size_t i = 0; i < batch.numel(); ++i)
+        ws.symbols.push_back(static_cast<std::uint8_t>(
+            quantizeCode(batch[i], 0.0f, 1.0f, levels)));
+    ws.rawBits = _qbits.bits() * static_cast<double>(batch.numel());
+    ws.predStride = static_cast<std::uint64_t>(batch.size(3));
+    return ws;
 }
 
 } // namespace leca

@@ -42,12 +42,19 @@ class SpatialDownsample : public CompressionMethod
         return static_cast<double>(_kh * _kw);
     }
     Tensor processImpl(const Tensor &batch) override;
+
+    /** Wire: the 8-bit codes of the pooled (oh x ow) samples. */
+    WireStream wireSymbols(const Tensor &batch) override;
+
     EncodingDomain domain() const override { return EncodingDomain::Mixed; }
     Objective objective() const override { return Objective::TaskAgnostic; }
     std::string hardwareOverhead() const override { return "Low"; }
 
   private:
     int _kh, _kw;
+
+    /** Block-averaged [N,C,H/kh,W/kw] samples (shared encode stage). */
+    Tensor pooledAverage(const Tensor &batch) const;
 };
 
 /** Pixel-wise uniform quantization at Q_bit < 8. */
@@ -63,6 +70,10 @@ class LowResQuantizer : public CompressionMethod
         return 8.0 / _qbits.bits();
     }
     Tensor processImpl(const Tensor &batch) override;
+
+    /** Wire: one Q_bit code per pixel (rawBits uses the real depth). */
+    WireStream wireSymbols(const Tensor &batch) override;
+
     EncodingDomain domain() const override { return EncodingDomain::Analog; }
     Objective objective() const override { return Objective::TaskAgnostic; }
     std::string hardwareOverhead() const override { return "None"; }

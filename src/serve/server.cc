@@ -3,7 +3,9 @@
 #include <cstring>
 #include <utility>
 
+#include "bitstream/codec.hh"
 #include "core/pipeline.hh"
+#include "nn/quantize.hh"
 #include "util/alloc_guard.hh"
 #include "util/check.hh"
 
@@ -50,6 +52,7 @@ FrameTicket::arm(std::uint64_t session, std::uint64_t frame_index)
     _result.session = session;
     _result.frameIndex = frame_index;
     _result.argmax = -1;
+    _result.wire.clear();
     _result.queueNanos = _result.batchNanos = _result.totalNanos = 0;
     _result.batchSize = 0;
 }
@@ -72,13 +75,16 @@ ServerOptions::validate() const
 // ---- Server --------------------------------------------------------------
 
 Server::Server(Backend backend, std::vector<int> frame_shape,
-               const ServerOptions &options)
-    : _backend(std::move(backend)), _frameShape(std::move(frame_shape)),
-      _frameElems(0), _options(options), _noise(options.sensor),
+               const ServerOptions &options, WireEncoder wire)
+    : _backend(std::move(backend)), _wire(std::move(wire)),
+      _frameShape(std::move(frame_shape)), _frameElems(0),
+      _options(options), _noise(options.sensor),
       _queue(options.queueCapacity), _sessionRoot(options.seed)
 {
     _options.validate();
     LECA_CHECK(_backend != nullptr, "server needs a backend");
+    LECA_CHECK(!_options.wirePayload || _wire != nullptr,
+               "wirePayload requires a WireEncoder at construction");
     LECA_CHECK(_frameShape.size() == 3,
                "frame shape must be {C, H, W}, got rank ",
                _frameShape.size());
@@ -99,6 +105,15 @@ Server::Server(Backend backend, std::vector<int> frame_shape,
         _batchViews.push_back(Tensor::borrow(
             {n, _frameShape[0], _frameShape[1], _frameShape[2]},
             _staging.data()));
+    if (_options.wirePayload) {
+        _frameViews.reserve(static_cast<std::size_t>(_options.maxBatch));
+        for (int n = 0; n < _options.maxBatch; ++n)
+            _frameViews.push_back(Tensor::borrow(
+                {_frameShape[0], _frameShape[1], _frameShape[2]},
+                _staging.data()
+                    + static_cast<std::size_t>(n) * _frameElems));
+        _wireBufs.resize(static_cast<std::size_t>(_options.maxBatch));
+    }
     _dispatcher.start([this] { runDispatcher(); });
 }
 
@@ -297,6 +312,19 @@ Server::dispatchLoop()
         const auto forward_start = Clock::now();
         Tensor logits;
         try {
+            // Wire payloads are per-frame pure functions of the staged
+            // (post-noise) pixels, so batch composition cannot leak
+            // into the encoded bytes. The encoder owns its allocation
+            // budget like the backend does.
+            if (_options.wirePayload) {
+                AllowAllocScope allow_wire;
+                for (int i = 0; i < count; ++i) {
+                    std::vector<std::uint8_t> &buf =
+                        _wireBufs[static_cast<std::size_t>(i)];
+                    buf.clear();
+                    _wire(_frameViews[static_cast<std::size_t>(i)], buf);
+                }
+            }
             const Tensor &batch =
                 _batchViews[static_cast<std::size_t>(count) - 1];
             // The serve layer itself is allocation-free at steady
@@ -350,6 +378,11 @@ Server::dispatchLoop()
                 result.frameIndex = staged.frameIndex;
                 result.logits.assign(row, row + classes);
                 result.argmax = best;
+                if (_options.wirePayload) {
+                    const std::vector<std::uint8_t> &buf =
+                        _wireBufs[static_cast<std::size_t>(i)];
+                    result.wire.assign(buf.begin(), buf.end());
+                }
                 result.queueNanos = staged.queueNanos;
                 result.batchNanos = batch_nanos;
                 result.totalNanos = total_nanos;
@@ -398,6 +431,35 @@ quantizedPipelineBackend(LecaPipeline &pipeline)
     if (!pipeline.quantized())
         pipeline.quantize();
     return pipelineBackend(pipeline);
+}
+
+Server::WireEncoder
+pipelineWireEncoder(LecaPipeline &pipeline)
+{
+    return [&pipeline](const Tensor &frame,
+                       std::vector<std::uint8_t> &out) {
+        const Tensor batch = Tensor::borrow(
+            {1, frame.size(0), frame.size(1), frame.size(2)},
+            frame.data());
+        const Tensor features = pipeline.encodeFeatures(batch, Mode::Eval);
+
+        // The encoder emits exact quantizer grid values in [-1, 1], so
+        // nearest-level requantization recovers the integer code of
+        // every feature losslessly.
+        const int levels = pipeline.encoder().qbits().levels();
+        const float *f = features.data();
+        std::vector<std::uint8_t> codes(features.numel());
+        for (std::size_t i = 0; i < codes.size(); ++i)
+            codes[i] = static_cast<std::uint8_t>(
+                quantizeCode(f[i], -1.0f, 1.0f, levels));
+
+        // Delta against the same x in the previous feature row — the
+        // natural image-like prediction stride for [C, OH, OW] codes.
+        const std::uint64_t stride = static_cast<std::uint64_t>(
+            features.size(features.dim() - 1));
+        out = bitstream::encodeByteStream(codes.data(), codes.size(),
+                                          stride);
+    };
 }
 
 } // namespace leca::serve

@@ -90,6 +90,15 @@ struct FrameResult
     std::vector<float> logits; //!< [numClasses], Ok only
     int argmax = -1;           //!< argmax of logits, Ok only
 
+    /**
+     * Entropy-coded wire payload of this frame (a leca::bitstream
+     * container, see DESIGN.md §14). Filled only when
+     * ServerOptions::wirePayload is set and the server was built with
+     * a WireEncoder; empty otherwise. Sized by the real encoded bytes,
+     * so clients can meter the actual sensor-to-host link traffic.
+     */
+    std::vector<std::uint8_t> wire;
+
     // Per-stage latency breakdown (nanoseconds; stages that never
     // happened — e.g. batchNanos of a shed frame — stay 0).
     std::int64_t queueNanos = 0; //!< enqueue -> dispatch
@@ -173,6 +182,16 @@ struct ServerOptions
     bool injectPixelNoise = false;
     SensorConfig sensor; //!< noise model parameters when injecting
 
+    /**
+     * Attach each Ok response's entropy-coded wire payload
+     * (FrameResult::wire). Requires a WireEncoder at construction.
+     * Encoding runs per frame on the dispatcher thread after noise
+     * injection, so the payload is exactly what an in-sensor encoder
+     * would have transmitted for the frame as served. Off by default
+     * (responses carry logits only).
+     */
+    bool wirePayload = false;
+
     void validate() const;
 };
 
@@ -188,12 +207,24 @@ class Server
     using Backend = std::function<Tensor(const Tensor &)>;
 
     /**
+     * Per-frame wire encoder: {C, H, W} frame -> entropy-coded payload
+     * bytes appended into @p out (cleared by the caller first). Must be
+     * a pure function of the frame content — it runs on the dispatcher
+     * thread and its output is part of the determinism contract.
+     */
+    using WireEncoder =
+        std::function<void(const Tensor &frame,
+                           std::vector<std::uint8_t> &out)>;
+
+    /**
      * @param backend     per-image-deterministic batched forward
      * @param frame_shape shape of one frame, {C, H, W}
      * @param options     queue/batching/overload configuration
+     * @param wire        frame -> wire payload encoder; required when
+     *                    options.wirePayload is set, ignored otherwise
      */
     Server(Backend backend, std::vector<int> frame_shape,
-           const ServerOptions &options);
+           const ServerOptions &options, WireEncoder wire = {});
 
     /** Stops (drains + joins) if still running; never throws. */
     ~Server();
@@ -281,6 +312,7 @@ class Server
                           Clock::time_point enqueue);
 
     Backend _backend;
+    WireEncoder _wire;            //!< empty unless wirePayload is on
     std::vector<int> _frameShape; //!< {C, H, W}
     std::size_t _frameElems;
     ServerOptions _options;
@@ -305,6 +337,14 @@ class Server
      * batched forward. Dispatcher-only, like _staging itself.
      */
     std::vector<Tensor> _batchViews;
+
+    /**
+     * Borrowed {C, H, W} views over each staging row, and the reusable
+     * per-row payload buffers the wire encoder fills. Built only when
+     * wirePayload is on; dispatcher-only, like _staging.
+     */
+    std::vector<Tensor> _frameViews;
+    std::vector<std::vector<std::uint8_t>> _wireBufs;
     bool _expiredThisCollect = false;
 
     Mutex _stopMutex;
@@ -326,6 +366,17 @@ Server::Backend pipelineBackend(LecaPipeline &pipeline);
  * thread counts and batch splits.
  */
 Server::Backend quantizedPipelineBackend(LecaPipeline &pipeline);
+
+/**
+ * Wire-encoder adapter over a trained pipeline: runs the encoder
+ * (evaluation-mode encodeFeatures), recovers the integer feature codes
+ * from the quantized [-1, 1] grid, and entropy-codes them into a
+ * leca::bitstream byte-stream container (DESIGN.md §14). The payload
+ * decodes bit-exactly to the feature codes via
+ * bitstream::decodeByteStream, so FrameResult::wire carries the real
+ * sensor-link byte count for the frame.
+ */
+Server::WireEncoder pipelineWireEncoder(LecaPipeline &pipeline);
 
 } // namespace leca::serve
 

@@ -1,0 +1,41 @@
+// Known-bad fixture for tools/leca_lint.py --fixtures (rule:
+// bitstream-unvalidated-read). Each '// lint-expect:' line below must
+// be flagged, and the marked-validated site must stay silent. The
+// lint-path directive makes this file lint as if it lived in the
+// wire-format subsystem, where the rule is scoped.
+//
+// lint-path: src/bitstream/bad_decode.cc
+
+#include <cstdint>
+#include <cstring>
+
+namespace leca::bitstream {
+
+std::uint32_t
+badLoadU32(const std::uint8_t *bytes)
+{
+    std::uint32_t v = 0;
+    // Raw read straight off the wire with no section-length or
+    // checksum validation anywhere above it.
+    std::memcpy(&v, bytes, sizeof(v)); // lint-expect: bitstream-unvalidated-read
+    return v;
+}
+
+float
+badReinterpret(const std::uint8_t *bytes)
+{
+    return *reinterpret_cast<const float *>(bytes); // lint-expect: bitstream-unvalidated-read
+}
+
+std::uint64_t
+goodLoadU64(const std::uint8_t *bytes)
+{
+    // Caller range-checked via ContainerReader before handing out the
+    // pointer, and the reviewed marker says so: no finding here.
+    std::uint64_t v = 0;
+    // leca-lint: bitstream-validated
+    std::memcpy(&v, bytes, sizeof(v));
+    return v;
+}
+
+} // namespace leca::bitstream

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * The entropy-coded wire format's contract (DESIGN.md §14): bit I/O
+ * and rANS primitives round-trip exactly; QuantTensor/QuantActivation/
+ * byte-stream containers decode memcmp-equal to their inputs at
+ * adversarial shapes (narrow channels, non-multiple-of-32 blocks,
+ * empty tensors); entropy coding beats the raw 8-bit baseline on
+ * skewed data; encoded bytes are identical across thread counts and
+ * every compiled ISA variant; and EVERY corruption — truncation at
+ * each byte boundary, random bit flips, oversized length fields, bad
+ * magic/version/kind — raises leca::CheckError, never an out-of-bounds
+ * read (this file runs under the ASan CI job).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "bitstream/bitio.hh"
+#include "bitstream/codec.hh"
+#include "bitstream/container.hh"
+#include "bitstream/rans.hh"
+#include "tensor/isa.hh"
+#include "tensor/quant.hh"
+#include "tensor/tensor.hh"
+#include "util/check.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+namespace leca {
+namespace {
+
+using bitstream::BitReader;
+using bitstream::BitstreamOptions;
+using bitstream::BitWriter;
+using bitstream::Coder;
+using bitstream::CoderChoice;
+using bitstream::ContainerReader;
+using bitstream::ContainerWriter;
+using bitstream::OwnedActivation;
+using bitstream::Predictor;
+using bitstream::PredictorChoice;
+using bitstream::RansFreqTable;
+
+/** Restores the ambient thread count after each test. */
+class BitstreamTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { _saved = threadCount(); }
+    void TearDown() override { setThreadCount(_saved); }
+
+  private:
+    int _saved = 1;
+};
+
+std::vector<std::uint8_t>
+randomBytes(std::size_t n, std::uint64_t seed, int hi = 255)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<std::uint8_t>(rng.uniformInt(0, hi));
+    return v;
+}
+
+/** A skewed (low-entropy) stream that entropy coding should crush. */
+std::vector<std::uint8_t>
+skewedBytes(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(n);
+    for (auto &b : v) {
+        const double u = rng.uniform();
+        b = u < 0.70 ? 0 : u < 0.85 ? 1 : u < 0.95 ? 2 : static_cast<std::uint8_t>(rng.uniformInt(3, 15));
+    }
+    return v;
+}
+
+QuantTensor
+randomQuantTensor(std::int64_t rows, std::int64_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor w({static_cast<int>(rows), static_cast<int>(cols)});
+    for (std::size_t i = 0; i < static_cast<std::size_t>(w.numel()); ++i)
+        w.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return quantizeRowMajor(w, rows, cols);
+}
+
+struct ActBuffers
+{
+    std::vector<std::int8_t> q;
+    std::vector<float> scales;
+    QuantActivation act;
+};
+
+ActBuffers
+randomActivation(int n, int c, int h, int w, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> planes(static_cast<std::size_t>(n) * c * h * w);
+    for (auto &x : planes)
+        x = static_cast<float>(rng.uniform(-2.0, 2.0));
+    ActBuffers out;
+    const std::int64_t rows = static_cast<std::int64_t>(n) * h * w;
+    out.q.resize(static_cast<std::size_t>(rows * quantPadded(c)));
+    out.scales.resize(static_cast<std::size_t>(rows * quantBlocks(c)));
+    quantizeActivationNchw(planes.data(), n, c, h, w, out.q.data(),
+                           out.scales.data());
+    out.act = QuantActivation{n, c, h, w, out.q.data(), out.scales.data()};
+    return out;
+}
+
+// ---- Bit I/O --------------------------------------------------------
+
+TEST(Bitio, RoundTripMixedWidths)
+{
+    Rng rng(7);
+    std::vector<std::pair<std::uint32_t, int>> items;
+    BitWriter bw;
+    for (int i = 0; i < 5000; ++i) {
+        const int bits = rng.uniformInt(0, 32);
+        const std::uint32_t mask =
+            bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(rng.next()) & mask;
+        items.emplace_back(v, bits);
+        bw.put(v, bits);
+    }
+    const std::size_t bits_written = bw.bitCount();
+    const std::vector<std::uint8_t> bytes = bw.finish();
+    EXPECT_EQ(bytes.size(), (bits_written + 7) / 8);
+    BitReader br(bytes.data(), bytes.size());
+    for (const auto &[v, bits] : items)
+        ASSERT_EQ(br.get(bits), v);
+}
+
+TEST(Bitio, ReaderThrowsPastEnd)
+{
+    BitWriter bw;
+    bw.put(0x2A, 6);
+    const std::vector<std::uint8_t> bytes = bw.finish();
+    BitReader br(bytes.data(), bytes.size());
+    EXPECT_EQ(br.get(6), 0x2Au);
+    EXPECT_EQ(br.get(2), 0u);  // the zero padding of the final byte
+    EXPECT_THROW(br.get(1), CheckError);
+    BitReader empty(nullptr, 0);
+    EXPECT_EQ(empty.get(0), 0u);
+    EXPECT_THROW(empty.get(1), CheckError);
+}
+
+// ---- rANS core ------------------------------------------------------
+
+TEST(Rans, RoundTripSkewedAndUniform)
+{
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        for (const auto &data :
+             {skewedBytes(10000, seed), randomBytes(10000, seed),
+              std::vector<std::uint8_t>(4096, 0x5A),
+              randomBytes(1, seed), randomBytes(0, seed)}) {
+            if (data.empty())
+                continue;  // empty streams never reach the rANS coder
+            std::array<std::uint64_t, 256> counts{};
+            for (std::uint8_t b : data)
+                ++counts[b];
+            const RansFreqTable table =
+                bitstream::normalizeFreqs(counts, data.size());
+            std::vector<std::uint8_t> coded;
+            bitstream::appendFreqTable(table, coded);
+            bitstream::ransEncode(data.data(), data.size(), table, coded);
+            RansFreqTable parsed;
+            const std::size_t used = bitstream::parseFreqTable(
+                coded.data(), coded.size(), parsed);
+            EXPECT_EQ(parsed.freq, table.freq);
+            std::vector<std::uint8_t> decoded(data.size());
+            bitstream::ransDecode(coded.data() + used, coded.size() - used,
+                                  parsed, decoded.data(), decoded.size());
+            ASSERT_EQ(decoded, data);
+        }
+    }
+}
+
+TEST(Rans, SkewedStreamCodesNearEntropy)
+{
+    const std::vector<std::uint8_t> data = skewedBytes(100000, 11);
+    std::array<std::uint64_t, 256> counts{};
+    for (std::uint8_t b : data)
+        ++counts[b];
+    const RansFreqTable table =
+        bitstream::normalizeFreqs(counts, data.size());
+    std::vector<std::uint8_t> coded;
+    bitstream::ransEncode(data.data(), data.size(), table, coded);
+    const double achieved_bps = 8.0 * coded.size() / data.size();
+    const double entropy =
+        bitstream::shannonEntropyBits(data.data(), data.size());
+    EXPECT_LT(entropy, 2.5);  // the stream really is skewed
+    EXPECT_LT(achieved_bps, entropy + 0.1);  // within 0.1 bit of optimal
+    EXPECT_GE(achieved_bps, entropy - 1e-9);  // and no magic
+}
+
+TEST(Rans, NormalizeFreqsIsExactAndDeterministic)
+{
+    Rng rng(23);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::array<std::uint64_t, 256> counts{};
+        std::uint64_t total = 0;
+        const int nsym = rng.uniformInt(1, 256);
+        for (int i = 0; i < nsym; ++i) {
+            const int s = rng.uniformInt(0, 255);
+            const std::uint64_t c =
+                static_cast<std::uint64_t>(rng.uniformInt(1, 100000));
+            counts[s] += c;
+            total += c;
+        }
+        const RansFreqTable a = bitstream::normalizeFreqs(counts, total);
+        const RansFreqTable b = bitstream::normalizeFreqs(counts, total);
+        EXPECT_EQ(a.freq, b.freq);
+        std::uint32_t sum = 0;
+        for (int s = 0; s < 256; ++s) {
+            sum += a.freq[s];
+            if (counts[s] > 0)
+                EXPECT_GE(a.freq[s], 1u);
+            else
+                EXPECT_EQ(a.freq[s], 0u);
+        }
+        EXPECT_EQ(sum, bitstream::kProbScale);
+    }
+}
+
+// ---- Container framing ----------------------------------------------
+
+std::vector<std::uint8_t>
+sampleContainer()
+{
+    ContainerWriter cw(bitstream::kKindByteStream);
+    const std::vector<std::uint8_t> a = randomBytes(300, 5);
+    const std::vector<std::uint8_t> b = randomBytes(77, 6);
+    cw.addSection(1, Coder::Raw, Predictor::None, 0, 0, a.size(), a);
+    cw.addSection(2, Coder::Raw, Predictor::None, 0, 0, b.size(), b);
+    return cw.finish();
+}
+
+TEST(Container, RoundTripAndLookup)
+{
+    const std::vector<std::uint8_t> bytes = sampleContainer();
+    ContainerReader cr(bytes.data(), bytes.size());
+    EXPECT_EQ(cr.kind(), bitstream::kKindByteStream);
+    ASSERT_EQ(cr.sectionCount(), 2u);
+    EXPECT_EQ(cr.section(0).id, 1u);
+    EXPECT_EQ(cr.section(1).rawLen, 77u);
+    EXPECT_NE(cr.findSection(2), nullptr);
+    EXPECT_EQ(cr.findSection(3), nullptr);
+    const std::vector<std::uint8_t> a = randomBytes(300, 5);
+    EXPECT_EQ(std::memcmp(cr.payload(0), a.data(), a.size()), 0);
+}
+
+TEST(Container, TruncationAtEveryBoundaryThrows)
+{
+    const std::vector<std::uint8_t> bytes = sampleContainer();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_THROW(ContainerReader(bytes.data(), len), CheckError)
+            << "prefix of " << len << " bytes parsed cleanly";
+    }
+    ContainerReader ok(bytes.data(), bytes.size());
+    EXPECT_EQ(ok.sectionCount(), 2u);
+}
+
+TEST(Container, EveryBitFlipThrows)
+{
+    // A corrupt byte ANYWHERE must be caught: header fields by the
+    // framing checks, table bytes by the header checksum, payload
+    // bytes by the per-section checksums.
+    std::vector<std::uint8_t> bytes = sampleContainer();
+    Rng rng(17);
+    for (int trial = 0; trial < 400; ++trial) {
+        const std::size_t byte =
+            static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(bytes.size()) - 1));
+        const int bit = rng.uniformInt(0, 7);
+        bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        EXPECT_THROW(ContainerReader(bytes.data(), bytes.size()),
+                     CheckError)
+            << "flip of bit " << bit << " in byte " << byte << " undetected";
+        bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+}
+
+TEST(Container, OversizedLengthFieldsThrow)
+{
+    // Forge a section table whose encLen is absurd; the reader must
+    // reject it on the length bound even with a recomputed header
+    // checksum (i.e. never attempt the giant allocation or read).
+    std::vector<std::uint8_t> bytes = sampleContainer();
+    const std::size_t enc_len_off = 16 + 24;  // header + offsetof(encLen)
+    const std::uint64_t huge = ~std::uint64_t{0} / 2;
+    std::memcpy(bytes.data() + enc_len_off, &huge, sizeof(huge));
+    bitstream::Fnv1a hash;
+    const std::size_t table_end = 16 + 2 * 40;
+    hash.update(bytes.data() + 4, table_end - 4);
+    const std::uint64_t digest = hash.digest();
+    std::memcpy(bytes.data() + table_end, &digest, sizeof(digest));
+    EXPECT_THROW(ContainerReader(bytes.data(), bytes.size()), CheckError);
+}
+
+TEST(Container, BadMagicVersionAndSectionCountThrow)
+{
+    std::vector<std::uint8_t> bytes = sampleContainer();
+    {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[0] ^= 0xFF;
+        EXPECT_THROW(ContainerReader(bad.data(), bad.size()), CheckError);
+    }
+    {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[4] = 99;  // unsupported version
+        EXPECT_THROW(ContainerReader(bad.data(), bad.size()), CheckError);
+    }
+    {
+        std::vector<std::uint8_t> bad = bytes;
+        const std::uint32_t many = 1u << 20;  // over kMaxSections
+        std::memcpy(bad.data() + 12, &many, sizeof(many));
+        EXPECT_THROW(ContainerReader(bad.data(), bad.size()), CheckError);
+    }
+    EXPECT_THROW(ContainerReader(nullptr, 64), CheckError);
+}
+
+// ---- Codec round-trips ----------------------------------------------
+
+void
+expectTensorRoundTrip(const QuantTensor &qt, const BitstreamOptions &opts)
+{
+    const std::vector<std::uint8_t> wire =
+        bitstream::encodeBitstream(qt, opts);
+    const QuantTensor back =
+        bitstream::decodeBitstreamTensor(wire.data(), wire.size());
+    EXPECT_EQ(back.shape, qt.shape);
+    EXPECT_EQ(back.rows, qt.rows);
+    EXPECT_EQ(back.cols, qt.cols);
+    EXPECT_EQ(back.nb, qt.nb);
+    ASSERT_EQ(back.q.size(), qt.q.size());
+    ASSERT_EQ(back.scales.size(), qt.scales.size());
+    if (!qt.q.empty()) {
+        EXPECT_EQ(std::memcmp(back.q.data(), qt.q.data(), qt.q.size()), 0);
+    }
+    if (!qt.scales.empty()) {
+        EXPECT_EQ(std::memcmp(back.scales.data(), qt.scales.data(),
+                              qt.scales.size() * sizeof(float)),
+                  0);
+    }
+}
+
+TEST(Codec, QuantTensorRoundTripAdversarialShapes)
+{
+    // Narrow, non-multiple-of-32, single-element, and block-aligned.
+    const std::pair<std::int64_t, std::int64_t> shapes[] = {
+        {1, 1}, {3, 7}, {5, 31}, {4, 32}, {2, 33}, {16, 96}, {1, 257},
+    };
+    int seed = 100;
+    for (const auto &[rows, cols] : shapes) {
+        const QuantTensor qt = randomQuantTensor(rows, cols, seed++);
+        for (const CoderChoice coder :
+             {CoderChoice::Auto, CoderChoice::Rans, CoderChoice::Packed,
+              CoderChoice::Raw}) {
+            BitstreamOptions opts;
+            opts.coder = coder;
+            expectTensorRoundTrip(qt, opts);
+        }
+    }
+}
+
+TEST(Codec, QuantActivationRoundTripAdversarialShapes)
+{
+    const std::array<int, 4> shapes[] = {
+        {1, 3, 5, 5},    // narrow channels (below one block)
+        {2, 16, 4, 4},   // half-block channels
+        {1, 33, 3, 3},   // one past a block boundary
+        {2, 64, 2, 2},   // exactly two blocks
+        {1, 1, 1, 1},    // minimal
+    };
+    int seed = 200;
+    for (const auto &s : shapes) {
+        ActBuffers buf = randomActivation(s[0], s[1], s[2], s[3], seed++);
+        const std::vector<std::uint8_t> wire =
+            bitstream::encodeBitstream(buf.act);
+        OwnedActivation back =
+            bitstream::decodeBitstreamActivation(wire.data(), wire.size());
+        EXPECT_EQ(back.n, s[0]);
+        EXPECT_EQ(back.c, s[1]);
+        EXPECT_EQ(back.h, s[2]);
+        EXPECT_EQ(back.w, s[3]);
+        ASSERT_EQ(back.q.size(), buf.q.size());
+        ASSERT_EQ(back.scales.size(), buf.scales.size());
+        EXPECT_EQ(std::memcmp(back.q.data(), buf.q.data(), buf.q.size()),
+                  0);
+        EXPECT_EQ(std::memcmp(back.scales.data(), buf.scales.data(),
+                              buf.scales.size() * sizeof(float)),
+                  0);
+        const QuantActivation view = back.view();
+        EXPECT_EQ(view.rows(), buf.act.rows());
+    }
+}
+
+TEST(Codec, EmptyTensorRoundTrips)
+{
+    QuantTensor qt;
+    qt.shape = {0, 4};
+    qt.rows = 0;
+    qt.cols = 4;
+    qt.nb = quantBlocks(4);
+    expectTensorRoundTrip(qt, BitstreamOptions{});
+
+    const std::vector<std::uint8_t> wire =
+        bitstream::encodeByteStream(nullptr, 0, 0);
+    EXPECT_TRUE(bitstream::decodeByteStream(wire.data(), wire.size())
+                    .empty());
+}
+
+TEST(Codec, ByteStreamRoundTripAndDeltaHelps)
+{
+    // A smooth ramp: delta prediction should collapse it to near-zero
+    // residuals and beat the un-predicted encoding.
+    std::vector<std::uint8_t> ramp(8192);
+    for (std::size_t i = 0; i < ramp.size(); ++i)
+        ramp[i] = static_cast<std::uint8_t>((i / 32) & 0xFF);
+    const std::vector<std::uint8_t> wire =
+        bitstream::encodeByteStream(ramp.data(), ramp.size(), 1);
+    EXPECT_EQ(bitstream::decodeByteStream(wire.data(), wire.size()), ramp);
+
+    BitstreamOptions no_pred;
+    no_pred.predictor = PredictorChoice::None;
+    const std::vector<std::uint8_t> wire_np =
+        bitstream::encodeByteStream(ramp.data(), ramp.size(), 1, no_pred);
+    EXPECT_LT(wire.size(), wire_np.size());
+    EXPECT_EQ(bitstream::decodeByteStream(wire_np.data(), wire_np.size()),
+              ramp);
+}
+
+TEST(Codec, EntropyCodingBeatsRawOnQuantizedCodes)
+{
+    // Trained (and especially pruned) weights are far from uniform
+    // over the 256 codes — model them as 60% exact zeros plus a
+    // bell-shaped remainder; the entropy-coded container must then be
+    // smaller than codes + scales shipped raw.
+    Rng rng(42);
+    Tensor w({64, 256});
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(w.numel()); ++i) {
+        if (rng.uniform() < 0.6) {
+            w.data()[i] = 0.0f;
+            continue;
+        }
+        float s = -2.0f;  // Irwin-Hall(4) - 2: approximately normal
+        for (int k = 0; k < 4; ++k)
+            s += static_cast<float>(rng.uniform());
+        w.data()[i] = s;
+    }
+    const QuantTensor qt = quantizeRowMajor(w, 64, 256);
+    const std::vector<std::uint8_t> wire = bitstream::encodeBitstream(qt);
+    EXPECT_LT(wire.size(), qt.quantBytes());
+}
+
+TEST(Codec, CorruptCodecPayloadsThrow)
+{
+    const QuantTensor qt = randomQuantTensor(8, 64, 77);
+    std::vector<std::uint8_t> wire = bitstream::encodeBitstream(qt);
+    // Wrong kind for the decode entry point.
+    EXPECT_THROW(bitstream::decodeBitstreamActivation(wire.data(),
+                                                      wire.size()),
+                 CheckError);
+    EXPECT_THROW(bitstream::decodeByteStream(wire.data(), wire.size()),
+                 CheckError);
+    // Truncation at every boundary of the full codec stream.
+    for (std::size_t len = 0; len < wire.size(); len += 7) {
+        EXPECT_THROW(bitstream::decodeBitstreamTensor(wire.data(), len),
+                     CheckError);
+    }
+    // Bit flips anywhere in the stream.
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t byte = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(wire.size()) - 1));
+        const int bit = rng.uniformInt(0, 7);
+        wire[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        EXPECT_THROW(
+            bitstream::decodeBitstreamTensor(wire.data(), wire.size()),
+            CheckError);
+        wire[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+    // ...and the pristine stream still decodes after all that.
+    expectTensorRoundTrip(qt, BitstreamOptions{});
+}
+
+// ---- Determinism ----------------------------------------------------
+
+TEST_F(BitstreamTest, EncodedBytesInvariantAcrossThreadsAndIsa)
+{
+    const QuantTensor qt = randomQuantTensor(16, 160, 55);
+    ActBuffers buf = randomActivation(2, 24, 6, 6, 56);
+    const std::vector<std::uint8_t> ref_t = bitstream::encodeBitstream(qt);
+    const std::vector<std::uint8_t> ref_a =
+        bitstream::encodeBitstream(buf.act);
+    for (const int threads : {1, 4, 8}) {
+        setThreadCount(threads);
+        EXPECT_EQ(bitstream::encodeBitstream(qt), ref_t)
+            << "threads=" << threads;
+        EXPECT_EQ(bitstream::encodeBitstream(buf.act), ref_a)
+            << "threads=" << threads;
+        for (const KernelSet *set : compiledKernelSets()) {
+            if (!hostSupportsKernelSet(*set))
+                continue;
+            ScopedKernelOverride force(*set);
+            EXPECT_EQ(bitstream::encodeBitstream(qt), ref_t)
+                << "threads=" << threads << " isa=" << set->name;
+            EXPECT_EQ(bitstream::encodeBitstream(buf.act), ref_a)
+                << "threads=" << threads << " isa=" << set->name;
+        }
+    }
+}
+
+} // namespace
+} // namespace leca

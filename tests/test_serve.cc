@@ -21,8 +21,10 @@
 #include <thread>
 #include <vector>
 
+#include "bitstream/codec.hh"
 #include "core/pipeline.hh"
 #include "data/backbone.hh"
+#include "nn/quantize.hh"
 #include "serve/metrics.hh"
 #include "serve/queue.hh"
 #include "serve/server.hh"
@@ -607,6 +609,124 @@ TEST(Serve, TenfoldOverloadShedsInsteadOfGrowing)
     EXPECT_GT(m.shed, 0); // overload surfaced as load shedding...
     EXPECT_LE(m.maxQueueDepth, options.queueCapacity); // ...not growth
     EXPECT_LE(max_depth.load(), options.queueCapacity);
+}
+
+// ---- Wire payloads -------------------------------------------------------
+
+/** Integer feature codes the pipeline's encoder emits for one frame. */
+std::vector<std::uint8_t>
+encoderCodes(LecaPipeline &pipeline, const Tensor &frame)
+{
+    const Tensor batch = Tensor::borrow(
+        {1, frame.size(0), frame.size(1), frame.size(2)}, frame.data());
+    const Tensor features = pipeline.encodeFeatures(batch, Mode::Eval);
+    const int levels = pipeline.encoder().qbits().levels();
+    std::vector<std::uint8_t> codes(features.numel());
+    for (std::size_t i = 0; i < codes.size(); ++i)
+        codes[i] = static_cast<std::uint8_t>(
+            quantizeCode(features.data()[i], -1.0f, 1.0f, levels));
+    return codes;
+}
+
+TEST(Serve, WirePayloadDecodesToEncoderCodes)
+{
+    auto pipeline = makeTinyPipeline();
+    ServerOptions options;
+    options.queueCapacity = 16;
+    options.maxBatch = 1;
+    options.maxWaitMicros = 0;
+    options.wirePayload = true;
+    Server server(pipelineBackend(*pipeline), {3, kHw, kHw}, options,
+                  pipelineWireEncoder(*pipeline));
+    Session session = server.openSession();
+
+    FrameTicket ticket;
+    for (int f = 0; f < 4; ++f) {
+        const Tensor frame = makeFrame(0, static_cast<std::uint64_t>(f));
+        server.submit(session, frame, ticket);
+        const FrameResult &r = ticket.wait();
+        ASSERT_EQ(r.status, ServeStatus::Ok);
+        ASSERT_FALSE(r.wire.empty());
+
+        // The payload is a leca::bitstream container that decodes
+        // bit-exactly to the encoder's integer feature codes...
+        const std::vector<std::uint8_t> expected =
+            encoderCodes(*pipeline, frame);
+        const std::vector<std::uint8_t> decoded =
+            bitstream::decodeByteStream(r.wire.data(), r.wire.size());
+        EXPECT_EQ(decoded, expected);
+        // ...and it is entropy-coded: the 3-bit codes cost less on the
+        // wire than one byte per symbol.
+        EXPECT_LT(r.wire.size(), expected.size());
+    }
+    server.stop();
+}
+
+TEST(Serve, WirePayloadIsInvariantToBatchComposition)
+{
+    // Encode the canonical trace through two servers whose coalescing
+    // differs (serial singles vs full batches); every frame's wire
+    // bytes must match exactly — batch composition cannot leak into
+    // the payload.
+    auto pipeline = makeTinyPipeline();
+    const auto collect = [&](int max_batch, std::int64_t wait_micros) {
+        ServerOptions options;
+        options.queueCapacity = 32;
+        options.maxBatch = max_batch;
+        options.maxWaitMicros = wait_micros;
+        options.wirePayload = true;
+        Server server(pipelineBackend(*pipeline), {3, kHw, kHw}, options,
+                      pipelineWireEncoder(*pipeline));
+        Session session = server.openSession();
+
+        constexpr int kFrames = 8;
+        std::vector<FrameTicket> tickets(kFrames);
+        for (int f = 0; f < kFrames; ++f)
+            server.submit(session,
+                          makeFrame(0, static_cast<std::uint64_t>(f)),
+                          tickets[static_cast<std::size_t>(f)]);
+        std::vector<std::vector<std::uint8_t>> wires;
+        for (auto &ticket : tickets) {
+            const FrameResult &r = ticket.wait();
+            EXPECT_EQ(r.status, ServeStatus::Ok);
+            wires.push_back(r.wire);
+        }
+        server.stop();
+        return wires;
+    };
+
+    const auto singles = collect(1, 0);
+    const auto batched = collect(8, 2000);
+    ASSERT_EQ(singles.size(), batched.size());
+    for (std::size_t f = 0; f < singles.size(); ++f) {
+        EXPECT_EQ(singles[f], batched[f]) << "frame " << f;
+    }
+}
+
+TEST(Serve, WirePayloadRequiresEncoderAndStaysOffByDefault)
+{
+    ServerOptions options;
+    options.wirePayload = true;
+    EXPECT_THROW(Server([](const Tensor &batch) {
+                     return Tensor({batch.size(0), 2});
+                 }, {3, kHw, kHw}, options),
+                 CheckError);
+
+    // Default options: responses carry no payload even with an encoder
+    // installed.
+    auto pipeline = makeTinyPipeline();
+    ServerOptions plain;
+    plain.maxBatch = 1;
+    plain.maxWaitMicros = 0;
+    Server server(pipelineBackend(*pipeline), {3, kHw, kHw}, plain,
+                  pipelineWireEncoder(*pipeline));
+    Session session = server.openSession();
+    FrameTicket ticket;
+    server.submit(session, makeFrame(0, 0), ticket);
+    const FrameResult &r = ticket.wait();
+    EXPECT_EQ(r.status, ServeStatus::Ok);
+    EXPECT_TRUE(r.wire.empty());
+    server.stop();
 }
 
 // ---- Metrics plumbing ----------------------------------------------------

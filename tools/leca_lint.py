@@ -51,6 +51,14 @@ Enforces invariants clang-tidy cannot express:
                      the runtime's only thread is a util/parallel
                      ServiceThread, which is always joined so shutdown
                      is deterministic and sanitizer-clean.
+  bitstream-unvalidated-read
+                     every raw byte read (`std::memcpy` /
+                     `reinterpret_cast`) in src/bitstream/ decode paths
+                     must sit behind ContainerReader's up-front section
+                     length + checksum validation, and must say so with
+                     a reviewed '// leca-lint: bitstream-validated'
+                     marker on or above the line — untrusted wire bytes
+                     are never indexed on faith.
 
 Tier interplay (DESIGN.md §11): rules listed in CLANG_PREFERRED_RULES
 are better expressed by the Tier-2 semantic analyzer
@@ -65,6 +73,10 @@ Usage:  tools/leca_lint.py [DIR-or-FILE ...]
         --format text|json|sarif   output format (default text)
         --all-rules                run clang-preferred rules even when
                                    libclang is available
+        --fixtures DIR             self-test: lint the known-bad
+                                   fixtures under DIR and require each
+                                   '// lint-expect: <rule>' line to be
+                                   flagged, and nothing else
 
 Exits 0 when clean, 1 when any finding is reported.
 """
@@ -178,6 +190,17 @@ LINE_RULES = [
         False,
     ),
     (
+        "bitstream-unvalidated-read",
+        re.compile(r"\bstd::memcpy\s*\(|\breinterpret_cast<"),
+        "raw byte read in the wire-format decoder; hoist it behind "
+        "ContainerReader's section length + checksum validation and "
+        "mark the reviewed site with '// leca-lint: "
+        "bitstream-validated' on or above the line — untrusted wire "
+        "bytes are never indexed on faith",
+        True,
+        False,
+    ),
+    (
         "kernel-tu-container",
         re.compile(r"\bstd::(vector|string|map|unordered_map|deque"
                    r"|list|set|unordered_set)\b"),
@@ -244,6 +267,18 @@ RULE_ONLY_PATHS = {
     # define the boundary machinery rather than consume it.
     "precision-boundary": re.compile(
         r"^src/(nn/sequential\.cc|core/pipeline\.cc|serve/.*\.cc)$"),
+    # The wire-format subsystem parses untrusted bytes; every raw read
+    # there must be a reviewed, validated site.
+    "bitstream-unvalidated-read": re.compile(r"^src/bitstream/.*$"),
+}
+
+# Rule name -> escape-marker name when it differs from the rule name.
+# The default marker is the rule itself ('// leca-lint: <rule>'); a
+# mapping here lets the marker state the reviewed *property* instead of
+# restating the rule (reads better at the call site: the comment says
+# the site IS validated, not that a check is being suppressed).
+RULE_ESCAPE_MARKERS = {
+    "bitstream-unvalidated-read": "bitstream-validated",
 }
 
 COMMENT_OR_STRING = re.compile(
@@ -399,7 +434,11 @@ def check_kernel_tu(path: pathlib.Path, rel: pathlib.Path,
 
 
 def lint_file(path: pathlib.Path,
-              active_rules: list | None = None) -> list[dict]:
+              active_rules: list | None = None,
+              rel_override: pathlib.Path | None = None) -> list[dict]:
+    """Lint one file; rel_override makes it lint AS IF it lived at that
+    repo-relative path (used by --fixtures so a known-bad snippet under
+    tests/analysis/fixtures/ can exercise path-scoped rules)."""
     rules = active_rules if active_rules is not None else LINE_RULES
     findings: list[dict] = []
     try:
@@ -408,8 +447,9 @@ def lint_file(path: pathlib.Path,
         return [finding(path, 0, "io", f"cannot read: {err}")]
     lines = text.splitlines()
 
-    rel = repo_relative(path)
-    if rel is not None and SKIP_PATHS.match(rel.as_posix()):
+    rel = rel_override if rel_override is not None else repo_relative(path)
+    if (rel_override is None and rel is not None
+            and SKIP_PATHS.match(rel.as_posix())):
         return []
     in_src = rel is not None and rel.parts[0] == "src"
 
@@ -434,7 +474,8 @@ def lint_file(path: pathlib.Path,
                 # line or the one above acknowledges a reviewed,
                 # intentional use (e.g. a planner-sanctioned precision
                 # boundary) and silences exactly that rule there.
-                mark = f"leca-lint: {name}"
+                mark = ("leca-lint: "
+                        f"{RULE_ESCAPE_MARKERS.get(name, name)}")
                 prev = lines[lineno - 2] if lineno >= 2 else ""
                 if mark in raw or mark in prev:
                     continue
@@ -506,6 +547,59 @@ def emit_sarif(findings: list[dict]) -> None:
     print(json.dumps(sarif, indent=2))
 
 
+# Fixture directives (see tests/analysis/fixtures/lint/): 'lint-expect'
+# pins a finding of that rule to its line; 'lint-path' makes the whole
+# file lint as if it lived at that repo-relative path, so path-scoped
+# rules fire on a snippet that deliberately lives outside their scope.
+LINT_EXPECT = re.compile(r"//\s*lint-expect:\s*([\w-]+)")
+LINT_PATH = re.compile(r"//\s*lint-path:\s*(\S+)")
+
+
+def run_lint_fixtures(target: str) -> int:
+    """Self-test: every '// lint-expect: <rule>' line in a fixture must
+    be reported, and nothing else may be. Fixtures without lint-expect
+    annotations belong to tools/leca_analyze.py and are skipped."""
+    root = pathlib.Path(target)
+    if not root.is_absolute():
+        root = REPO_ROOT / target
+    failures = 0
+    checked = 0
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in CXX_SUFFIXES or not path.is_file():
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        if "lint-expect:" not in text:
+            continue
+        checked += 1
+        lines = text.splitlines()
+        match = LINT_PATH.search(text)
+        rel_override = pathlib.Path(match.group(1)) if match else None
+        expected = set()
+        for lineno, raw in enumerate(lines, start=1):
+            for rule in LINT_EXPECT.findall(raw):
+                expected.add((lineno, rule))
+        got = {(item["line"], item["rule"])
+               for item in lint_file(path, rel_override=rel_override)}
+        for lineno, rule in sorted(expected - got):
+            failures += 1
+            print(f"FIXTURE {path.name}:{lineno}: expected [{rule}] "
+                  f"was not reported", file=sys.stderr)
+        for lineno, rule in sorted(got - expected):
+            failures += 1
+            print(f"FIXTURE {path.name}:{lineno}: unexpected [{rule}] "
+                  f"finding", file=sys.stderr)
+    if checked == 0:
+        print("leca_lint: no lint fixtures found", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"leca_lint: {failures} fixture failure(s)",
+              file=sys.stderr)
+        return 1
+    print(f"leca_lint: fixtures OK ({checked} file(s))",
+          file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="leca_lint.py",
@@ -519,7 +613,14 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--all-rules", action="store_true",
                         help="run clang-preferred rules even when "
                              "libclang is available")
+    parser.add_argument("--fixtures", metavar="DIR",
+                        help="self-test mode: verify '// lint-expect:' "
+                             "annotated fixtures under DIR are flagged "
+                             "exactly as annotated")
     args = parser.parse_args(argv)
+
+    if args.fixtures:
+        return run_lint_fixtures(args.fixtures)
 
     active_rules = LINE_RULES
     skipped_rules: list[str] = []
